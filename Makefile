@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain pytest/python underneath.
+
+.PHONY: install test bench figures ablations report examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.bench.figures
+
+ablations:
+	python -m repro.bench.ablations
+
+report:
+	python -m repro.bench.report benchmarks/report.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+all: test bench

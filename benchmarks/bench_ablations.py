@@ -1,0 +1,47 @@
+"""Ablation benches beyond the paper's figures (see DESIGN.md §5).
+
+Covers the Adaptive policy's (a, b) thresholds, the merge fan-in f,
+zipf-skewed keys, the final-flush optimisation, and the DPHJ baseline
+under burstiness.
+"""
+
+from repro.bench.ablations import (
+    ablation_adaptive_params,
+    ablation_dphj_bursty,
+    ablation_fan_in,
+    ablation_final_flush,
+    ablation_skewed_keys,
+)
+from repro.bench.scale import bench_scale
+
+
+def test_ablation_adaptive_params(run_figure):
+    run_figure(lambda: ablation_adaptive_params(bench_scale()))
+
+
+def test_ablation_fan_in(run_figure):
+    run_figure(lambda: ablation_fan_in(bench_scale()))
+
+
+def test_ablation_skewed_keys(run_figure):
+    run_figure(lambda: ablation_skewed_keys(bench_scale()))
+
+
+def test_ablation_final_flush(run_figure):
+    run_figure(lambda: ablation_final_flush(bench_scale()))
+
+
+def test_ablation_dphj_bursty(run_figure):
+    run_figure(lambda: ablation_dphj_bursty(bench_scale()))
+
+
+def test_ablation_cost_sensitivity(run_figure):
+    from repro.bench.ablations import ablation_cost_sensitivity
+
+    run_figure(lambda: ablation_cost_sensitivity(bench_scale()))
+
+
+def test_ablation_xjoin_memory(run_figure):
+    from repro.bench.ablations import ablation_xjoin_memory
+
+    run_figure(lambda: ablation_xjoin_memory(bench_scale()))

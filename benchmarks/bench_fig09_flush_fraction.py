@@ -1,0 +1,11 @@
+"""Figure 9
+
+Regenerates  the impact of the flush fraction p (Section 6.1.1).:number of hashing-phase results and total page I/O as p sweeps 1%..100%.
+"""
+
+from repro.bench.figures import fig09_flush_fraction
+from repro.bench.scale import bench_scale
+
+
+def test_fig09_flush_fraction(run_figure):
+    run_figure(lambda: fig09_flush_fraction(bench_scale()))

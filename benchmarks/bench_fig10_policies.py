@@ -1,0 +1,11 @@
+"""Figure 10
+
+Regenerates  flushing policies (Section 6.1.2).:time and I/O to the k-th result for Flush All / Flush Smallest / Adaptive.
+"""
+
+from repro.bench.figures import fig10_policies
+from repro.bench.scale import bench_scale
+
+
+def test_fig10_policies(run_figure):
+    run_figure(lambda: fig10_policies(bench_scale()))

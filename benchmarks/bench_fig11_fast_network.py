@@ -1,0 +1,11 @@
+"""Figure 11
+
+Regenerates  fast and reliable networks (Section 6.2).:time and I/O to the k-th result for HMJ vs XJoin vs PMJ, equal rates.
+"""
+
+from repro.bench.figures import fig11_fast_network
+from repro.bench.scale import bench_scale
+
+
+def test_fig11_fast_network(run_figure):
+    run_figure(lambda: fig11_fast_network(bench_scale()))

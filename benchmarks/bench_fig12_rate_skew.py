@@ -1,0 +1,11 @@
+"""Figure 12
+
+Regenerates  different arrival rates (Section 6.2).:the same three-way comparison with source A arriving 5x faster than B.
+"""
+
+from repro.bench.figures import fig12_rate_skew
+from repro.bench.scale import bench_scale
+
+
+def test_fig12_rate_skew(run_figure):
+    run_figure(lambda: fig12_rate_skew(bench_scale()))

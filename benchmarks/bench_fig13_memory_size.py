@@ -1,0 +1,11 @@
+"""Figure 13
+
+Regenerates  producing the first results (Section 6.2).:time to the first k results as memory sweeps 2%..50% of the input.
+"""
+
+from repro.bench.figures import fig13_memory_size
+from repro.bench.scale import bench_scale
+
+
+def test_fig13_memory_size(run_figure):
+    run_figure(lambda: fig13_memory_size(bench_scale()))

@@ -1,0 +1,11 @@
+"""Figure 14
+
+Regenerates  slow and bursty networks (Section 6.3).:the three-way comparison under Pareto ON/OFF arrivals with blocking threshold T.
+"""
+
+from repro.bench.figures import fig14_bursty
+from repro.bench.scale import bench_scale
+
+
+def test_fig14_bursty(run_figure):
+    run_figure(lambda: fig14_bursty(bench_scale()))

@@ -1,0 +1,12 @@
+"""Multi-seed robustness bench: the headline orderings at every seed.
+
+Guards against the figure reproductions being artifacts of the default
+workload seed (see repro/bench/repeat.py).
+"""
+
+from repro.bench.repeat import robustness_report
+from repro.bench.scale import bench_scale
+
+
+def test_robustness_across_seeds(run_figure):
+    run_figure(lambda: robustness_report(bench_scale()))

@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs its figure exactly once (``pedantic`` with one
+round — each figure is a deterministic multi-second simulation, not a
+microsecond kernel), prints the same rows/series the paper plots, and
+asserts the figure's shape checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run a figure function once under pytest-benchmark and report it."""
+
+    def _run(figure_fn):
+        report = benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(report.render())
+        report.assert_ok()
+        return report
+
+    return _run

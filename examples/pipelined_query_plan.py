@@ -1,0 +1,108 @@
+"""A fully pipelined three-way join plan over unreliable networks.
+
+The paper's introduction argues that blocking joins break "pipelined
+query plans": in ``(A ⋈ B) ⋈ C``, a blocking lower join starves the
+upper one.  This example builds that exact plan with non-blocking
+operators and shows results flowing out of the *root* while all three
+sources are still streaming — and keeps flowing through the network's
+silent windows, when both joins run their merging phases.
+
+It also contrasts an all-HMJ plan against one whose lower join is PMJ:
+the PMJ node produces nothing until its memory fills, which delays the
+root's first result by the same amount — blocking behaviour propagates
+up a pipeline.
+
+Run::
+
+    python examples/pipelined_query_plan.py
+"""
+
+from repro import (
+    BurstyArrival,
+    HMJConfig,
+    HashMergeJoin,
+    NetworkSource,
+    ProgressiveMergeJoin,
+    format_table,
+    make_relation,
+)
+from repro.pipeline import join, leaf, run_plan
+
+N = 3_000
+KEY_RANGE = 6_000
+MEMORY = 600
+
+
+def bursty() -> BurstyArrival:
+    return BurstyArrival(burst_size=150, intra_gap=0.0006, mean_silence=0.4)
+
+
+def make_sources():
+    rel_a = make_relation(N, KEY_RANGE, source="A", seed=1)
+    rel_b = make_relation(N, KEY_RANGE, source="B", seed=2)
+    rel_c = make_relation(N, KEY_RANGE, source="B", seed=3)
+    return (
+        NetworkSource(rel_a, bursty(), seed=11),
+        NetworkSource(rel_b, bursty(), seed=22),
+        NetworkSource(rel_c, bursty(), seed=33),
+    )
+
+
+def hmj():
+    return HashMergeJoin(HMJConfig(memory_capacity=MEMORY, n_buckets=64))
+
+
+def run_variant(lower_factory, label):
+    src_a, src_b, src_c = make_sources()
+    plan = join(
+        join(leaf(src_a), leaf(src_b), lower_factory, label="lower"),
+        leaf(src_c),
+        hmj,
+        label="root",
+    )
+    result = run_plan(plan, blocking_threshold=0.05)
+    recorder = result.recorder
+    row = [
+        label,
+        result.count,
+        f"{recorder.time_to_kth(1):.4f}" if result.count else "-",
+        f"{recorder.total_time():.3f}",
+        result.total_io,
+    ]
+    return result, row
+
+
+def main() -> None:
+    all_hmj, row_hmj = run_variant(hmj, "HMJ over HMJ")
+    _, row_pmj = run_variant(
+        lambda: ProgressiveMergeJoin(memory_capacity=MEMORY), "HMJ over PMJ"
+    )
+
+    print("three-way pipelined plan (A join B) join C, bursty networks\n")
+    print(
+        format_table(
+            ["plan", "triples", "first triple [s]", "last triple [s]", "page I/Os"],
+            [row_hmj, row_pmj],
+        )
+    )
+
+    print("\nper-node breakdown of the all-HMJ plan:")
+    print(
+        format_table(
+            ["node", "operator", "results", "page I/Os"],
+            [
+                [s.label, s.operator, s.results, s.io]
+                for s in all_hmj.node_stats
+            ],
+        )
+    )
+    print(
+        "\nthe PMJ lower join delays the root's first triple: its sorting "
+        "phase emits\nnothing until memory fills, and that stall propagates "
+        "up the pipeline —\nexactly the blocking behaviour non-blocking "
+        "joins exist to avoid."
+    )
+
+
+if __name__ == "__main__":
+    main()

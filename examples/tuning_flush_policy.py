@@ -1,0 +1,93 @@
+"""Tuning the flushing policy for an asymmetric-rate deployment.
+
+When one source is much faster than the other (a local cache vs a
+remote web service, say), what should be evicted when memory fills?
+This example sweeps the four flushing policies of the paper's Section 4
+under a 5x rate skew and shows the trade-offs each makes: in-memory
+productivity (hashing-phase results), disk traffic, and early-result
+latency.  It also demonstrates configuring the Adaptive policy's
+thresholds by hand.
+
+Run::
+
+    python examples/tuning_flush_policy.py
+"""
+
+from repro import (
+    AdaptiveFlushingPolicy,
+    ConstantRate,
+    FlushAllPolicy,
+    FlushLargestPolicy,
+    FlushSmallestPolicy,
+    HMJConfig,
+    HashMergeJoin,
+    NetworkSource,
+    WorkloadSpec,
+    format_table,
+    make_relation_pair,
+    run_join,
+)
+
+
+def main() -> None:
+    # A local cache streams 5,000 tuples at 2,500/s; a remote service
+    # trickles 1,000 tuples at 500/s.  Both finish after two virtual
+    # seconds, so the whole run is spent in the skewed regime the
+    # Adaptive policy is built for.
+    spec = WorkloadSpec(n_a=5_000, n_b=1_000, key_range=10_000, seed=7)
+    rel_a, rel_b = make_relation_pair(spec)
+    memory = spec.memory_capacity()
+
+    # The Adaptive policy resolves a=M/g and b=M/5 automatically; the
+    # "tight balance" variant pins b far lower to chase a 50/50 split.
+    policies = [
+        ("flush-all", FlushAllPolicy()),
+        ("flush-smallest", FlushSmallestPolicy()),
+        ("flush-largest", FlushLargestPolicy()),
+        ("adaptive (auto a, b)", AdaptiveFlushingPolicy()),
+        ("adaptive (tight b=M/20)", AdaptiveFlushingPolicy(b=memory / 20)),
+    ]
+
+    rows = []
+    for label, policy in policies:
+        operator = HashMergeJoin(HMJConfig(memory_capacity=memory, policy=policy))
+        # Source A streams five times faster than source B.
+        source_a = NetworkSource(rel_a, ConstantRate(rate=2_500), seed=3)
+        source_b = NetworkSource(rel_b, ConstantRate(rate=500), seed=4)
+        result = run_join(source_a, source_b, operator)
+        recorder = result.recorder
+        k10 = max(1, round(0.1 * recorder.count))
+        rows.append(
+            [
+                label,
+                recorder.count_in_phase("hashing"),
+                operator.flush_count,
+                operator.peak_imbalance,
+                f"{recorder.time_to_kth(k10):.3f}",
+                recorder.total_io(),
+            ]
+        )
+
+    print("flushing-policy trade-offs under a 5x arrival-rate skew:\n")
+    print(
+        format_table(
+            [
+                "policy",
+                "hashing results",
+                "flushes",
+                "peak |A|-|B|",
+                "time to 10% [s]",
+                "page I/Os",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nflush-smallest maximises in-memory matches but pays for it in "
+        "floods of tiny\nflushes; flush-all wastes the memory it just freed; "
+        "the adaptive policy keeps\nthe balance without the I/O blow-up."
+    )
+
+
+if __name__ == "__main__":
+    main()

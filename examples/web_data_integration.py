@@ -1,0 +1,109 @@
+"""Web data integration over an unreliable network.
+
+The scenario the paper's introduction motivates: a web query joins two
+remote sources whose traffic is slow and bursty (heavy-tailed Pareto
+silences), so each source repeatedly goes quiet.  A blocking join
+would stall; HMJ keeps producing results by switching to its merging
+phase whenever *both* sources are silent past the blocking threshold
+``T``, and switching back the moment data flows again.
+
+The example contrasts HMJ with XJoin and PMJ on the identical stream
+and shows where every result came from (which phase, and whether it
+was produced while the network was blocked).
+
+Run::
+
+    python examples/web_data_integration.py
+"""
+
+from repro import (
+    BurstyArrival,
+    HMJConfig,
+    HashMergeJoin,
+    NetworkSource,
+    ProgressiveMergeJoin,
+    XJoin,
+    format_table,
+    make_relation_pair,
+    paper_workload,
+    run_join,
+)
+
+BLOCKING_T = 0.05  # a source is blocked after 50 virtual ms of silence
+
+
+def bursty_network() -> BurstyArrival:
+    """Bursts of ~250 tuples separated by Pareto-distributed silences."""
+    return BurstyArrival(burst_size=250, intra_gap=0.0004, mean_silence=0.5)
+
+
+def main() -> None:
+    spec = paper_workload(n_per_source=5_000)
+    rel_a, rel_b = make_relation_pair(spec)
+    memory = spec.memory_capacity()
+
+    operators = {
+        "HMJ": lambda: HashMergeJoin(HMJConfig(memory_capacity=memory)),
+        "XJoin": lambda: XJoin(memory_capacity=memory),
+        "PMJ": lambda: ProgressiveMergeJoin(memory_capacity=memory),
+    }
+
+    rows = []
+    streaming_counts: dict[str, int] = {}
+    io_totals: dict[str, int] = {}
+    for name, factory in operators.items():
+        source_a = NetworkSource(rel_a, bursty_network(), seed=31)
+        source_b = NetworkSource(rel_b, bursty_network(), seed=32)
+        last_arrival = max(
+            source_a.arrival_schedule()[-1], source_b.arrival_schedule()[-1]
+        )
+        result = run_join(
+            source_a,
+            source_b,
+            factory(),
+            blocking_threshold=BLOCKING_T,
+        )
+        recorder = result.recorder
+        produced_while_streaming = sum(
+            1 for e in recorder.events if e.time <= last_arrival
+        )
+        streaming_counts[name] = produced_while_streaming
+        io_totals[name] = recorder.total_io()
+        k10 = max(1, round(0.1 * recorder.count))
+        rows.append(
+            [
+                name,
+                recorder.count,
+                produced_while_streaming,
+                f"{recorder.time_to_kth(k10):.3f}",
+                f"{recorder.total_time():.3f}",
+                recorder.total_io(),
+            ]
+        )
+
+    print("slow and bursty network: two sources with Pareto silences\n")
+    print(
+        format_table(
+            [
+                "operator",
+                "results",
+                "produced before input ended",
+                "time to 10% [s]",
+                "total time [s]",
+                "page I/Os",
+            ],
+            rows,
+        )
+    )
+    best_streamer = max(streaming_counts, key=streaming_counts.get)
+    print(
+        f"\n{best_streamer} delivered the most results while the network was "
+        f"still streaming\n({streaming_counts[best_streamer]} of "
+        f"{rows[0][1]}): its blocked-time processing fills every silent "
+        f"window.\nXJoin's unsynchronised single-bucket flushes cost it "
+        f"{io_totals['XJoin'] - io_totals['HMJ']} more page I/Os than HMJ."
+    )
+
+
+if __name__ == "__main__":
+    main()

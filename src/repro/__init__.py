@@ -1,0 +1,220 @@
+"""repro — a reproduction of the Hash-Merge Join (Mokbel, Lu, Aref; ICDE 2004).
+
+A production-quality implementation of the non-blocking Hash-Merge
+Join (HMJ) with its Adaptive Flushing policy, the baselines it is
+evaluated against (XJoin, Progressive Merge Join, symmetric hash join,
+DPHJ), and the full measurement substrate: a deterministic
+discrete-event simulation with a virtual clock, a page-accounted
+simulated disk, and network sources with constant-rate, Poisson,
+Pareto-bursty, and trace-driven arrivals.
+
+Quickstart::
+
+    from repro import (
+        CostModel, HMJConfig, HashMergeJoin, NetworkSource,
+        ConstantRate, make_relation_pair, paper_workload, run_join,
+    )
+
+    spec = paper_workload(n_per_source=10_000)
+    rel_a, rel_b = make_relation_pair(spec)
+    source_a = NetworkSource(rel_a, ConstantRate(rate=2_000), seed=1)
+    source_b = NetworkSource(rel_b, ConstantRate(rate=2_000), seed=2)
+    operator = HashMergeJoin(HMJConfig(memory_capacity=spec.memory_capacity()))
+    result = run_join(source_a, source_b, operator)
+    print(result.count, "results;",
+          "first result after", result.recorder.time_to_kth(1), "virtual seconds")
+"""
+
+from repro.core import (
+    AdaptiveFlushingPolicy,
+    BucketSummaryTable,
+    DualHashTable,
+    FlushAllPolicy,
+    FlushLargestPolicy,
+    FlushSmallestPolicy,
+    FlushingPolicy,
+    HMJConfig,
+    HashMergeJoin,
+    IOEstimate,
+    MergeScheduler,
+    estimate_hmj_io,
+    suggest_config,
+)
+from repro.errors import (
+    ConfigurationError,
+    MemoryBudgetError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    StorageError,
+)
+from repro.joins import (
+    DoublePipelinedHashJoin,
+    JoinRuntime,
+    ProgressiveMergeJoin,
+    RippleJoin,
+    StreamingJoinOperator,
+    SymmetricHashJoin,
+    XJoin,
+    XJoinStaticMemory,
+    grace_hash_join,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.metrics import (
+    JoinSizeEstimator,
+    MetricsRecorder,
+    ProgressEstimator,
+    SelectivityEstimator,
+    ResultEvent,
+    Series,
+    format_comparison,
+    format_table,
+    phase_counts,
+    sample_ks,
+    series_from_recorder,
+)
+from repro.net import (
+    ArrivalProcess,
+    BurstyArrival,
+    ConstantRate,
+    NetworkSource,
+    ParetoArrival,
+    PoissonArrival,
+    TraceArrival,
+)
+from repro.sim import (
+    CostModel,
+    JoinSimulation,
+    JournalEntry,
+    SimulationJournal,
+    SimulationResult,
+    VirtualClock,
+    WorkBudget,
+    run_join,
+    stream_join,
+)
+from repro.pipeline import (
+    JoinNode,
+    PipelineResult,
+    PlanExecutor,
+    SourceLeaf,
+    join,
+    leaf,
+    run_plan,
+)
+from repro.storage import (
+    DiskBlock,
+    FileBackedDisk,
+    DiskPartition,
+    JoinResult,
+    MemoryPool,
+    Relation,
+    Schema,
+    SimulatedDisk,
+    SortedRun,
+    Tuple,
+)
+from repro.workloads import (
+    WorkloadSpec,
+    bounded_zipf,
+    expected_join_size,
+    make_fk_pair,
+    make_relation,
+    make_relation_pair,
+    make_star_schema,
+    paper_workload,
+    sequential_keys,
+    uniform_keys,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveFlushingPolicy",
+    "ArrivalProcess",
+    "BucketSummaryTable",
+    "BurstyArrival",
+    "ConfigurationError",
+    "ConstantRate",
+    "CostModel",
+    "DiskBlock",
+    "DiskPartition",
+    "DoublePipelinedHashJoin",
+    "DualHashTable",
+    "FileBackedDisk",
+    "FlushAllPolicy",
+    "FlushLargestPolicy",
+    "FlushSmallestPolicy",
+    "FlushingPolicy",
+    "HMJConfig",
+    "HashMergeJoin",
+    "IOEstimate",
+    "JoinNode",
+    "JoinResult",
+    "JoinRuntime",
+    "JoinSimulation",
+    "JoinSizeEstimator",
+    "JournalEntry",
+    "MemoryBudgetError",
+    "MemoryPool",
+    "MergeScheduler",
+    "MetricsRecorder",
+    "NetworkSource",
+    "ParetoArrival",
+    "PipelineResult",
+    "PlanExecutor",
+    "PoissonArrival",
+    "ProgressEstimator",
+    "ProgressiveMergeJoin",
+    "ProtocolError",
+    "Relation",
+    "ReproError",
+    "ResultEvent",
+    "RippleJoin",
+    "Schema",
+    "SelectivityEstimator",
+    "Series",
+    "SimulatedDisk",
+    "SimulationError",
+    "SimulationJournal",
+    "SimulationResult",
+    "SortedRun",
+    "SourceLeaf",
+    "StorageError",
+    "StreamingJoinOperator",
+    "SymmetricHashJoin",
+    "TraceArrival",
+    "Tuple",
+    "VirtualClock",
+    "WorkBudget",
+    "WorkloadSpec",
+    "XJoin",
+    "XJoinStaticMemory",
+    "bounded_zipf",
+    "estimate_hmj_io",
+    "expected_join_size",
+    "format_comparison",
+    "format_table",
+    "grace_hash_join",
+    "hash_join",
+    "join",
+    "leaf",
+    "make_fk_pair",
+    "make_relation",
+    "make_relation_pair",
+    "make_star_schema",
+    "nested_loop_join",
+    "paper_workload",
+    "phase_counts",
+    "run_join",
+    "run_plan",
+    "sample_ks",
+    "sequential_keys",
+    "series_from_recorder",
+    "sort_merge_join",
+    "stream_join",
+    "suggest_config",
+    "uniform_keys",
+]

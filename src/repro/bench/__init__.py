@@ -1,0 +1,38 @@
+"""Experiment harness: one reproduction function per paper figure.
+
+Each ``fig*`` function in :mod:`repro.bench.figures` runs the workload
+of one figure from the paper's Section 6, prints the same rows/series
+the figure plots, and checks the *shape* claims (who wins, by roughly
+what factor, where crossovers fall).  The pytest-benchmark wrappers in
+``benchmarks/`` call these functions; they can also be run directly::
+
+    python -m repro.bench.figures          # run every figure
+    python -m repro.bench.figures fig11    # run one
+"""
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    fig09_flush_fraction,
+    fig10_policies,
+    fig11_fast_network,
+    fig12_rate_skew,
+    fig13_memory_size,
+    fig14_bursty,
+)
+from repro.bench.runner import FigureReport, ShapeCheck, execute
+from repro.bench.scale import BenchScale, bench_scale
+
+__all__ = [
+    "ALL_FIGURES",
+    "BenchScale",
+    "FigureReport",
+    "ShapeCheck",
+    "bench_scale",
+    "execute",
+    "fig09_flush_fraction",
+    "fig10_policies",
+    "fig11_fast_network",
+    "fig12_rate_skew",
+    "fig13_memory_size",
+    "fig14_bursty",
+]

@@ -1,0 +1,487 @@
+"""Ablation studies beyond the paper's figures.
+
+These isolate the design choices Sections 3.3 and 4 discuss but do not
+plot: the Adaptive policy's (a, b) thresholds, the merge fan-in ``f``,
+key skew (the paper argues distribution does not matter for early
+results — verified here), the final-flush optimisation, and the DPHJ
+extension baseline under burstiness.
+
+Run directly::
+
+    python -m repro.bench.ablations
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.figures import BLOCKING_T, _bursty
+from repro.bench.runner import FigureReport, check, early_ks, execute
+from repro.bench.scale import BenchScale, bench_scale
+from repro.core.config import HMJConfig
+from repro.core.flushing import AdaptiveFlushingPolicy
+from repro.core.hmj import HashMergeJoin
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.joins.xjoin import XJoin, XJoinStaticMemory
+from repro.metrics.report import format_table
+from repro.net.arrival import ConstantRate
+from repro.sim.costs import CostModel
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+
+def ablation_adaptive_params(scale: BenchScale | None = None) -> FigureReport:
+    """Sweep the Adaptive policy's (a, b): Section 6.1.2 calls a = M/g,
+    b = M/5 the best-performing setting."""
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    n_groups = HMJConfig(memory_capacity=memory).n_groups
+    avg = memory / n_groups
+
+    settings = [
+        ("a=0, b=M (== Flush Largest)", 0.0, float(memory)),
+        ("a=avg/2, b=M/5", avg / 2, memory / 5),
+        ("a=avg, b=M/5 (paper default)", avg, memory / 5),
+        ("a=2*avg, b=M/5", 2 * avg, memory / 5),
+        ("a=avg, b=M/20 (tight balance)", avg, memory / 20),
+    ]
+    rows = []
+    metrics = {}
+    for label, a, b in settings:
+        op = HashMergeJoin(
+            HMJConfig(memory_capacity=memory, policy=AdaptiveFlushingPolicy(a=a, b=b))
+        )
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        rec = result.recorder
+        k20 = max(1, round(0.2 * rec.count))
+        metrics[label] = (rec.count_in_phase("hashing"), rec.total_io(), rec.time_to_kth(k20))
+        rows.append(
+            [label, metrics[label][0], metrics[label][1], metrics[label][2]]
+        )
+    body = format_table(
+        ["setting", "hashing results", "total I/O", "time to k=20% [s]"], rows
+    )
+    default_label = settings[2][0]
+    checks = [
+        check(
+            "the paper-default (a=avg, b=M/5) is within 5% of the best "
+            "time-to-20% across the sweep",
+            metrics[default_label][2]
+            <= 1.05 * min(m[2] for m in metrics.values()),
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-adaptive",
+        title="Adaptive Flushing thresholds (a, b) sweep",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_fan_in(scale: BenchScale | None = None) -> FigureReport:
+    """Sweep the merge fan-in f: the Section 3.2 performance knob."""
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+
+    rows = []
+    ios = {}
+    for f in [2, 4, 8, 16]:
+        op = HashMergeJoin(HMJConfig(memory_capacity=memory, fan_in=f))
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        rec = result.recorder
+        ios[f] = rec.total_io()
+        rows.append([f, rec.total_io(), rec.total_time()])
+    body = format_table(["fan-in f", "total I/O", "total time [s]"], rows)
+    checks = [
+        check(
+            "larger fan-in means fewer merge passes and less I/O "
+            "(monotone over the sweep)",
+            ios[2] >= ios[4] >= ios[8] >= ios[16],
+        ),
+        check("f=2 pays at least 1.5x the I/O of f=16", ios[2] > 1.5 * ios[16]),
+    ]
+    return FigureReport(
+        figure_id="ablation-fanin",
+        title="Merge fan-in f sweep (Adaptive policy, fast network)",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_skewed_keys(scale: BenchScale | None = None) -> FigureReport:
+    """Zipf-skewed keys: Section 6 argues the key distribution does not
+    change the early-result story; verify HMJ still leads early."""
+    scale = scale or bench_scale()
+    # Half the uniform scale: zipf(1.1) inflates the output ~6x through
+    # hot-key cross products, so this keeps the ablation comparable in
+    # cost to the uniform figures.
+    n = max(1000, scale.n_per_source // 2)
+    spec = WorkloadSpec(
+        n_a=n,
+        n_b=n,
+        key_range=2 * n,
+        distribution="zipf",
+        zipf_theta=1.1,
+        seed=scale.seed,
+    )
+    rel_a, rel_b = make_relation_pair(spec)
+    memory = spec.memory_capacity()
+
+    recs = {}
+    for name, op in [
+        ("HMJ", HashMergeJoin(HMJConfig(memory_capacity=memory))),
+        ("XJoin", XJoin(memory_capacity=memory)),
+    ]:
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        recs[name] = result.recorder
+    count = min(r.count for r in recs.values())
+    ks = early_ks(count, fractions=(0.002, 0.02, 0.1, 0.2))
+    rows = [
+        [k, recs["HMJ"].time_to_kth(k), recs["XJoin"].time_to_kth(k)] for k in ks
+    ]
+    body = format_table(["k", "HMJ time [s]", "XJoin time [s]"], rows)
+    checks = [
+        check(
+            "under zipf(1.1) keys HMJ still beats XJoin at early ks "
+            "(up to 20% of the output)",
+            all(
+                recs["HMJ"].time_to_kth(k) <= recs["XJoin"].time_to_kth(k)
+                for k in ks
+            ),
+        ),
+        check(
+            "skew inflates the output well past the uniform expectation",
+            count > n / 2,
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-zipf",
+        title="Skewed (zipf) join keys — early results unaffected",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_final_flush(scale: BenchScale | None = None) -> FigureReport:
+    """Paper-faithful final flush vs skipping unmergeable groups."""
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+
+    totals = {}
+    rows = []
+    for label, flag in [("flush everything (paper)", True), ("skip unmergeable", False)]:
+        op = HashMergeJoin(HMJConfig(memory_capacity=memory, final_flush_all=flag))
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        totals[label] = (result.recorder.count, result.recorder.total_io())
+        rows.append([label, totals[label][0], totals[label][1]])
+    body = format_table(["final flush mode", "results", "total I/O"], rows)
+    labels = list(totals)
+    checks = [
+        check(
+            "both modes produce the identical number of results",
+            totals[labels[0]][0] == totals[labels[1]][0],
+        ),
+        check(
+            "skipping unmergeable groups never costs more I/O",
+            totals[labels[1]][1] <= totals[labels[0]][1],
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-finalflush",
+        title="Final-flush optimisation (end-of-input behaviour)",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_dphj_bursty(scale: BenchScale | None = None) -> FigureReport:
+    """DPHJ vs XJoin under burstiness: no reactive stage means blocked
+    windows are wasted — Section 2's scalability caveat made visible."""
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+
+    recs = {}
+    for name, op in [
+        ("XJoin", XJoin(memory_capacity=memory)),
+        ("DPHJ", DoublePipelinedHashJoin(memory_capacity=memory)),
+    ]:
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            _bursty(scale),
+            _bursty(scale),
+            blocking_threshold=BLOCKING_T,
+        )
+        recs[name] = result.recorder
+    count = min(r.count for r in recs.values())
+    mid = max(1, round(0.4 * count))
+    rows = [
+        [
+            name,
+            rec.count_in_phase("stage2"),
+            rec.time_to_kth(mid),
+            rec.total_time(),
+        ]
+        for name, rec in recs.items()
+    ]
+    body = format_table(
+        ["operator", "blocked-time results", f"time to k={mid} [s]", "total time [s]"],
+        rows,
+    )
+    checks = [
+        check(
+            "XJoin's reactive stage produces blocked-time results; DPHJ's "
+            "deferral produces none",
+            recs["XJoin"].count_in_phase("stage2") > 0
+            and recs["DPHJ"].count_in_phase("stage2") == 0,
+        ),
+        check(
+            "XJoin reaches k=40% sooner than DPHJ under burstiness",
+            recs["XJoin"].time_to_kth(mid) <= recs["DPHJ"].time_to_kth(mid),
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-dphj",
+        title="DPHJ vs XJoin under bursty arrivals (reactive stage value)",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_cost_sensitivity(scale: BenchScale | None = None) -> FigureReport:
+    """Do the orderings survive very different hardware assumptions?
+
+    Reruns the HMJ-vs-XJoin comparison under three cost models: the
+    default, a disk 10x slower (I/O-dominated, 1990s spinning rust),
+    and a disk 10x faster with 5x dearer CPU (flash + slow cores).
+    The paper's conclusions should be hardware-independent because
+    they come from I/O *counts* and tuple volumes, not constants.
+    """
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    models = {
+        "default": CostModel(),
+        "slow disk (10x io)": CostModel(io_cost=100e-3),
+        "fast disk, slow cpu": CostModel(
+            io_cost=1e-3,
+            cpu_tuple_cost=25e-6,
+            cpu_compare_cost=5e-6,
+            cpu_result_cost=10e-6,
+        ),
+    }
+    rows = []
+    ok_time = True
+    ok_io = True
+    for label, costs in models.items():
+        recs = {}
+        for name, op in [
+            ("HMJ", HashMergeJoin(HMJConfig(memory_capacity=memory))),
+            ("XJoin", XJoin(memory_capacity=memory)),
+        ]:
+            result = execute(
+                rel_a,
+                rel_b,
+                op,
+                ConstantRate(scale.fast_rate),
+                ConstantRate(scale.fast_rate),
+                costs=costs,
+            )
+            recs[name] = result.recorder
+        count = min(r.count for r in recs.values())
+        k20 = max(1, round(0.2 * count))
+        hmj, xjoin = recs["HMJ"], recs["XJoin"]
+        ok_time = ok_time and hmj.time_to_kth(k20) <= xjoin.time_to_kth(k20)
+        ok_io = ok_io and hmj.total_io() <= xjoin.total_io()
+        rows.append(
+            [
+                label,
+                hmj.time_to_kth(k20),
+                xjoin.time_to_kth(k20),
+                hmj.total_io(),
+                xjoin.total_io(),
+            ]
+        )
+    body = format_table(
+        [
+            "cost model",
+            "HMJ t@20% [s]",
+            "XJoin t@20% [s]",
+            "HMJ I/O",
+            "XJoin I/O",
+        ],
+        rows,
+    )
+    checks = [
+        check("HMJ's time-to-20% lead survives every cost model", ok_time),
+        check(
+            "the I/O counts are identical across cost models "
+            "(counting, not timing)",
+            ok_io
+            and len({row[3] for row in rows}) == 1
+            and len({row[4] for row in rows}) == 1,
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-costs",
+        title="Cost-model sensitivity (hardware-independence of the claims)",
+        body=body,
+        checks=checks,
+    )
+
+
+def ablation_xjoin_memory(scale: BenchScale | None = None) -> FigureReport:
+    """Shared vs statically-halved memory in the XJoin baseline.
+
+    The HMJ paper's XJoin discussion assumes an unbalanced-memory
+    baseline; the XJoin technical report statically divides memory
+    between the sources.  This ablation runs both variants (and HMJ)
+    across arrival-rate skews.  Outcome: the static variant is never
+    faster, degrades with skew, and HMJ beats both everywhere — but
+    *neither* variant reproduces the paper's claim that HMJ produces
+    more first-phase results under skew (see EXPERIMENTS.md: retaining
+    more of the slow source in memory structurally helps XJoin's
+    stage 1 in any faithful model, at the price it pays in time and
+    I/O).
+    """
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    rows = []
+    per_skew: dict[int, dict[str, tuple[float, float, int]]] = {}
+    for skew in (1, 5, 20):
+        per_skew[skew] = {}
+        for name, factory in [
+            ("HMJ", lambda: HashMergeJoin(HMJConfig(memory_capacity=memory))),
+            ("XJoin shared", lambda: XJoin(memory_capacity=memory)),
+            ("XJoin static", lambda: XJoinStaticMemory(memory_capacity=memory)),
+        ]:
+            op = factory()
+            result = execute(
+                rel_a,
+                rel_b,
+                op,
+                ConstantRate(scale.fast_rate / 5.0 * skew),
+                ConstantRate(scale.fast_rate / 5.0),
+            )
+            rec = result.recorder
+            k20 = max(1, round(0.2 * rec.count))
+            per_skew[skew][name] = (
+                rec.time_to_kth(k20),
+                rec.total_time(),
+                rec.total_io(),
+            )
+            rows.append(
+                [
+                    f"{skew}x",
+                    name,
+                    rec.time_to_kth(k20),
+                    rec.total_time(),
+                    rec.total_io(),
+                ]
+            )
+    body = format_table(
+        ["rate skew", "operator", "t@20% [s]", "total time [s]", "total I/O"],
+        rows,
+    )
+    checks = [
+        check(
+            "HMJ beats both XJoin variants at t@20% at every skew",
+            all(
+                row["HMJ"][0] <= row["XJoin shared"][0]
+                and row["HMJ"][0] <= row["XJoin static"][0]
+                for row in per_skew.values()
+            ),
+        ),
+        check(
+            "static memory partitioning never improves XJoin's total time",
+            all(
+                row["XJoin static"][1] >= 0.99 * row["XJoin shared"][1]
+                for row in per_skew.values()
+            ),
+        ),
+        check(
+            "the static variant's relative penalty grows monotonically "
+            "with skew (shared memory adapts, fixed halves cannot)",
+            (
+                per_skew[1]["XJoin static"][1] / per_skew[1]["XJoin shared"][1]
+                < per_skew[5]["XJoin static"][1] / per_skew[5]["XJoin shared"][1]
+                < per_skew[20]["XJoin static"][1] / per_skew[20]["XJoin shared"][1]
+            ),
+        ),
+        check(
+            "HMJ's total I/O beats both variants at every skew",
+            all(
+                row["HMJ"][2] <= row["XJoin shared"][2]
+                and row["HMJ"][2] <= row["XJoin static"][2]
+                for row in per_skew.values()
+            ),
+        ),
+    ]
+    return FigureReport(
+        figure_id="ablation-xjoin-memory",
+        title="XJoin baseline strength: shared vs statically-halved memory",
+        body=body,
+        checks=checks,
+    )
+
+
+ALL_ABLATIONS = {
+    "adaptive": ablation_adaptive_params,
+    "fanin": ablation_fan_in,
+    "zipf": ablation_skewed_keys,
+    "finalflush": ablation_final_flush,
+    "dphj": ablation_dphj_bursty,
+    "costs": ablation_cost_sensitivity,
+    "xjoin-memory": ablation_xjoin_memory,
+}
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: run all ablations (or those named in argv)."""
+    names = argv or sorted(ALL_ABLATIONS)
+    unknown = [n for n in names if n not in ALL_ABLATIONS]
+    if unknown:
+        print(f"unknown ablations: {unknown}; choose from {sorted(ALL_ABLATIONS)}")
+        return 2
+    scale = bench_scale()
+    failures = 0
+    for name in names:
+        report = ALL_ABLATIONS[name](scale)
+        print(report.render())
+        print()
+        if not report.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

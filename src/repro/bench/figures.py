@@ -1,0 +1,584 @@
+"""Reproductions of every figure in the paper's evaluation (Section 6).
+
+Each function regenerates one figure's data at the configured scale,
+prints the same rows/series the paper plots, and evaluates the shape
+claims listed in DESIGN.md.  Absolute numbers differ from the paper
+(2004 C++ testbed vs. deterministic simulation), but the orderings,
+ratios, and crossovers are asserted.
+
+Run directly::
+
+    python -m repro.bench.figures          # all figures
+    python -m repro.bench.figures fig13    # one figure
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.runner import FigureReport, check, curve_ks, early_ks, execute
+from repro.bench.scale import BenchScale, bench_scale
+from repro.core.config import HMJConfig
+from repro.core.flushing import (
+    AdaptiveFlushingPolicy,
+    FlushAllPolicy,
+    FlushSmallestPolicy,
+)
+from repro.core.hmj import HashMergeJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.metrics.ascii_plot import plot_series
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.series import Series, series_from_recorder
+from repro.net.arrival import BurstyArrival, ConstantRate
+from repro.workloads.generator import make_relation_pair
+
+#: Blocking threshold T (Section 6.3) used by the bursty experiments.
+BLOCKING_T = 0.05
+
+
+def _bursty(scale: BenchScale) -> BurstyArrival:
+    """The slow-and-bursty regime: Pareto-distributed silences.
+
+    The paper models burstiness with a Pareto distribution [5]
+    (Crovella et al.'s heavy-tailed ON/OFF traffic); bursts separated
+    by Pareto silences reproduce the repeated simultaneous-blocking
+    windows behind Figure 14's step curves.  The burst size is capped
+    at an absolute 500 tuples: silences have a fixed mean, so bursts
+    that grew with the workload would eventually out-run the silences
+    and the blocked windows would vanish at scale.
+    """
+    return BurstyArrival(
+        burst_size=min(500, max(1, scale.n_per_source // 20)),
+        intra_gap=1.0 / scale.fast_rate,
+        mean_silence=0.5,
+    )
+
+
+def _hmj(memory: int, **kwargs) -> HashMergeJoin:
+    return HashMergeJoin(HMJConfig(memory_capacity=memory, **kwargs))
+
+
+def _time_series(rec: MetricsRecorder, name: str, ks: list[int]) -> Series:
+    return series_from_recorder(rec, name, metric="time", ks=ks)
+
+
+def _io_series(rec: MetricsRecorder, name: str, ks: list[int]) -> Series:
+    return series_from_recorder(rec, name, metric="io", ks=ks)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — impact of the flush fraction p (Section 6.1.1)
+# ---------------------------------------------------------------------------
+
+
+def fig09_flush_fraction(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 9: hashing-phase results and total I/O vs p (1%..100%).
+
+    Fan-in is raised to 16 so every bucket group merges in one pass,
+    isolating the flush-granularity effect the figure studies (with a
+    small fan-in, large p adds merge passes that mask it).
+    """
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    fractions = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00]
+
+    rows = []
+    hashing_counts: list[int] = []
+    total_ios: list[int] = []
+    for p in fractions:
+        op = _hmj(memory, flush_fraction=p, fan_in=16)
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        hashing = result.recorder.count_in_phase(HashMergeJoin.PHASE_HASHING)
+        io = result.recorder.total_io()
+        hashing_counts.append(hashing)
+        total_ios.append(io)
+        rows.append([f"{p:.0%}", op.config.n_groups, hashing, io])
+
+    body = format_table(
+        ["p (flushed fraction)", "disk groups", "hashing-phase results", "total I/O (pages)"],
+        rows,
+    )
+    checks = [
+        check(
+            "9a: hashing-phase results decrease monotonically as p grows",
+            all(a >= b for a, b in zip(hashing_counts, hashing_counts[1:]))
+            and hashing_counts[0] > hashing_counts[-1],
+        ),
+        check(
+            "9b: total I/O decreases monotonically as p grows",
+            all(a >= b for a, b in zip(total_ios, total_ios[1:])),
+        ),
+        check(
+            "p=5% keeps >90% of the best hashing-phase result count",
+            hashing_counts[2] > 0.9 * hashing_counts[0],
+        ),
+        check(
+            "p=5% cuts a meaningful share of the p=1% I/O (>5% at any "
+            "scale; >50% at the default scale, where p=1% blocks span "
+            "only a page)",
+            total_ios[2] < 0.95 * total_ios[0],
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig09",
+        title="The impact of flushing size p (Adaptive policy, fast network)",
+        body=body,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — flushing policies (Section 6.1.2)
+# ---------------------------------------------------------------------------
+
+
+def fig10_policies(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 10: time and I/O to the k-th result per flushing policy."""
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+
+    policies = [
+        ("Flush All", FlushAllPolicy()),
+        ("Flush Smallest", FlushSmallestPolicy()),
+        ("Adaptive", AdaptiveFlushingPolicy()),
+    ]
+    recs: dict[str, MetricsRecorder] = {}
+    hashing_counts: dict[str, int] = {}
+    for name, policy in policies:
+        op = _hmj(memory, policy=policy)
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            ConstantRate(scale.fast_rate),
+            ConstantRate(scale.fast_rate),
+        )
+        recs[name] = result.recorder
+        hashing_counts[name] = result.recorder.count_in_phase(
+            HashMergeJoin.PHASE_HASHING
+        )
+
+    count = min(r.count for r in recs.values())
+    ks = curve_ks(count)
+    time_table = format_comparison(
+        [_time_series(recs[n], n, ks) for n, _ in policies],
+        title="(a) time to produce the k-th result [virtual s]",
+    )
+    io_table = format_comparison(
+        [_io_series(recs[n], n, ks) for n, _ in policies],
+        title="(b) page I/Os to produce the k-th result",
+    )
+    hash_rows = [[n, hashing_counts[n]] for n, _ in policies]
+    hash_table = format_table(["policy", "hashing-phase results"], hash_rows)
+    plot = plot_series(
+        [_time_series(recs[n], n, ks) for n, _ in policies],
+        title="time-to-kth curves (x: k, y: virtual s)",
+    )
+
+    adaptive, smallest, flush_all = (
+        recs["Adaptive"],
+        recs["Flush Smallest"],
+        recs["Flush All"],
+    )
+    early = early_ks(count)
+    checks = [
+        check(
+            "10a: Adaptive time-to-kth <= Flush All at every early k",
+            all(adaptive.time_to_kth(k) <= flush_all.time_to_kth(k) for k in early),
+        ),
+        check(
+            "10a: Adaptive time-to-kth <= Flush Smallest at every early k",
+            all(adaptive.time_to_kth(k) <= smallest.time_to_kth(k) for k in early),
+        ),
+        check(
+            "Flush All produces the fewest hashing-phase results",
+            hashing_counts["Flush All"] < hashing_counts["Adaptive"]
+            and hashing_counts["Flush All"] < hashing_counts["Flush Smallest"],
+        ),
+        check(
+            "Flush Smallest keeps memory fullest (hashing results at "
+            "least on par with Adaptive's, within 5%)",
+            hashing_counts["Flush Smallest"] >= 0.95 * hashing_counts["Adaptive"],
+        ),
+        check(
+            "Flush Smallest pays excessive total I/O (>3x Adaptive)",
+            smallest.total_io() > 3 * adaptive.total_io(),
+        ),
+        check(
+            "10b: Adaptive I/O-to-kth <= Flush Smallest at every early k",
+            all(adaptive.io_to_kth(k) <= smallest.io_to_kth(k) for k in early),
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig10",
+        title="Performance of different flushing policies (fast network)",
+        body="\n\n".join([time_table, io_table, hash_table, plot]),
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — fast and reliable networks (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+def _three_way(
+    scale: BenchScale,
+    arrival_a,
+    arrival_b,
+    blocking_threshold: float = 1.0,
+) -> dict[str, MetricsRecorder]:
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    operators = {
+        "HMJ": _hmj(memory),
+        "XJoin": XJoin(memory_capacity=memory),
+        "PMJ": ProgressiveMergeJoin(memory_capacity=memory),
+    }
+    recs: dict[str, MetricsRecorder] = {}
+    for name, op in operators.items():
+        result = execute(
+            rel_a,
+            rel_b,
+            op,
+            arrival_a,
+            arrival_b,
+            blocking_threshold=blocking_threshold,
+        )
+        recs[name] = result.recorder
+    return recs
+
+
+def _three_way_tables(recs: dict[str, MetricsRecorder]) -> str:
+    count = min(r.count for r in recs.values())
+    ks = curve_ks(count)
+    time_table = format_comparison(
+        [_time_series(rec, name, ks) for name, rec in recs.items()],
+        title="(a) time to produce the k-th result [virtual s]",
+    )
+    io_table = format_comparison(
+        [_io_series(rec, name, ks) for name, rec in recs.items()],
+        title="(b) page I/Os to produce the k-th result",
+    )
+    first_phase = {
+        "HMJ": recs["HMJ"].count_in_phase("hashing"),
+        "XJoin": recs["XJoin"].count_in_phase("stage1"),
+        "PMJ": recs["PMJ"].count_in_phase("sorting"),
+    }
+    phase_table = format_table(
+        ["operator", "first-phase results", "total results", "total I/O"],
+        [
+            [name, first_phase[name], rec.count, rec.total_io()]
+            for name, rec in recs.items()
+        ],
+    )
+    plot = plot_series(
+        [_time_series(rec, name, ks) for name, rec in recs.items()],
+        title="time-to-kth curves (x: k, y: virtual s)",
+    )
+    return "\n\n".join([time_table, io_table, phase_table, plot])
+
+
+def fig11_fast_network(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 11: HMJ vs XJoin vs PMJ under a fast, reliable network."""
+    scale = scale or bench_scale()
+    rate = ConstantRate(scale.fast_rate)
+    recs = _three_way(scale, rate, ConstantRate(scale.fast_rate))
+    hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
+    count = min(r.count for r in recs.values())
+    early = early_ks(count)
+
+    very_early = early_ks(count, fractions=(0.002, 0.02))
+    checks = [
+        check(
+            "11a: HMJ time-to-kth <= XJoin at every early k (up to 40%)",
+            all(hmj.time_to_kth(k) <= xjoin.time_to_kth(k) for k in early),
+        ),
+        check(
+            "11a: HMJ leads PMJ in the early phase (<= 2%) and overall "
+            "(the curves run a near-tie band after HMJ's hashing phase "
+            "ends — see EXPERIMENTS.md)",
+            all(hmj.time_to_kth(k) <= pmj.time_to_kth(k) for k in very_early)
+            and hmj.total_time() <= pmj.total_time(),
+        ),
+        check(
+            "11a: PMJ's first result waits for the first memory fill "
+            "(>5x HMJ's first-result latency)",
+            pmj.time_to_kth(1) > 5 * hmj.time_to_kth(1),
+        ),
+        check(
+            "HMJ and XJoin produce similar first-phase result counts "
+            "(within 20%), both about 2x PMJ's",
+            abs(hmj.count_in_phase("hashing") - xjoin.count_in_phase("stage1"))
+            < 0.2 * hmj.count_in_phase("hashing")
+            and hmj.count_in_phase("hashing") > 1.5 * pmj.count_in_phase("sorting"),
+        ),
+        check(
+            "11b: both HMJ and XJoin beat PMJ's I/O through the early "
+            "region (the paper claims this up to ~18% of the output; "
+            "checked at 0.2%, 2%, and 10%)",
+            all(
+                hmj.io_to_kth(k) <= pmj.io_to_kth(k)
+                and xjoin.io_to_kth(k) <= pmj.io_to_kth(k)
+                for k in early_ks(count, fractions=(0.002, 0.02, 0.1))
+            ),
+        ),
+        check(
+            "HMJ total time and I/O beat XJoin (Section 1's claim)",
+            hmj.total_time() <= xjoin.total_time()
+            and hmj.total_io() <= xjoin.total_io(),
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig11",
+        title="Fast and reliable networks (equal arrival rates)",
+        body=_three_way_tables(recs),
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — different arrival rates (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+def fig12_rate_skew(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 12: source A arrives five times faster than source B."""
+    scale = scale or bench_scale()
+    recs = _three_way(
+        scale,
+        ConstantRate(scale.fast_rate),
+        ConstantRate(scale.fast_rate / 5.0),
+    )
+    hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
+    count = min(r.count for r in recs.values())
+    early = early_ks(count)
+
+    late = early_ks(count, fractions=(0.2, 0.3, 0.4))
+    checks = [
+        check(
+            "12a: HMJ overtakes XJoin by k = 20% and stays ahead "
+            "(see EXPERIMENTS.md for the early-k deviation)",
+            all(hmj.time_to_kth(k) <= xjoin.time_to_kth(k) for k in late)
+            and hmj.total_time() <= xjoin.total_time(),
+        ),
+        check(
+            "12a: HMJ's first result is as early as XJoin's",
+            hmj.time_to_kth(1) <= 1.05 * xjoin.time_to_kth(1),
+        ),
+        check(
+            "12a: HMJ time-to-kth <= PMJ at every early k under 5x skew",
+            all(hmj.time_to_kth(k) <= pmj.time_to_kth(k) for k in early),
+        ),
+        check(
+            "hash-based first phases are more stable than PMJ's sorting "
+            "phase under skew (earlier first result)",
+            hmj.time_to_kth(1) < pmj.time_to_kth(1)
+            and xjoin.time_to_kth(1) < pmj.time_to_kth(1),
+        ),
+        check(
+            "12b: HMJ total I/O <= XJoin total I/O",
+            hmj.total_io() <= xjoin.total_io(),
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig12",
+        title="Different arrival rates (A = 5x B) in fast networks",
+        body=_three_way_tables(recs),
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — producing the first results vs memory size (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+def fig13_memory_size(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 13: time to the first results as memory grows 2%..50%.
+
+    The paper measures the first 1000 results of a ~550K output
+    (≈0.18%); the threshold scales with the output so the mechanism —
+    PMJ waits for its first memory fill, HMJ does not — is preserved
+    (see EXPERIMENTS.md).
+    """
+    scale = scale or bench_scale()
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    first_k = scale.first_k(1000)
+    fractions = [0.02, 0.05, 0.10, 0.20, 0.35, 0.50]
+
+    rows = []
+    hmj_times: dict[float, float] = {}
+    pmj_times: dict[float, float] = {}
+    for fraction in fractions:
+        memory = scale.spec.memory_capacity(fraction)
+        times = {}
+        for name, op in [
+            ("HMJ", _hmj(memory)),
+            ("PMJ", ProgressiveMergeJoin(memory_capacity=memory)),
+        ]:
+            result = execute(
+                rel_a,
+                rel_b,
+                op,
+                ConstantRate(scale.fast_rate),
+                ConstantRate(scale.fast_rate),
+                stop_after=first_k,
+            )
+            times[name] = result.recorder.time_to_kth(first_k)
+        hmj_times[fraction] = times["HMJ"]
+        pmj_times[fraction] = times["PMJ"]
+        rows.append([f"{fraction:.0%}", memory, times["HMJ"], times["PMJ"]])
+
+    body = format_table(
+        ["memory (fraction of input)", "memory (tuples)", "HMJ [s]", "PMJ [s]"],
+        rows,
+    )
+    plot = plot_series(
+        [
+            Series(
+                name="HMJ",
+                metric="time",
+                points=[(round(f * 100), hmj_times[f]) for f in fractions],
+            ),
+            Series(
+                name="PMJ",
+                metric="time",
+                points=[(round(f * 100), pmj_times[f]) for f in fractions],
+            ),
+        ],
+        title="time to the first results (x: memory % of input, y: virtual s)",
+    )
+    body = f"{body}\n\n{plot}"
+    big_fracs = [f for f in fractions if f >= 0.05]
+    hmj_big = [hmj_times[f] for f in big_fracs]
+    checks = [
+        check(
+            "HMJ is flat in memory size for >=5% memory (max/min < 1.2)",
+            max(hmj_big) < 1.2 * min(hmj_big),
+        ),
+        check(
+            "PMJ improves from 2% to 5% memory (fewer flushes needed)",
+            pmj_times[0.05] < pmj_times[0.02],
+        ),
+        check(
+            "PMJ degrades as memory grows past 5% (fill time dominates)",
+            pmj_times[0.50] > pmj_times[0.20] > pmj_times[0.05],
+        ),
+        check(
+            "HMJ beats PMJ at large memory by >5x (no need to fill memory)",
+            pmj_times[0.50] > 5 * hmj_times[0.50],
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig13",
+        title=f"Producing the first {first_k} results vs memory size",
+        body=body,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — slow and bursty networks (Section 6.3)
+# ---------------------------------------------------------------------------
+
+
+def fig14_bursty(scale: BenchScale | None = None) -> FigureReport:
+    """Figure 14: HMJ vs XJoin vs PMJ under Pareto-bursty arrivals."""
+    scale = scale or bench_scale()
+    arrival = _bursty(scale)
+    recs = _three_way(scale, arrival, _bursty(scale), blocking_threshold=BLOCKING_T)
+    hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
+    count = min(r.count for r in recs.values())
+    early = early_ks(count)
+
+    stage2 = xjoin.count_in_phase("stage2")
+    hmj_blocked_merges = sum(
+        1
+        for e in hmj.events
+        if e.phase == "merging" and e.time < hmj.total_time() * 0.9
+    )
+    late = early_ks(count, fractions=(0.3, 0.4))
+    checks = [
+        check(
+            "14a: HMJ's first result is as early as XJoin's and it leads "
+            "from k = 30% onward (curves cross repeatedly before that)",
+            hmj.time_to_kth(1) <= 1.05 * xjoin.time_to_kth(1)
+            and all(hmj.time_to_kth(k) <= xjoin.time_to_kth(k) for k in late),
+        ),
+        check(
+            "14a: HMJ time-to-kth <= PMJ at every early k",
+            all(hmj.time_to_kth(k) <= pmj.time_to_kth(k) for k in early),
+        ),
+        check(
+            "14a: HMJ total time is the best of the three",
+            hmj.total_time() <= xjoin.total_time()
+            and hmj.total_time() <= pmj.total_time(),
+        ),
+        check(
+            "step-like behaviour: HMJ's merging phase runs during "
+            "blocked windows (not only at end of input)",
+            hmj_blocked_merges > 0,
+        ),
+        check(
+            "XJoin's reactive stage 2 produces results while blocked",
+            stage2 > 0,
+        ),
+        check(
+            "14b: XJoin has the worst total I/O of the three",
+            xjoin.total_io() >= hmj.total_io()
+            and xjoin.total_io() >= pmj.total_io(),
+        ),
+        check(
+            "14b: HMJ I/O is within 25% of PMJ's (paper: 'similar I/O')",
+            hmj.total_io() <= 1.25 * pmj.total_io(),
+        ),
+    ]
+    return FigureReport(
+        figure_id="fig14",
+        title="Slow and bursty networks (Pareto ON/OFF arrivals)",
+        body=_three_way_tables(recs),
+        checks=checks,
+    )
+
+
+ALL_FIGURES = {
+    "fig09": fig09_flush_fraction,
+    "fig10": fig10_policies,
+    "fig11": fig11_fast_network,
+    "fig12": fig12_rate_skew,
+    "fig13": fig13_memory_size,
+    "fig14": fig14_bursty,
+}
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: run all figures (or the ones named in argv)."""
+    names = argv or sorted(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; choose from {sorted(ALL_FIGURES)}")
+        return 2
+    scale = bench_scale()
+    failures = 0
+    for name in names:
+        report = ALL_FIGURES[name](scale)
+        print(report.render())
+        print()
+        if not report.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

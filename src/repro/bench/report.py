@@ -1,0 +1,81 @@
+"""One-shot markdown report of the whole reproduction.
+
+``python -m repro.bench.report [out.md]`` runs every figure, every
+ablation, and the multi-seed robustness study at the configured scale
+and writes a single self-contained markdown document — the living
+counterpart of EXPERIMENTS.md, regenerated from the current code.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.ablations import ALL_ABLATIONS
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.repeat import robustness_report
+from repro.bench.runner import FigureReport
+from repro.bench.scale import BenchScale, bench_scale
+
+
+def _section(report: FigureReport) -> str:
+    lines = [
+        f"## {report.figure_id}: {report.title}",
+        "",
+        "```text",
+        report.body,
+        "```",
+        "",
+        "Shape checks:",
+        "",
+    ]
+    for check in report.checks:
+        marker = "x" if check.passed else " "
+        lines.append(f"- [{marker}] {check.description}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(scale: BenchScale | None = None) -> tuple[str, bool]:
+    """Run everything; returns (markdown, all_checks_passed)."""
+    scale = scale or bench_scale()
+    sections = [
+        "# Hash-Merge Join reproduction report",
+        "",
+        f"Scale: {scale.n_per_source} tuples per source, seed {scale.seed}. "
+        "All times are virtual seconds; all I/O counts are pages. "
+        "See docs/measurement.md for the model.",
+        "",
+    ]
+    all_ok = True
+    for name in sorted(ALL_FIGURES):
+        report = ALL_FIGURES[name](scale)
+        sections.append(_section(report))
+        all_ok = all_ok and report.all_passed
+    sections.append("# Ablations")
+    sections.append("")
+    for name in sorted(ALL_ABLATIONS):
+        report = ALL_ABLATIONS[name](scale)
+        sections.append(_section(report))
+        all_ok = all_ok and report.all_passed
+    sections.append("# Robustness")
+    sections.append("")
+    robustness = robustness_report(scale)
+    sections.append(_section(robustness))
+    all_ok = all_ok and robustness.all_passed
+    return "\n".join(sections), all_ok
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: write the report (default benchmarks/report.md)."""
+    out = Path(argv[0]) if argv else Path("benchmarks/report.md")
+    markdown, all_ok = generate_report()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(markdown)
+    status = "all shape checks passed" if all_ok else "SOME SHAPE CHECKS FAILED"
+    print(f"wrote {out} ({len(markdown.splitlines())} lines); {status}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,386 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro run      --algorithm hmj --n 10000 --arrival bursty
+    python -m repro compare  --algorithms hmj,xjoin,pmj --arrival pareto
+    python -m repro figures  fig11 fig14
+    python -m repro ablations fanin
+
+``run`` executes one streaming join and prints its early-result
+metrics; ``compare`` runs several operators over the identical stream
+and prints the side-by-side time/I-O curves; ``figures`` and
+``ablations`` invoke the paper-reproduction harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import ablations as _ablations
+from repro.bench import figures as _figures
+from repro.bench.scale import BenchScale
+from repro.core.config import HMJConfig
+from repro.core.flushing import (
+    AdaptiveFlushingPolicy,
+    FlushAllPolicy,
+    FlushLargestPolicy,
+    FlushSmallestPolicy,
+)
+from repro.core.hmj import HashMergeJoin
+from repro.joins.base import StreamingJoinOperator
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.metrics.export import recorder_to_csv, series_to_csv
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.series import sample_ks, series_from_recorder
+from repro.net.arrival import (
+    ArrivalProcess,
+    BurstyArrival,
+    ConstantRate,
+    ParetoArrival,
+    PoissonArrival,
+)
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+ALGORITHMS = ("hmj", "xjoin", "pmj", "dphj", "shj")
+ARRIVALS = ("constant", "poisson", "pareto", "bursty")
+POLICIES = {
+    "adaptive": AdaptiveFlushingPolicy,
+    "all": FlushAllPolicy,
+    "smallest": FlushSmallestPolicy,
+    "largest": FlushLargestPolicy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hash-Merge Join reproduction (ICDE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one streaming join")
+    _add_workload_args(run_p)
+    run_p.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="hmj", help="join operator"
+    )
+    _add_operator_args(run_p)
+    run_p.add_argument(
+        "--stop-after", type=int, default=None, help="stop after k results"
+    )
+    run_p.add_argument(
+        "--series", action="store_true", help="print the (k, time, io) curve"
+    )
+    run_p.add_argument(
+        "--csv", default=None, help="write every result event to this CSV file"
+    )
+    run_p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the structural-event timeline (flushes, blocked windows)",
+    )
+
+    cmp_p = sub.add_parser("compare", help="run several operators side by side")
+    _add_workload_args(cmp_p)
+    cmp_p.add_argument(
+        "--algorithms",
+        default="hmj,xjoin,pmj",
+        help="comma-separated subset of " + ",".join(ALGORITHMS),
+    )
+    cmp_p.add_argument(
+        "--csv", default=None, help="write the time series to this CSV file"
+    )
+    _add_operator_args(cmp_p)
+
+    fig_p = sub.add_parser("figures", help="reproduce paper figures")
+    fig_p.add_argument(
+        "names", nargs="*", help=f"figures to run (default: all of {sorted(_figures.ALL_FIGURES)})"
+    )
+    fig_p.add_argument("--n", type=int, default=10_000, help="tuples per source")
+    fig_p.add_argument("--seed", type=int, default=7)
+
+    abl_p = sub.add_parser("ablations", help="run ablation studies")
+    abl_p.add_argument(
+        "names", nargs="*", help=f"ablations to run (default: all of {sorted(_ablations.ALL_ABLATIONS)})"
+    )
+    abl_p.add_argument("--n", type=int, default=10_000, help="tuples per source")
+    abl_p.add_argument("--seed", type=int, default=7)
+
+    rep_p = sub.add_parser(
+        "report", help="write the full markdown reproduction report"
+    )
+    rep_p.add_argument(
+        "out", nargs="?", default="benchmarks/report.md", help="output path"
+    )
+    rep_p.add_argument("--n", type=int, default=10_000, help="tuples per source")
+    rep_p.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=10_000, help="tuples per source")
+    p.add_argument(
+        "--key-range",
+        type=int,
+        default=None,
+        help="join-key domain size (default: 2 * n, the paper's density)",
+    )
+    p.add_argument(
+        "--distribution", choices=("uniform", "zipf", "sequential"), default="uniform"
+    )
+    p.add_argument("--zipf-theta", type=float, default=1.1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--arrival", choices=ARRIVALS, default="constant", help="network model"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="mean arrival rate per source (default: n / 2 per virtual second)",
+    )
+    p.add_argument(
+        "--rate-skew",
+        type=float,
+        default=1.0,
+        help="source A arrives this many times faster than B",
+    )
+    p.add_argument(
+        "--blocking-threshold",
+        type=float,
+        default=0.05,
+        help="seconds of silence after which a source counts as blocked (T)",
+    )
+
+
+def _add_operator_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--memory-fraction",
+        type=float,
+        default=0.10,
+        help="memory budget as a fraction of the input (paper: 0.10)",
+    )
+    p.add_argument(
+        "--n-buckets",
+        type=int,
+        default=None,
+        help="HMJ hash buckets h (default: scaled to memory)",
+    )
+    p.add_argument(
+        "--flush-fraction", type=float, default=0.05, help="HMJ flush fraction p"
+    )
+    p.add_argument("--fan-in", type=int, default=8, help="merge fan-in f")
+    p.add_argument(
+        "--policy", choices=sorted(POLICIES), default="adaptive", help="HMJ policy"
+    )
+
+
+def _make_arrival(args: argparse.Namespace, rate: float) -> ArrivalProcess:
+    if args.arrival == "constant":
+        return ConstantRate(rate)
+    if args.arrival == "poisson":
+        return PoissonArrival(rate)
+    if args.arrival == "pareto":
+        return ParetoArrival(rate, shape=1.3)
+    return BurstyArrival(
+        burst_size=max(1, args.n // 20),
+        intra_gap=1.0 / rate,
+        mean_silence=0.5,
+    )
+
+
+def _make_operator(name: str, memory: int, args: argparse.Namespace) -> StreamingJoinOperator:
+    if name == "hmj":
+        return HashMergeJoin(
+            HMJConfig(
+                memory_capacity=memory,
+                n_buckets=args.n_buckets,
+                flush_fraction=args.flush_fraction,
+                fan_in=args.fan_in,
+                policy=POLICIES[args.policy](),
+            )
+        )
+    if name == "xjoin":
+        return XJoin(memory_capacity=memory)
+    if name == "pmj":
+        return ProgressiveMergeJoin(memory_capacity=memory, fan_in=args.fan_in)
+    if name == "dphj":
+        return DoublePipelinedHashJoin(memory_capacity=memory)
+    return SymmetricHashJoin()
+
+
+def _spec_from(args: argparse.Namespace) -> WorkloadSpec:
+    key_range = args.key_range if args.key_range is not None else 2 * args.n
+    return WorkloadSpec(
+        n_a=args.n,
+        n_b=args.n,
+        key_range=key_range,
+        distribution=args.distribution,
+        zipf_theta=args.zipf_theta,
+        seed=args.seed,
+    )
+
+
+def _run_one(
+    name: str, args: argparse.Namespace, spec: WorkloadSpec
+):
+    rel_a, rel_b = make_relation_pair(spec)
+    rate = args.rate if args.rate is not None else args.n / 2.0
+    src_a = NetworkSource(rel_a, _make_arrival(args, rate * args.rate_skew), seed=11)
+    src_b = NetworkSource(rel_b, _make_arrival(args, rate), seed=22)
+    memory = spec.memory_capacity(args.memory_fraction)
+    operator = _make_operator(name, memory, args)
+    result = run_join(
+        src_a,
+        src_b,
+        operator,
+        blocking_threshold=args.blocking_threshold,
+        keep_results=False,
+        stop_after=getattr(args, "stop_after", None),
+        journal=getattr(args, "timeline", False),
+    )
+    return operator, result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from(args)
+    operator, result = _run_one(args.algorithm, args, spec)
+    recorder = result.recorder
+    print(f"algorithm : {operator.name}")
+    print(f"workload  : {spec.n_a} x {spec.n_b} tuples, keys in [0, {spec.key_range})")
+    print(f"memory    : {spec.memory_capacity(args.memory_fraction)} tuples")
+    print(f"results   : {recorder.count}")
+    if recorder.count:
+        print(f"first result : {recorder.time_to_kth(1):.4f} virtual s")
+        print(f"last result  : {recorder.total_time():.4f} virtual s")
+        print(f"total I/O    : {recorder.total_io()} pages")
+        phases = sorted(
+            {e.phase for e in recorder.events},
+        )
+        split = ", ".join(f"{p}={recorder.count_in_phase(p)}" for p in phases)
+        print(f"phase split  : {split}")
+    if args.series and recorder.count:
+        ks = sample_ks(recorder.count, n_samples=15)
+        rows = [[k, recorder.time_to_kth(k), recorder.io_to_kth(k)] for k in ks]
+        print()
+        print(format_table(["k", "time [s]", "I/O [pages]"], rows))
+    if args.csv:
+        n = recorder_to_csv(recorder, args.csv)
+        print(f"wrote {n} result events to {args.csv}")
+    if args.timeline and result.journal is not None:
+        print()
+        print("timeline (first 40 structural events):")
+        print(result.journal.render(limit=40))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {unknown}; choose from {ALGORITHMS}")
+        return 2
+    spec = _spec_from(args)
+    recorders: dict[str, MetricsRecorder] = {}
+    for name in names:
+        operator, result = _run_one(name, args, spec)
+        recorders[operator.name] = result.recorder
+    count = min(r.count for r in recorders.values())
+    if count == 0:
+        print("no results produced")
+        return 1
+    ks = sample_ks(count, n_samples=12)
+    print(
+        format_comparison(
+            [
+                series_from_recorder(rec, name, metric="time", ks=ks)
+                for name, rec in recorders.items()
+            ],
+            title="time to the k-th result [virtual s]",
+        )
+    )
+    print()
+    print(
+        format_comparison(
+            [
+                series_from_recorder(rec, name, metric="io", ks=ks)
+                for name, rec in recorders.items()
+            ],
+            title="page I/Os to the k-th result",
+        )
+    )
+    print()
+    rows = [
+        [name, rec.count, rec.total_time(), rec.total_io()]
+        for name, rec in recorders.items()
+    ]
+    print(format_table(["operator", "results", "total time [s]", "total I/O"], rows))
+    if args.csv:
+        n = series_to_csv(
+            [
+                series_from_recorder(rec, name, metric="time", ks=ks)
+                for name, rec in recorders.items()
+            ],
+            args.csv,
+        )
+        print(f"wrote {n} series rows to {args.csv}")
+    return 0
+
+
+def _cmd_harness(args: argparse.Namespace, registry: dict, label: str) -> int:
+    names = args.names or sorted(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown {label}: {unknown}; choose from {sorted(registry)}")
+        return 2
+    scale = BenchScale(n_per_source=args.n, seed=args.seed)
+    failures = 0
+    for name in names:
+        report = registry[name](scale)
+        print(report.render())
+        print()
+        if not report.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.report import generate_report
+
+    markdown, all_ok = generate_report(BenchScale(n_per_source=args.n, seed=args.seed))
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(markdown)
+    status = "all shape checks passed" if all_ok else "SOME SHAPE CHECKS FAILED"
+    print(f"wrote {out} ({len(markdown.splitlines())} lines); {status}")
+    return 0 if all_ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the tests."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "figures":
+        return _cmd_harness(args, _figures.ALL_FIGURES, "figures")
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_harness(args, _ablations.ALL_ABLATIONS, "ablations")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the Hash-Merge Join.
+
+* :class:`~repro.core.hmj.HashMergeJoin` — the two-phase non-blocking
+  join (Section 3): an in-memory symmetric hashing phase and an
+  interruptible disk merging phase with fan-in ``f`` and block-number
+  duplicate avoidance.
+* :mod:`~repro.core.flushing` — the flushing policies of Section 4,
+  including the Adaptive Flushing policy (Figure 8).
+* :class:`~repro.core.config.HMJConfig` — all tunables (memory, number
+  of hash buckets ``h``, flush fraction ``p`` of Section 3.3, fan-in
+  ``f``, policy).
+"""
+
+from repro.core.advisor import IOEstimate, estimate_hmj_io, suggest_config
+from repro.core.config import HMJConfig
+from repro.core.flushing import (
+    AdaptiveFlushingPolicy,
+    FlushAllPolicy,
+    FlushingPolicy,
+    FlushLargestPolicy,
+    FlushSmallestPolicy,
+)
+from repro.core.hashing import DualHashTable
+from repro.core.hmj import HashMergeJoin
+from repro.core.merging import MergeScheduler
+from repro.core.summary import BucketSummaryTable
+
+__all__ = [
+    "AdaptiveFlushingPolicy",
+    "BucketSummaryTable",
+    "DualHashTable",
+    "FlushAllPolicy",
+    "FlushLargestPolicy",
+    "FlushSmallestPolicy",
+    "FlushingPolicy",
+    "HMJConfig",
+    "HashMergeJoin",
+    "IOEstimate",
+    "MergeScheduler",
+    "estimate_hmj_io",
+    "suggest_config",
+]

@@ -1,0 +1,197 @@
+"""Flushing policies (Section 4 of the paper).
+
+When the hashing phase runs out of memory it asks its policy which
+bucket-group pair(s) to evict.  The paper compares four policies:
+
+* **Flush All** — evict every group (PMJ's behaviour; Figure 7's first
+  discussion point);
+* **Flush Smallest** — evict the pair with the smallest total, keeping
+  memory as full as possible (biased towards the hashing phase);
+* **Flush Largest** — evict the pair with the largest total, building
+  big disk blocks (biased towards the merging phase);
+* **Adaptive Flushing** (Figure 8) — the paper's contribution: keep
+  memory *balanced* between the sources (threshold ``b``), avoid
+  flushing small buckets (threshold ``a``), and among the remaining
+  candidates flush the largest pair.
+
+Section 6.1.2 notes Flush Largest is the special case ``a=0, b=M`` of
+the Adaptive policy; a unit test pins that equivalence.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError, StorageError
+from repro.core.summary import BucketSummaryTable
+
+
+class FlushingPolicy(abc.ABC):
+    """Chooses victim bucket-group pairs when memory is exhausted."""
+
+    #: Human-readable policy name, overridden by subclasses.
+    name = "flushing-policy"
+
+    def prepare(self, memory_capacity: int, n_groups: int) -> None:
+        """Resolve capacity-dependent parameters before the join starts.
+
+        Called once by the operator at bind time.  The default is a
+        no-op; the Adaptive policy uses it to resolve its ``auto``
+        thresholds (Section 6.1.2: ``a = M/g``, ``b = M/5``).
+        """
+
+    @abc.abstractmethod
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        """Return the group indices to flush, given the summary table.
+
+        At least one tuple must be in memory; implementations must
+        return at least one non-empty group.
+        """
+
+    @staticmethod
+    def _require_nonempty(summary: BucketSummaryTable) -> list[int]:
+        candidates = summary.nonempty_groups()
+        if not candidates:
+            raise StorageError("flush requested but every bucket group is empty")
+        return candidates
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FlushAllPolicy(FlushingPolicy):
+    """Evict every non-empty group — the whole memory, as PMJ does."""
+
+    name = "flush-all"
+
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        return self._require_nonempty(summary)
+
+
+class FlushSmallestPolicy(FlushingPolicy):
+    """Evict the pair with the smallest total size (Figure 7: pair 4)."""
+
+    name = "flush-smallest"
+
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        candidates = self._require_nonempty(summary)
+        return [min(candidates, key=lambda g: (summary.pair_total(g), g))]
+
+
+class FlushLargestPolicy(FlushingPolicy):
+    """Evict the pair with the largest total size (Figure 7: pair 5)."""
+
+    name = "flush-largest"
+
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        candidates = self._require_nonempty(summary)
+        return [_argmax_total(candidates, summary)]
+
+
+class AdaptiveFlushingPolicy(FlushingPolicy):
+    """The Adaptive Flushing policy — Figure 8's pseudo code, verbatim.
+
+    Parameters ``a`` (smallest acceptable bucket size) and ``b``
+    (balancing threshold, in tuples) may be given explicitly or left as
+    ``None`` to resolve at prepare time to the paper's best-performing
+    defaults: ``a = M / g`` (the average group size) and ``b = M / 5``.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, a: float | None = None, b: float | None = None) -> None:
+        if a is not None and a < 0:
+            raise ConfigurationError(f"a must be >= 0, got {a!r}")
+        if b is not None and b <= 0:
+            raise ConfigurationError(f"b must be > 0, got {b!r}")
+        self._a_config = a
+        self._b_config = b
+        self._a = a
+        self._b = b
+
+    @property
+    def a(self) -> float:
+        """Resolved smallest-acceptable-bucket threshold."""
+        if self._a is None:
+            raise ConfigurationError("policy not prepared; 'a' is still auto")
+        return self._a
+
+    @property
+    def b(self) -> float:
+        """Resolved balancing threshold (tuples)."""
+        if self._b is None:
+            raise ConfigurationError("policy not prepared; 'b' is still auto")
+        return self._b
+
+    def prepare(self, memory_capacity: int, n_groups: int) -> None:
+        if memory_capacity < 1:
+            raise ConfigurationError(
+                f"memory_capacity must be >= 1, got {memory_capacity}"
+            )
+        if n_groups < 1:
+            raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+        if self._a_config is None:
+            self._a = memory_capacity / n_groups
+        if self._b_config is None:
+            self._b = memory_capacity / 5
+
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        if self._a is None or self._b is None:
+            raise ConfigurationError(
+                "AdaptiveFlushingPolicy.prepare() must run before selection"
+            )
+        candidates = self._require_nonempty(summary)
+        a, b = self._a, self._b
+        total_a, total_b = summary.total_a, summary.total_b
+
+        if abs(total_a - total_b) < b:
+            # Step 1 of Figure 8 — memory is balanced.
+            big_enough = [
+                g
+                for g in candidates
+                if summary.size("A", g) >= a and summary.size("B", g) >= a
+            ]
+            if big_enough:
+                candidates = big_enough
+            balance_keeping = [
+                g
+                for g in candidates
+                if abs(
+                    (total_a - summary.size("A", g))
+                    - (total_b - summary.size("B", g))
+                )
+                < b
+            ]
+            if balance_keeping:
+                candidates = balance_keeping
+            return [_argmax_total(candidates, summary)]
+
+        # Step 2 — memory is unbalanced: only skew-reducing pairs.
+        if total_a >= total_b:
+            skew_reducing = [
+                g for g in candidates if summary.size("A", g) >= summary.size("B", g)
+            ]
+        else:
+            skew_reducing = [
+                g for g in candidates if summary.size("B", g) >= summary.size("A", g)
+            ]
+        if skew_reducing:
+            candidates = skew_reducing
+        # Steps 3-4 — prefer pairs meeting the size threshold.
+        big_enough = [
+            g
+            for g in candidates
+            if summary.size("A", g) >= a and summary.size("B", g) >= a
+        ]
+        if big_enough:
+            candidates = big_enough
+        # Step 5 — largest total among what is left.
+        return [_argmax_total(candidates, summary)]
+
+    def __repr__(self) -> str:
+        return f"AdaptiveFlushingPolicy(a={self._a!r}, b={self._b!r})"
+
+
+def _argmax_total(groups: list[int], summary: BucketSummaryTable) -> int:
+    """Largest pair total; ties break to the lowest group index."""
+    return max(groups, key=lambda g: (summary.pair_total(g), -g))

@@ -1,0 +1,164 @@
+"""The hashing phase's in-memory structure (Section 3.1, Figures 2-3).
+
+Two hash tables of ``h`` buckets each — one per source — share one
+memory budget, so buckets grow unevenly and memory is *not* statically
+split between A and B (the property the Adaptive Flushing policy then
+actively manages).  Probing bucket ``h(t)`` of the opposite source and
+inserting into bucket ``h(t)`` of the own source implements Steps 2-4
+of Figure 3.
+
+For flushing, buckets are combined into ``g`` groups of consecutive
+buckets (Section 3.3's parameter ``p``); extraction returns a whole
+group's tuples so HMJ can sort and flush them as one disk block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.core.summary import BucketSummaryTable
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+
+# Knuth's multiplicative constant: scatters consecutive keys across
+# buckets deterministically (Python's built-in hash() is randomised
+# per process and would break reproducibility).
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = (1 << 32) - 1
+
+
+class DualHashTable:
+    """Paired in-memory hash tables for sources A and B.
+
+    The table maintains the Section 4 summary table incrementally, at
+    the bucket-group granularity the flushing policy operates on.
+    """
+
+    def __init__(self, n_buckets: int, n_groups: int) -> None:
+        if n_buckets < 1:
+            raise ConfigurationError(f"n_buckets must be >= 1, got {n_buckets}")
+        if not 1 <= n_groups <= n_buckets:
+            raise ConfigurationError(
+                f"n_groups must be in [1, {n_buckets}], got {n_groups}"
+            )
+        self._n_buckets = n_buckets
+        self._n_groups = n_groups
+        # Consecutive buckets share a group; the last group may be
+        # slightly larger when h is not divisible by g.
+        self._group_size = n_buckets // n_groups
+        self._buckets: dict[str, list[list[Tuple]]] = {
+            SOURCE_A: [[] for _ in range(n_buckets)],
+            SOURCE_B: [[] for _ in range(n_buckets)],
+        }
+        self._summary = BucketSummaryTable(n_groups)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of in-memory hash buckets per source (``h``)."""
+        return self._n_buckets
+
+    @property
+    def n_groups(self) -> int:
+        """Number of flushable bucket groups per source (``h/p``)."""
+        return self._n_groups
+
+    @property
+    def summary(self) -> BucketSummaryTable:
+        """The live summary table the flushing policy reads."""
+        return self._summary
+
+    def bucket_of(self, key: int) -> int:
+        """Deterministic bucket index for a join key."""
+        return ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+
+    def group_of_bucket(self, bucket: int) -> int:
+        """Group index a bucket belongs to."""
+        if not 0 <= bucket < self._n_buckets:
+            raise ConfigurationError(
+                f"bucket {bucket} out of range [0, {self._n_buckets})"
+            )
+        return min(bucket // self._group_size, self._n_groups - 1)
+
+    def group_of_key(self, key: int) -> int:
+        """Group index a key hashes into."""
+        return self.group_of_bucket(self.bucket_of(key))
+
+    def buckets_in_group(self, group: int) -> range:
+        """The consecutive bucket indices composing ``group``."""
+        if not 0 <= group < self._n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range [0, {self._n_groups})"
+            )
+        start = group * self._group_size
+        if group == self._n_groups - 1:
+            return range(start, self._n_buckets)
+        return range(start, start + self._group_size)
+
+    def insert(self, t: Tuple) -> int:
+        """Store ``t`` in its own source's bucket (Figure 3, Step 4)."""
+        bucket = self.bucket_of(t.key)
+        self._buckets[t.source][bucket].append(t)
+        self._summary.add(t.source, self.group_of_bucket(bucket))
+        return bucket
+
+    def probe(self, t: Tuple) -> tuple[list[Tuple], int]:
+        """Match ``t`` against the opposite source's bucket (Step 3).
+
+        Returns ``(matches, candidates_compared)`` — the second value
+        is the bucket population, which is what the probe CPU charge
+        is based on.
+        """
+        other = SOURCE_B if t.source == SOURCE_A else SOURCE_A
+        bucket = self._buckets[other][self.bucket_of(t.key)]
+        matches = [cand for cand in bucket if cand.key == t.key]
+        return matches, len(bucket)
+
+    def extract_group(self, source: str, group: int) -> list[Tuple]:
+        """Remove and return every tuple of ``source`` in ``group``.
+
+        Used by the flush path: the caller sorts the extracted tuples
+        and writes them as one disk block.
+        """
+        if source not in self._buckets:
+            raise ConfigurationError(f"unknown source {source!r}")
+        extracted: list[Tuple] = []
+        for bucket in self.buckets_in_group(group):
+            extracted.extend(self._buckets[source][bucket])
+            self._buckets[source][bucket] = []
+        if extracted:
+            self._summary.remove(source, group, len(extracted))
+        return extracted
+
+    def bucket_size(self, source: str, bucket: int) -> int:
+        """Population of one bucket."""
+        if source not in self._buckets:
+            raise ConfigurationError(f"unknown source {source!r}")
+        return len(self._buckets[source][bucket])
+
+    def bucket_contents(self, source: str, bucket: int) -> list[Tuple]:
+        """Copy of one bucket's tuples (XJoin's stage 2 snapshots these)."""
+        if source not in self._buckets:
+            raise ConfigurationError(f"unknown source {source!r}")
+        return list(self._buckets[source][bucket])
+
+    def largest_bucket(self) -> tuple[str, int]:
+        """The (source, bucket) pair with the most tuples.
+
+        XJoin's flushing policy: "the largest hash bucket among all A
+        and B buckets is flushed into disk".  Ties break to source A,
+        then to the lowest bucket index.
+        """
+        best_source, best_bucket, best_size = SOURCE_A, 0, -1
+        for source in (SOURCE_A, SOURCE_B):
+            for bucket, contents in enumerate(self._buckets[source]):
+                if len(contents) > best_size:
+                    best_source, best_bucket, best_size = source, bucket, len(contents)
+        return best_source, best_bucket
+
+    def total_tuples(self) -> int:
+        """All tuples currently held, both sources."""
+        return self._summary.total
+
+    def __repr__(self) -> str:
+        return (
+            f"DualHashTable(buckets={self._n_buckets}, groups={self._n_groups}, "
+            f"held={self.total_tuples()})"
+        )

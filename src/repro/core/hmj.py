@@ -1,0 +1,221 @@
+"""The Hash-Merge Join operator (Section 3).
+
+HMJ alternates between two phases:
+
+* **hashing** (Figure 3): arriving tuples probe the opposite source's
+  in-memory bucket and are stored in their own; when memory fills, the
+  flushing policy evicts same-hash bucket-group *pairs*, which are
+  sorted in memory and flushed synchronously — the two differences from
+  XJoin/DPHJ that Section 3.1 calls out;
+* **merging** (Figure 5): while both sources are blocked (and at end of
+  input), disk-resident block pairs are merged with fan-in ``f``,
+  emitting results during the merge and suppressing same-block-number
+  pairs (the duplicate avoidance of Figure 6).
+
+Correctness (Section 5's two theorems) is exercised exhaustively by
+the test suite against blocking oracle joins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.core.config import HMJConfig
+from repro.core.hashing import DualHashTable
+from repro.core.merging import MergeScheduler
+from repro.joins.base import StreamingJoinOperator
+from repro.sim.budget import WorkBudget
+from repro.storage.memory import MemoryPool
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+
+
+class HashMergeJoin(StreamingJoinOperator):
+    """The paper's non-blocking Hash-Merge Join."""
+
+    name = "HMJ"
+    PHASE_HASHING = "hashing"
+    PHASE_MERGING = "merging"
+
+    def __init__(self, config: HMJConfig) -> None:
+        super().__init__()
+        self.config = config
+        self._memory: MemoryPool | None = None
+        self._table: DualHashTable | None = None
+        self._scheduler: MergeScheduler | None = None
+        self.flush_count = 0
+        self.peak_imbalance = 0
+
+    def _setup(self) -> None:
+        cfg = self.config
+        self._memory = MemoryPool(cfg.memory_capacity)
+        self._table = DualHashTable(cfg.n_buckets, cfg.n_groups)
+        self._scheduler = MergeScheduler(
+            disk=self.disk,
+            clock=self.clock,
+            costs=self.costs,
+            partition_prefix="hmj",
+            fan_in=cfg.fan_in,
+            n_groups=cfg.n_groups,
+            journal=self.runtime.journal,
+        )
+        cfg.policy.prepare(cfg.memory_capacity, cfg.n_groups)
+
+    # -- convenience accessors (valid after bind) ------------------------
+
+    @property
+    def memory(self) -> MemoryPool:
+        """The operator's memory budget."""
+        assert self._memory is not None
+        return self._memory
+
+    @property
+    def table(self) -> DualHashTable:
+        """The in-memory dual hash table."""
+        assert self._table is not None
+        return self._table
+
+    @property
+    def scheduler(self) -> MergeScheduler:
+        """The merging-phase scheduler."""
+        assert self._scheduler is not None
+        return self._scheduler
+
+    # -- protocol ---------------------------------------------------------
+
+    def on_tuple(self, t: Tuple) -> None:
+        """Hashing phase, Figure 3: flush if needed, probe, store."""
+        self.charge_tuple()
+        while not self.memory.has_room(1):
+            self._flush_victims()
+        matches, candidates = self.table.probe(t)
+        self.charge_probe(candidates)
+        for match in matches:
+            self.emit(t, match, self.PHASE_HASHING)
+        self.table.insert(t)
+        self.memory.allocate(1)
+        imbalance = self.table.summary.imbalance()
+        if imbalance > self.peak_imbalance:
+            self.peak_imbalance = imbalance
+
+    def has_background_work(self) -> bool:
+        """Merging work exists while different-numbered block pairs remain."""
+        return self.scheduler.has_result_work()
+
+    def on_blocked(self, budget: WorkBudget) -> None:
+        """Both sources blocked: run the merging phase until one wakes."""
+        self.scheduler.work(budget, self._emit_merge)
+
+    def finish(self, budget: WorkBudget) -> None:
+        """End of input: flush the whole memory, then merge to completion."""
+        self.log_event("final-flush", resident=self.memory.used)
+        self._final_flush(budget)
+        if not budget.expired():
+            # All flushes are on disk; last-pass merges may now skip
+            # writing their output (see MergeScheduler.mark_input_ended).
+            self.scheduler.mark_input_ended()
+        self.scheduler.work(budget, self._emit_merge)
+        self.mark_finished()
+
+    # -- runtime memory adaptation ------------------------------------------
+
+    def resize_memory(self, new_capacity: int) -> None:
+        """Adapt to a changed memory grant while running.
+
+        Growing simply raises the budget.  Shrinking flushes victim
+        group pairs (through the configured policy, charging the usual
+        sort and I/O costs) until the resident set fits, then lowers
+        the budget and re-resolves the policy's auto thresholds for the
+        new ``M`` — correctness is unaffected either way (the flushed
+        pairs are merged like any other).
+        """
+        if new_capacity < 2:
+            raise SimulationError(
+                f"memory_capacity must be >= 2, got {new_capacity}"
+            )
+        while self.memory.used > new_capacity:
+            self._flush_victims()
+        self.memory.resize(new_capacity)
+        self.config.policy.prepare(new_capacity, self.config.n_groups)
+
+    def state_summary(self) -> dict:
+        """Introspection snapshot for dashboards and tests."""
+        return {
+            "memory_used": self.memory.used,
+            "memory_capacity": self.memory.capacity,
+            "memory_imbalance": self.table.summary.imbalance(),
+            "flush_count": self.flush_count,
+            "disk_blocks": [
+                len(self.scheduler.block_numbers(g))
+                for g in range(self.config.n_groups)
+            ],
+            "disk_tuples": sum(
+                self.scheduler.disk_tuples(g) for g in range(self.config.n_groups)
+            ),
+            "has_merge_work": self.scheduler.has_result_work(),
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit_merge(self, first: Tuple, second: Tuple) -> None:
+        self.emit(first, second, self.PHASE_MERGING)
+
+    def _flush_victims(self) -> None:
+        """Evict the policy's chosen bucket-group pair(s) to disk."""
+        victims = self.config.policy.select_victims(self.table.summary)
+        freed = 0
+        for group in victims:
+            freed += self._flush_group(group)
+        if freed == 0:
+            raise SimulationError(
+                "flushing policy selected victims but no memory was freed"
+            )
+        self.flush_count += 1
+        self.log_event("flush", victims=victims, freed=freed)
+
+    def _flush_group(self, group: int) -> int:
+        """Sort and synchronously flush one bucket-group pair.
+
+        Returns the number of memory slots freed (0 for an empty group,
+        which is skipped without touching the disk).
+        """
+        tuples_a = self.table.extract_group(SOURCE_A, group)
+        tuples_b = self.table.extract_group(SOURCE_B, group)
+        n = len(tuples_a) + len(tuples_b)
+        if n == 0:
+            return 0
+        self.charge_sort(len(tuples_a))
+        self.charge_sort(len(tuples_b))
+        tuples_a.sort(key=Tuple.sort_key)
+        tuples_b.sort(key=Tuple.sort_key)
+        self.scheduler.register_flush(group, tuples_a, tuples_b)
+        self.memory.release(n)
+        return n
+
+    def _final_flush(self, budget: WorkBudget) -> None:
+        """Flush all remaining in-memory groups at end of input.
+
+        Paper-faithful mode flushes everything; with
+        ``final_flush_all=False`` groups whose disk counterpart is
+        empty are skipped (their matches were all produced in memory).
+        When *nothing* was ever spilled the flush is skipped outright:
+        the merging phase could not produce a single result, so the
+        writes would be pure waste in either mode.
+        """
+        if self.flush_count == 0:
+            for group in self.table.summary.nonempty_groups():
+                n_a = len(self.table.extract_group(SOURCE_A, group))
+                n_b = len(self.table.extract_group(SOURCE_B, group))
+                self.memory.release(n_a + n_b)
+            return
+        for group in self.table.summary.nonempty_groups():
+            if budget.expired():
+                return
+            if not self.config.final_flush_all and not self.scheduler.block_numbers(
+                group
+            ):
+                # No disk blocks to merge against: every match involving
+                # this group's tuples was already emitted in memory.
+                n_a = len(self.table.extract_group(SOURCE_A, group))
+                n_b = len(self.table.extract_group(SOURCE_B, group))
+                self.memory.release(n_a + n_b)
+                continue
+            self._flush_group(group)

@@ -1,0 +1,372 @@
+"""The merging phase (Section 3.2, Figures 4-6).
+
+Disk layout: per logical bucket group, each source owns a partition of
+sorted blocks; the block flushed from A and the block flushed from B by
+the same eviction share one *block number* (they were fully joined in
+memory before flushing — the precondition of Theorem 2's Case 3).
+
+A merge pass picks the first ``f`` (the fan-in) block numbers of a
+group and merges all their A-blocks and all their B-blocks
+simultaneously, emitting join results *during* the merge (Figure 5,
+Step 3a) for every matching pair whose block numbers differ (Step 3b's
+duplicate avoidance, illustrated by Figure 6), and writing each side's
+merged output as a new block under a fresh shared number — so a later
+pass never re-joins pairs this pass (or memory) already produced.
+
+The whole machinery is built from interruptible generators: the engine
+can suspend a merge between any two tuples the moment a blocked source
+delivers again, which is how HMJ "transfers control back and forth
+between the hashing and merging phases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import DiskBlock, SimulatedDisk
+from repro.storage.runs import PagedRunWriter, SortedRun, key_merge_iterator
+from repro.storage.tuples import Tuple
+
+EmitFn = Callable[[Tuple, Tuple], None]
+
+
+class _NullRunWriter:
+    """Drop-in for :class:`PagedRunWriter` that discards final-pass output."""
+
+    __slots__ = ()
+
+    def append(self, t: Tuple) -> None:
+        """Discard the tuple (final-pass output is never read again)."""
+
+    def close(self) -> DiskBlock | None:
+        """Nothing was materialised."""
+        return None
+
+
+@dataclass(slots=True)
+class _GroupState:
+    """Disk-side state of one logical bucket group."""
+
+    partition_a: str
+    partition_b: str
+    # block number -> (A block or None, B block or None)
+    blocks: dict[int, tuple[DiskBlock | None, DiskBlock | None]] = field(
+        default_factory=dict
+    )
+    next_id: int = 0
+
+
+class MergeScheduler:
+    """Owns the disk-resident blocks and runs interruptible merge passes.
+
+    Shared by HMJ (``n_groups = h/p`` bucket groups) and PMJ (a single
+    group): both algorithms' merging phases are the same refinement of
+    sort-merge join, differing only in how many independent bucket
+    groups exist (the first difference called out at the end of
+    Section 3.2).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        clock: VirtualClock,
+        costs: CostModel,
+        partition_prefix: str,
+        fan_in: int,
+        n_groups: int,
+        journal=None,
+    ) -> None:
+        if fan_in < 2:
+            raise ConfigurationError(f"fan_in must be >= 2, got {fan_in}")
+        if n_groups < 1:
+            raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+        self._disk = disk
+        self._clock = clock
+        self._costs = costs
+        self._fan_in = fan_in
+        self._groups = [
+            _GroupState(
+                partition_a=f"{partition_prefix}/A/group{g}",
+                partition_b=f"{partition_prefix}/B/group{g}",
+            )
+            for g in range(n_groups)
+        ]
+        self._active: Iterator[None] | None = None
+        self._cursor = 0
+        self._input_ended = False
+        self._journal = journal
+        self._journal_actor = partition_prefix
+
+    @property
+    def n_groups(self) -> int:
+        """Number of independent bucket groups on disk."""
+        return len(self._groups)
+
+    @property
+    def fan_in(self) -> int:
+        """Blocks merged per pass (the paper's ``f``)."""
+        return self._fan_in
+
+    def mark_input_ended(self) -> None:
+        """Declare that no further flushes will arrive.
+
+        From this point a pass that consumes *all* of a group's
+        remaining blocks is final: its merged output would never be
+        read again, so writing it is skipped (a standard last-pass
+        optimisation of external merging — see DESIGN.md).  Before end
+        of input this is unsafe, because a later flush could add a new
+        block that still needs joining against the merged data.
+        """
+        self._input_ended = True
+
+    # -- flush side ------------------------------------------------------
+
+    def register_flush(
+        self,
+        group: int,
+        sorted_a: list[Tuple],
+        sorted_b: list[Tuple],
+    ) -> int:
+        """Write one synchronously flushed, pre-sorted block pair.
+
+        Either side may be empty (its bucket group held no tuples), but
+        not both.  Returns the shared block number.
+        """
+        gs = self._group(group)
+        if not sorted_a and not sorted_b:
+            raise SimulationError(f"flush of group {group} contained no tuples")
+        if self._input_ended:
+            raise SimulationError(
+                "register_flush after mark_input_ended would break the "
+                "final-pass optimisation; flush before marking input ended"
+            )
+        block_id = gs.next_id
+        gs.next_id += 1
+        block_a = (
+            self._disk.write_block(gs.partition_a, sorted_a, block_id, sorted_by_key=True)
+            if sorted_a
+            else None
+        )
+        block_b = (
+            self._disk.write_block(gs.partition_b, sorted_b, block_id, sorted_by_key=True)
+            if sorted_b
+            else None
+        )
+        gs.blocks[block_id] = (block_a, block_b)
+        return block_id
+
+    # -- inspection -------------------------------------------------------
+
+    def block_numbers(self, group: int) -> list[int]:
+        """Current block numbers of a group (excluding any in-flight pass)."""
+        return sorted(self._group(group).blocks.keys())
+
+    def disk_tuples(self, group: int) -> int:
+        """Tuples currently on disk for a group (excluding in-flight)."""
+        gs = self._group(group)
+        total = 0
+        for block_a, block_b in gs.blocks.values():
+            if block_a is not None:
+                total += len(block_a)
+            if block_b is not None:
+                total += len(block_b)
+        return total
+
+    def group_has_result_work(self, group: int) -> bool:
+        """Whether merging this group could still emit new results.
+
+        True iff some A-block and some B-block carry *different* block
+        numbers — same-numbered pairs were already joined in memory.
+        """
+        gs = self._group(group)
+        ids_a = {i for i, (a, _) in gs.blocks.items() if a is not None}
+        ids_b = {i for i, (_, b) in gs.blocks.items() if b is not None}
+        if not ids_a or not ids_b:
+            return False
+        return len(ids_a | ids_b) >= 2
+
+    def has_result_work(self) -> bool:
+        """Whether any group (or a suspended pass) can still emit results."""
+        if self._active is not None:
+            return True
+        return any(self.group_has_result_work(g) for g in range(len(self._groups)))
+
+    # -- merge side --------------------------------------------------------
+
+    def work(self, budget: WorkBudget, emit: EmitFn) -> None:
+        """Run merge passes until the budget expires or no work remains.
+
+        A suspended pass is resumed first; passes across groups are
+        scheduled round-robin so early results come from every bucket,
+        not just the first.
+        """
+        while not budget.expired():
+            if self._active is None:
+                group = self._next_group()
+                if group is None:
+                    return
+                self._active = self._merge_pass(group, emit)
+            if self._drain_active(budget):
+                self._active = None
+
+    def _drain_active(self, budget: WorkBudget) -> bool:
+        """Advance the in-flight pass; True when it completed."""
+        assert self._active is not None
+        while not budget.expired():
+            try:
+                next(self._active)
+            except StopIteration:
+                return True
+        return False
+
+    def _next_group(self) -> int | None:
+        n = len(self._groups)
+        for offset in range(n):
+            g = (self._cursor + offset) % n
+            if self.group_has_result_work(g):
+                self._cursor = (g + 1) % n
+                return g
+        return None
+
+    def _merge_pass(self, group: int, emit: EmitFn) -> Iterator[None]:
+        """One pass over a group: merge its first ``f`` block numbers.
+
+        Implemented as a generator yielding after every unit of work so
+        the engine can suspend it mid-pass.  Input blocks are reserved
+        (removed from the group's index) up front; the merged outputs
+        are registered under a fresh shared block number at the end.
+        """
+        gs = self._group(group)
+        ids = sorted(gs.blocks.keys())[: self._fan_in]
+        if len(ids) < 2:
+            raise SimulationError(
+                f"merge pass on group {group} needs >= 2 block numbers, got {ids}"
+            )
+        # Final pass: all remaining blocks fit in one pass and no new
+        # flush can arrive — the merged output would never be read, so
+        # skip writing it entirely.
+        final_pass = self._input_ended and len(ids) == len(gs.blocks)
+        selected = {i: gs.blocks.pop(i) for i in ids}
+        out_id = gs.next_id
+        gs.next_id += 1
+        if self._journal is not None:
+            self._journal.record(
+                self._journal_actor,
+                "merge-pass",
+                group=group,
+                blocks=ids,
+                out=out_id,
+                final=final_pass,
+            )
+
+        runs_a = [
+            SortedRun(block=blk, origin=i)
+            for i, (blk, _) in selected.items()
+            if blk is not None
+        ]
+        runs_b = [
+            SortedRun(block=blk, origin=i)
+            for i, (_, blk) in selected.items()
+            if blk is not None
+        ]
+        if final_pass:
+            writer_a: PagedRunWriter | _NullRunWriter = _NullRunWriter()
+            writer_b: PagedRunWriter | _NullRunWriter = _NullRunWriter()
+        else:
+            writer_a = PagedRunWriter(self._disk, gs.partition_a, out_id)
+            writer_b = PagedRunWriter(self._disk, gs.partition_b, out_id)
+        stream_a = key_merge_iterator(runs_a, self._disk)
+        stream_b = key_merge_iterator(runs_b, self._disk)
+
+        yield from _join_while_merging(
+            stream_a,
+            stream_b,
+            writer_a,
+            writer_b,
+            emit,
+            self._clock,
+            self._costs.cpu_compare_cost,
+        )
+
+        for i, (block_a, block_b) in selected.items():
+            if block_a is not None:
+                self._disk.drop_block(gs.partition_a, block_a)
+            if block_b is not None:
+                self._disk.drop_block(gs.partition_b, block_b)
+        merged_a = writer_a.close()
+        merged_b = writer_b.close()
+        if merged_a is not None or merged_b is not None:
+            gs.blocks[out_id] = (merged_a, merged_b)
+
+    def _group(self, group: int) -> _GroupState:
+        if not 0 <= group < len(self._groups):
+            raise ConfigurationError(
+                f"group {group} out of range [0, {len(self._groups)})"
+            )
+        return self._groups[group]
+
+
+def _join_while_merging(
+    stream_a: Iterator[tuple[Tuple, int]],
+    stream_b: Iterator[tuple[Tuple, int]],
+    writer_a: PagedRunWriter,
+    writer_b: PagedRunWriter,
+    emit: EmitFn,
+    clock: VirtualClock,
+    compare_cost: float,
+) -> Iterator[None]:
+    """Sort-merge join two origin-tagged streams while writing them out.
+
+    Every consumed tuple is appended to its side's output run; every
+    matching pair with *different* origins is emitted through ``emit``.
+    Yields after each unit of work (one consumed tuple or one candidate
+    pair) so the caller can suspend between any two units.
+    """
+    item_a = next(stream_a, None)
+    item_b = next(stream_b, None)
+    while item_a is not None and item_b is not None:
+        key_a = item_a[0].key
+        key_b = item_b[0].key
+        clock.advance(compare_cost)
+        if key_a < key_b:
+            writer_a.append(item_a[0])
+            item_a = next(stream_a, None)
+            yield
+        elif key_b < key_a:
+            writer_b.append(item_b[0])
+            item_b = next(stream_b, None)
+            yield
+        else:
+            # Equal keys: gather both sides' key groups, cross them.
+            group_a: list[tuple[Tuple, int]] = []
+            while item_a is not None and item_a[0].key == key_a:
+                group_a.append(item_a)
+                writer_a.append(item_a[0])
+                item_a = next(stream_a, None)
+                yield
+            group_b: list[tuple[Tuple, int]] = []
+            while item_b is not None and item_b[0].key == key_a:
+                group_b.append(item_b)
+                writer_b.append(item_b[0])
+                item_b = next(stream_b, None)
+                yield
+            for tuple_a, origin_a in group_a:
+                for tuple_b, origin_b in group_b:
+                    clock.advance(compare_cost)
+                    if origin_a != origin_b:
+                        emit(tuple_a, tuple_b)
+                    yield
+    # Drain whichever side remains (no more matches possible).
+    while item_a is not None:
+        writer_a.append(item_a[0])
+        item_a = next(stream_a, None)
+        yield
+    while item_b is not None:
+        writer_b.append(item_b[0])
+        item_b = next(stream_b, None)
+        yield

@@ -1,0 +1,133 @@
+"""The in-memory summary table of Section 4.
+
+"To speed up the process of selecting victim buckets, we maintain an
+in-memory summary table that keeps track of the number of tuples in
+each bucket pair for both sources, along with the total number of
+tuples."
+
+The table works at the granularity the flushing policy sees: the
+``g = h / p`` *bucket groups* of Section 3.3, each pairing the same
+hash range from source A and source B.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, MemoryBudgetError
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+
+
+class BucketSummaryTable:
+    """Per-group tuple counts for both sources, with running totals."""
+
+    __slots__ = ("_n_groups", "_counts_a", "_counts_b", "_total_a", "_total_b")
+
+    def __init__(self, n_groups: int) -> None:
+        if n_groups < 1:
+            raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+        self._n_groups = n_groups
+        self._counts_a = [0] * n_groups
+        self._counts_b = [0] * n_groups
+        self._total_a = 0
+        self._total_b = 0
+
+    @property
+    def n_groups(self) -> int:
+        """Number of bucket-group pairs the policy chooses among."""
+        return self._n_groups
+
+    @property
+    def total(self) -> int:
+        """All in-memory tuples across both sources."""
+        return self._total_a + self._total_b
+
+    @property
+    def total_a(self) -> int:
+        """In-memory tuples from source A."""
+        return self._total_a
+
+    @property
+    def total_b(self) -> int:
+        """In-memory tuples from source B."""
+        return self._total_b
+
+    def imbalance(self) -> int:
+        """``abs(|A| - |B|)`` in tuples — Section 4.1's balance measure."""
+        return abs(self._total_a - self._total_b)
+
+    def add(self, source: str, group: int, n: int = 1) -> None:
+        """Record ``n`` tuples entering ``group`` from ``source``."""
+        counts = self._counts_for(source)
+        self._check_group(group)
+        if n < 0:
+            raise ConfigurationError(f"add requires n >= 0, got {n}")
+        counts[group] += n
+        if source == SOURCE_A:
+            self._total_a += n
+        else:
+            self._total_b += n
+
+    def remove(self, source: str, group: int, n: int) -> None:
+        """Record ``n`` tuples leaving ``group`` (flushed to disk)."""
+        counts = self._counts_for(source)
+        self._check_group(group)
+        if n < 0:
+            raise ConfigurationError(f"remove requires n >= 0, got {n}")
+        if counts[group] < n:
+            raise MemoryBudgetError(
+                f"group {group} of source {source} holds {counts[group]} tuples; "
+                f"cannot remove {n}"
+            )
+        counts[group] -= n
+        if source == SOURCE_A:
+            self._total_a -= n
+        else:
+            self._total_b -= n
+
+    def size(self, source: str, group: int) -> int:
+        """Tuples of ``source`` currently in ``group``."""
+        counts = self._counts_for(source)
+        self._check_group(group)
+        return counts[group]
+
+    def pair_sizes(self, group: int) -> tuple[int, int]:
+        """``(|A_k|, |B_k|)`` for group ``k`` — one summary-table row."""
+        self._check_group(group)
+        return self._counts_a[group], self._counts_b[group]
+
+    def pair_total(self, group: int) -> int:
+        """``|A_k| + |B_k|`` for group ``k``."""
+        self._check_group(group)
+        return self._counts_a[group] + self._counts_b[group]
+
+    def nonempty_groups(self) -> list[int]:
+        """Groups holding at least one tuple (flushable victims)."""
+        return [
+            g
+            for g in range(self._n_groups)
+            if self._counts_a[g] + self._counts_b[g] > 0
+        ]
+
+    def rows(self) -> list[tuple[int, int, int]]:
+        """``(group, |A_k|, |B_k|)`` rows — the Figure 7 layout."""
+        return [
+            (g, self._counts_a[g], self._counts_b[g]) for g in range(self._n_groups)
+        ]
+
+    def _counts_for(self, source: str) -> list[int]:
+        if source == SOURCE_A:
+            return self._counts_a
+        if source == SOURCE_B:
+            return self._counts_b
+        raise ConfigurationError(f"unknown source {source!r}")
+
+    def _check_group(self, group: int) -> None:
+        if not 0 <= group < self._n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range [0, {self._n_groups})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BucketSummaryTable(groups={self._n_groups}, "
+            f"|A|={self._total_a}, |B|={self._total_b})"
+        )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the HMJ reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while still
+being able to discriminate the precise failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An operator, policy, or simulation was configured inconsistently.
+
+    Raised eagerly at construction time (never mid-run) so a bad
+    parameter combination fails before any work is done.
+    """
+
+
+class MemoryBudgetError(ReproError):
+    """The in-memory working set violated its configured budget.
+
+    This indicates a bug in an operator's accounting (operators must
+    flush before exceeding the budget), so it is an internal invariant
+    violation rather than a user error.
+    """
+
+
+class StorageError(ReproError):
+    """A disk partition or block was used inconsistently.
+
+    Examples: reading a block that was never written, or flushing an
+    empty victim pair.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    Examples: the virtual clock moving backwards, or an operator
+    emitting results after ``finish`` completed.
+    """
+
+
+class ProtocolError(ReproError):
+    """A streaming-join operator was driven out of protocol order.
+
+    The engine must call ``on_tuple`` / ``on_blocked`` / ``finish`` in a
+    legal order; violations raise this error rather than corrupting
+    operator state.
+    """

@@ -1,0 +1,163 @@
+"""The streaming-join operator protocol and shared runtime plumbing.
+
+The engine drives every non-blocking join through four calls:
+
+* ``on_tuple(t)`` — a tuple arrived from one source; process it fully
+  (probe, store, flush if memory is exhausted) and emit any matches.
+* ``has_background_work()`` — is there disk-resident (or deferred) work
+  that could produce results while both sources are blocked?
+* ``on_blocked(budget)`` — both sources are blocked (no arrival within
+  the threshold ``T`` of Section 6.3); do background work until the
+  budget's deadline, yielding promptly when it expires.
+* ``finish(budget)`` — both inputs ended; complete all remaining work.
+  The budget is normally unbounded but may carry an early-stop
+  condition when the experiment only needs the first k results.
+
+Every emission goes through :meth:`StreamingJoinOperator.emit`, which
+charges the per-result CPU cost and records the (time, io, phase)
+snapshot — so all operators are measured identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.storage.tuples import Tuple, make_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.recorder import MetricsRecorder
+    from repro.sim.budget import WorkBudget
+    from repro.sim.clock import VirtualClock
+    from repro.sim.costs import CostModel
+    from repro.sim.journal import SimulationJournal
+    from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(slots=True)
+class JoinRuntime:
+    """The shared simulation services an operator runs against."""
+
+    clock: VirtualClock
+    disk: SimulatedDisk
+    costs: CostModel
+    recorder: MetricsRecorder
+    #: Optional structural-event timeline (run_join(journal=True)).
+    journal: "SimulationJournal | None" = None
+
+
+class StreamingJoinOperator(abc.ABC):
+    """Base class for all non-blocking join operators.
+
+    Subclasses implement the four protocol hooks; the base class owns
+    the bind-before-use lifecycle and the uniform emission path.
+    """
+
+    #: Human-readable operator name, overridden by subclasses.
+    name = "streaming-join"
+
+    def __init__(self) -> None:
+        self._runtime: JoinRuntime | None = None
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self, runtime: JoinRuntime) -> None:
+        """Attach the operator to a simulation's runtime services.
+
+        Called exactly once by the engine before any tuple is fed.
+        """
+        if self._runtime is not None:
+            raise ProtocolError(f"{self.name} is already bound to a runtime")
+        self._runtime = runtime
+        self._setup()
+
+    def _setup(self) -> None:
+        """Hook for subclasses to build runtime-dependent state."""
+
+    @property
+    def runtime(self) -> JoinRuntime:
+        """The bound runtime (raises if the operator is unbound)."""
+        if self._runtime is None:
+            raise ProtocolError(
+                f"{self.name} must be bound to a JoinRuntime before use"
+            )
+        return self._runtime
+
+    @property
+    def clock(self) -> VirtualClock:
+        """Shared virtual clock."""
+        return self.runtime.clock
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """Shared simulated disk."""
+        return self.runtime.disk
+
+    @property
+    def costs(self) -> CostModel:
+        """Shared cost model."""
+        return self.runtime.costs
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """Shared metrics recorder."""
+        return self.runtime.recorder
+
+    @property
+    def finished(self) -> bool:
+        """Whether ``finish`` has completed."""
+        return self._finished
+
+    # -- protocol hooks ------------------------------------------------
+
+    @abc.abstractmethod
+    def on_tuple(self, t: Tuple) -> None:
+        """Process one arrived tuple, emitting any matches it produces."""
+
+    @abc.abstractmethod
+    def has_background_work(self) -> bool:
+        """Whether blocked-time work could currently produce results."""
+
+    @abc.abstractmethod
+    def on_blocked(self, budget: WorkBudget) -> None:
+        """Do background work while both sources are blocked."""
+
+    @abc.abstractmethod
+    def finish(self, budget: WorkBudget) -> None:
+        """Complete all remaining work after both inputs ended."""
+
+    # -- shared services ----------------------------------------------
+
+    def emit(self, first: Tuple, second: Tuple, phase: str) -> None:
+        """Emit one join result, charging CPU and recording metrics."""
+        if self._finished:
+            raise ProtocolError(f"{self.name} emitted a result after finish()")
+        runtime = self.runtime
+        runtime.clock.advance(runtime.costs.result_time(1))
+        runtime.recorder.record(make_result(first, second), phase)
+
+    def charge_probe(self, n_candidates: int) -> None:
+        """Charge the CPU cost of comparing against ``n_candidates``."""
+        if n_candidates:
+            self.clock.advance(self.costs.probe_time(n_candidates))
+
+    def charge_tuple(self) -> None:
+        """Charge the fixed per-tuple receive/hash/store cost."""
+        self.clock.advance(self.costs.cpu_tuple_cost)
+
+    def charge_sort(self, n_tuples: int) -> None:
+        """Charge an in-memory sort of ``n_tuples`` tuples."""
+        self.clock.advance(self.costs.sort_time(n_tuples))
+
+    def log_event(self, kind: str, **detail) -> None:
+        """Record a structural event if journaling is enabled (else free)."""
+        journal = self.runtime.journal
+        if journal is not None:
+            journal.record(self.name, kind, **detail)
+
+    def mark_finished(self) -> None:
+        """Record that ``finish`` completed (further emits are errors)."""
+        self._finished = True

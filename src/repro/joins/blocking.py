@@ -1,0 +1,95 @@
+"""Classical blocking joins, used as correctness oracles.
+
+These are the "traditional join algorithms" of the paper's opening
+paragraph [9, 16, 19]: they assume the whole input is available before
+producing anything, which makes them trivially correct references for
+Theorems 1 and 2 — every streaming operator's output multiset must
+equal theirs exactly.
+
+They operate directly on relations (no simulation runtime) and return
+A-oriented :class:`~repro.storage.tuples.JoinResult` lists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ConfigurationError
+from repro.storage.tuples import JoinResult, Relation, Tuple, make_result
+
+
+def hash_join(rel_a: Relation, rel_b: Relation) -> list[JoinResult]:
+    """Classic build/probe in-memory hash join (build on A)."""
+    table: dict[int, list[Tuple]] = defaultdict(list)
+    for t in rel_a:
+        table[t.key].append(t)
+    results: list[JoinResult] = []
+    for t in rel_b:
+        for match in table.get(t.key, ()):
+            results.append(make_result(match, t))
+    return results
+
+
+def nested_loop_join(rel_a: Relation, rel_b: Relation) -> list[JoinResult]:
+    """Naive O(n*m) nested loops — the simplest possible oracle."""
+    results: list[JoinResult] = []
+    for a in rel_a:
+        for b in rel_b:
+            if a.key == b.key:
+                results.append(make_result(a, b))
+    return results
+
+
+def sort_merge_join(rel_a: Relation, rel_b: Relation) -> list[JoinResult]:
+    """Classic sort-merge join with equal-key group handling."""
+    sorted_a = sorted(rel_a, key=Tuple.sort_key)
+    sorted_b = sorted(rel_b, key=Tuple.sort_key)
+    results: list[JoinResult] = []
+    i = j = 0
+    while i < len(sorted_a) and j < len(sorted_b):
+        ka, kb = sorted_a[i].key, sorted_b[j].key
+        if ka < kb:
+            i += 1
+        elif ka > kb:
+            j += 1
+        else:
+            # Gather the equal-key group on both sides, cross them.
+            i_end = i
+            while i_end < len(sorted_a) and sorted_a[i_end].key == ka:
+                i_end += 1
+            j_end = j
+            while j_end < len(sorted_b) and sorted_b[j_end].key == ka:
+                j_end += 1
+            for a in sorted_a[i:i_end]:
+                for b in sorted_b[j:j_end]:
+                    results.append(make_result(a, b))
+            i, j = i_end, j_end
+    return results
+
+
+def grace_hash_join(
+    rel_a: Relation, rel_b: Relation, n_partitions: int = 8
+) -> list[JoinResult]:
+    """GRACE-style partitioned hash join.
+
+    Partitions both inputs by ``key % n_partitions`` and hash-joins
+    each partition pair independently — the disk-based classic the
+    paper's hash-based lineage (Section 2) descends from.
+    """
+    if n_partitions < 1:
+        raise ConfigurationError(f"n_partitions must be >= 1, got {n_partitions}")
+    parts_a: list[list[Tuple]] = [[] for _ in range(n_partitions)]
+    parts_b: list[list[Tuple]] = [[] for _ in range(n_partitions)]
+    for t in rel_a:
+        parts_a[t.key % n_partitions].append(t)
+    for t in rel_b:
+        parts_b[t.key % n_partitions].append(t)
+    results: list[JoinResult] = []
+    for pa, pb in zip(parts_a, parts_b):
+        table: dict[int, list[Tuple]] = defaultdict(list)
+        for t in pa:
+            table[t.key].append(t)
+        for t in pb:
+            for match in table.get(t.key, ()):
+                results.append(make_result(match, t))
+    return results

@@ -1,0 +1,64 @@
+"""The Double Pipelined Hash Join of Ives et al. [13].
+
+Section 2 positions DPHJ as the other symmetric-hash descendant: its
+first stage is identical to XJoin's stage 1, but instead of XJoin's
+reactive stage it defers all disk work to a second stage at the end
+("pairs that are not joined together in the first phase are marked and
+are joined in disk").  The paper notes it "is suitable for moderate
+size data, but does not scale well for large data sizes" — with no
+blocked-time processing, all disk-resident matches wait for end of
+input, which the bursty-network benches make visible.
+
+Implemented as the XJoin machinery with the reactive stage disabled
+and a source-balancing flush victim (DPHJ flushes from whichever
+source currently holds more memory).
+"""
+
+from __future__ import annotations
+
+from repro.joins.xjoin import XJoin
+from repro.sim.budget import WorkBudget
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+
+
+class DoublePipelinedHashJoin(XJoin):
+    """Two-stage symmetric hash join with deferred disk cleanup."""
+
+    name = "DPHJ"
+    PHASE_STAGE1 = "stage1"
+    PHASE_STAGE3 = "stage2-disk"
+
+    def has_background_work(self) -> bool:
+        """DPHJ has no reactive stage: blocked time produces nothing."""
+        return False
+
+    def on_blocked(self, budget: WorkBudget) -> None:
+        """No-op — disk-resident pairs wait for the final stage."""
+
+    def _flush_largest_bucket(self) -> None:
+        """Flush the largest bucket of the *more loaded* source.
+
+        Keeps some balance between sources without the synchronised
+        pair flushing (or the sorting) that distinguishes HMJ.
+        """
+        summary = self.table.summary
+        source = SOURCE_A if summary.total_a >= summary.total_b else SOURCE_B
+        best_bucket, best_size = 0, -1
+        for bucket in range(self._n_buckets):
+            size = self.table.bucket_size(source, bucket)
+            if size > best_size:
+                best_bucket, best_size = bucket, size
+        if best_size <= 0:
+            # The loaded source has nothing? Fall back to global largest.
+            super()._flush_largest_bucket()
+            return
+        tuples = self.table.extract_group(source, best_bucket)
+        partition = self._partition_name(source, best_bucket)
+        block_id = len(self.disk.partition(partition).blocks)
+        self.disk.write_block(partition, tuples, block_id, sorted_by_key=False)
+        now = self.clock.now
+        for t in tuples:
+            self._dts[t.identity()] = now
+        self.memory.release(len(tuples))
+        self.flush_count += 1
+        self.log_event("flush", source=source, bucket=best_bucket, n=len(tuples))

@@ -1,0 +1,90 @@
+"""Terminal line plots for metric curves.
+
+The figure benches print tables; for eyeballing the *shapes* (the
+two-segment knees, the crossovers) an inline plot is far quicker.
+:func:`plot_series` renders one or more same-metric series as an ASCII
+chart — no plotting dependency, deterministic output, embeddable in
+bench reports and docs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.metrics.series import Series
+
+_MARKERS = "*+ox#@%&"
+
+
+def plot_series(
+    series_list: list[Series],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    The x axis is k (result index), the y axis the metric value.  Each
+    series gets the next marker from ``* + o x ...``; a legend line
+    maps markers to names.  Later series do not overwrite earlier
+    marks (first writer wins), so overlapping curves stay readable.
+    """
+    if not series_list:
+        raise ConfigurationError("need at least one series to plot")
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot must be at least 8x4 characters")
+    metric = series_list[0].metric
+    points_exist = False
+    for s in series_list:
+        if s.metric != metric:
+            raise ConfigurationError(
+                f"cannot plot mixed metrics {metric!r} and {s.metric!r}"
+            )
+        if s.points:
+            points_exist = True
+    if not points_exist:
+        raise ConfigurationError("all series are empty")
+
+    xs = [k for s in series_list for k, _ in s.points]
+    ys = [v for s in series_list for _, v in s.points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = max(x_max - x_min, 1)
+    y_span = y_max - y_min if y_max > y_min else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series_list):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for k, v in s.points:
+            col = round((k - x_min) / x_span * (width - 1))
+            row = height - 1 - round((v - y_min) / y_span * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    y_labels = [f"{y_max:.3g}", f"{(y_min + y_max) / 2:.3g}", f"{y_min:.3g}"]
+    label_width = max(len(label) for label in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        if row == 0:
+            label = y_labels[0]
+        elif row == height // 2:
+            label = y_labels[1]
+        elif row == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(grid[row]))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"k={x_min}"
+    x_right = f"k={x_max}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series_list)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

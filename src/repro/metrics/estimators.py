@@ -1,0 +1,167 @@
+"""Online estimators for streaming joins.
+
+Non-blocking joins exist partly to serve *online aggregation* (the
+paper's Section 1 cites Haas & Hellerstein's ripple joins [10, 14]):
+while results stream out, the system should keep a live estimate of
+how big the final answer will be and how far along the join is.  This
+module provides the classical estimators:
+
+* :class:`JoinSizeEstimator` — the ripple-join result-size estimate:
+  after seeing ``a`` tuples of A and ``b`` of B with ``m`` matches
+  among them, the unbiased estimate of the full join size is
+  ``m * (n_a * n_b) / (a * b)``;
+* :class:`SelectivityEstimator` — running match probability per
+  scanned pair;
+* :class:`ProgressEstimator` — completion fraction and a simple
+  remaining-time forecast from the observed production rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SelectivityEstimator:
+    """Running estimate of the pairwise match probability.
+
+    Feed it the number of candidate comparisons and matches of each
+    probe; ``selectivity`` is matches per compared pair so far.
+    """
+
+    __slots__ = ("_pairs", "_matches")
+
+    def __init__(self) -> None:
+        self._pairs = 0
+        self._matches = 0
+
+    def observe(self, pairs: int, matches: int) -> None:
+        """Record one probe: ``pairs`` candidates, ``matches`` hits."""
+        if pairs < 0 or matches < 0 or matches > pairs:
+            raise ConfigurationError(
+                f"invalid observation: pairs={pairs}, matches={matches}"
+            )
+        self._pairs += pairs
+        self._matches += matches
+
+    @property
+    def pairs(self) -> int:
+        """Total candidate pairs examined."""
+        return self._pairs
+
+    @property
+    def matches(self) -> int:
+        """Total matches among them."""
+        return self._matches
+
+    @property
+    def selectivity(self) -> float:
+        """Matches per examined pair (0.0 before any observation)."""
+        if self._pairs == 0:
+            return 0.0
+        return self._matches / self._pairs
+
+
+class JoinSizeEstimator:
+    """Ripple-style unbiased estimate of the final join cardinality.
+
+    Requires the (possibly estimated) full input sizes ``n_a`` and
+    ``n_b``.  While ``a`` of A and ``b`` of B have been seen and ``m``
+    matches exist *among the seen tuples*, the scale-up estimate is
+    ``m * (n_a / a) * (n_b / b)`` — each seen pair stands for
+    ``(n_a/a)*(n_b/b)`` population pairs.
+    """
+
+    __slots__ = ("n_a", "n_b", "_seen_a", "_seen_b", "_matches")
+
+    def __init__(self, n_a: int, n_b: int) -> None:
+        if n_a < 0 or n_b < 0:
+            raise ConfigurationError("input sizes must be >= 0")
+        self.n_a = n_a
+        self.n_b = n_b
+        self._seen_a = 0
+        self._seen_b = 0
+        self._matches = 0
+
+    def observe_tuple(self, source_is_a: bool, new_matches: int) -> None:
+        """Record one arrival and the matches it produced on arrival."""
+        if new_matches < 0:
+            raise ConfigurationError(f"new_matches must be >= 0, got {new_matches}")
+        if source_is_a:
+            self._seen_a += 1
+        else:
+            self._seen_b += 1
+        self._matches += new_matches
+
+    @property
+    def seen(self) -> tuple[int, int]:
+        """(tuples of A seen, tuples of B seen)."""
+        return self._seen_a, self._seen_b
+
+    @property
+    def matches_seen(self) -> int:
+        """Matches among the seen tuples."""
+        return self._matches
+
+    def estimate(self) -> float:
+        """Current estimate of |A join B| (0.0 until both sides seen)."""
+        if self._seen_a == 0 or self._seen_b == 0:
+            return 0.0
+        return self._matches * (self.n_a / self._seen_a) * (self.n_b / self._seen_b)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """A coarse large-sample half-width for the estimate.
+
+        Treats each seen pair as a Bernoulli draw with the observed
+        selectivity — the simplification behind ripple join's running
+        interval.  Returns 0.0 until both sides have been seen.
+        """
+        seen_pairs = self._seen_a * self._seen_b
+        if seen_pairs == 0:
+            return 0.0
+        p = self._matches / seen_pairs
+        variance = p * (1.0 - p) / seen_pairs
+        scale = self.n_a * self.n_b
+        return z * scale * variance**0.5
+
+
+class ProgressEstimator:
+    """Completion fraction and remaining-time forecast.
+
+    Combines a (live) join-size estimate with the produced count and
+    the production rate observed so far.
+    """
+
+    __slots__ = ("_produced", "_last_time")
+
+    def __init__(self) -> None:
+        self._produced = 0
+        self._last_time = 0.0
+
+    def observe_result(self, time: float) -> None:
+        """Record one produced result at virtual ``time``."""
+        if time < self._last_time:
+            raise ConfigurationError("result times must be non-decreasing")
+        self._produced += 1
+        self._last_time = time
+
+    @property
+    def produced(self) -> int:
+        """Results produced so far."""
+        return self._produced
+
+    def completion(self, estimated_total: float) -> float:
+        """Fraction complete against an estimated total, clamped to [0, 1]."""
+        if estimated_total <= 0:
+            return 0.0
+        return min(1.0, self._produced / estimated_total)
+
+    def remaining_time(self, estimated_total: float) -> float:
+        """Forecast seconds until done at the observed average rate.
+
+        Returns ``inf`` before any result exists (no rate to observe).
+        """
+        if self._produced == 0 or self._last_time == 0.0:
+            return float("inf")
+        rate = self._produced / self._last_time
+        remaining = max(0.0, estimated_total - self._produced)
+        return remaining / rate

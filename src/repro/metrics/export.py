@@ -1,0 +1,98 @@
+"""Exporting metrics: CSV for plotting tools, markdown for reports.
+
+The bench harness prints aligned text tables; downstream users usually
+want machine-readable series (gnuplot, pandas, spreadsheets).  These
+writers keep the exact column semantics of the recorder: one row per
+result event, or one row per sampled k for a set of series.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.series import Series
+
+
+def recorder_to_csv(recorder: MetricsRecorder, path: str | Path) -> int:
+    """Write every result event as ``k,time,io,phase``; returns row count."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["k", "time", "io", "phase"])
+        for event in recorder.events:
+            writer.writerow([event.k, f"{event.time:.9f}", event.io, event.phase])
+    return recorder.count
+
+
+def series_to_csv(series_list: Sequence[Series], path: str | Path) -> int:
+    """Write aligned series as ``k,<name>,<name>,...``; returns row count.
+
+    Series sampled on different k grids leave blank cells, matching
+    :func:`repro.metrics.report.format_comparison`.
+    """
+    if not series_list:
+        raise ConfigurationError("need at least one series to export")
+    metric = series_list[0].metric
+    for s in series_list:
+        if s.metric != metric:
+            raise ConfigurationError(
+                f"cannot export mixed metrics {metric!r} and {s.metric!r}"
+            )
+    all_ks = sorted({k for s in series_list for k in s.ks()})
+    lookups = [dict(s.points) for s in series_list]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["k"] + [s.name for s in series_list])
+        for k in all_ks:
+            row: list[object] = [k]
+            for table in lookups:
+                value = table.get(k)
+                row.append("" if value is None else f"{value:.9f}")
+            writer.writerow(row)
+    return len(all_ks)
+
+
+def load_series_csv(path: str | Path) -> dict[str, list[tuple[int, float]]]:
+    """Read back a file written by :func:`series_to_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigurationError(f"{path!s} is empty") from None
+        if not header or header[0] != "k":
+            raise ConfigurationError(f"{path!s} is not a series CSV")
+        names = header[1:]
+        out: dict[str, list[tuple[int, float]]] = {name: [] for name in names}
+        for row in reader:
+            k = int(row[0])
+            for name, cell in zip(names, row[1:]):
+                if cell != "":
+                    out[name].append((k, float(cell)))
+    return out
+
+
+def series_to_markdown(series_list: Sequence[Series], title: str = "") -> str:
+    """Render series as a GitHub-flavoured markdown table."""
+    if not series_list:
+        raise ConfigurationError("need at least one series to render")
+    all_ks = sorted({k for s in series_list for k in s.ks()})
+    lookups = [dict(s.points) for s in series_list]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    header = "| k | " + " | ".join(s.name for s in series_list) + " |"
+    rule = "|--:" * (len(series_list) + 1) + "|"
+    lines.append(header)
+    lines.append(rule)
+    for k in all_ks:
+        cells = []
+        for table in lookups:
+            value = table.get(k)
+            cells.append("" if value is None else f"{value:.3f}")
+        lines.append(f"| {k} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

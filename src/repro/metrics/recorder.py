@@ -1,0 +1,141 @@
+"""Per-result metric recording.
+
+Every join result emitted during a simulation is stamped with the
+current virtual time, the cumulative page-I/O count, and the phase that
+produced it ("hashing", "merging", XJoin's "stage1"/"stage2"/"stage3",
+PMJ's "sorting"/"merging", ...).  Those three columns are sufficient to
+regenerate every curve in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.storage.tuples import JoinResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import VirtualClock
+    from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(frozen=True, slots=True)
+class ResultEvent:
+    """One produced result with its measurement snapshot.
+
+    Attributes:
+        k: 1-based output sequence number.
+        time: Virtual time at emission.
+        io: Cumulative page I/Os (reads + writes) at emission.
+        phase: Operator phase that produced the result.
+    """
+
+    k: int
+    time: float
+    io: int
+    phase: str
+
+
+class MetricsRecorder:
+    """Accumulates :class:`ResultEvent` rows during a simulation run.
+
+    The recorder optionally retains the result tuples themselves
+    (``keep_results=True``, the default) so correctness checks can
+    compare the output multiset against an oracle; large benchmark runs
+    can disable retention to save memory while keeping all metrics.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        disk: SimulatedDisk,
+        keep_results: bool = True,
+    ) -> None:
+        self._clock = clock
+        self._disk = disk
+        self._keep_results = keep_results
+        self._events: list[ResultEvent] = []
+        self._results: list[JoinResult] = []
+        self._last_time = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total results recorded so far."""
+        return len(self._events)
+
+    @property
+    def events(self) -> list[ResultEvent]:
+        """All recorded events, in emission order."""
+        return list(self._events)
+
+    @property
+    def results(self) -> list[JoinResult]:
+        """Retained result tuples (empty when ``keep_results=False``)."""
+        return list(self._results)
+
+    def results_since(self, start: int) -> list[JoinResult]:
+        """Retained results from index ``start`` on (no full copy).
+
+        The pipeline executor polls this after every operator call to
+        propagate fresh results upward without re-copying the whole
+        history each time.
+        """
+        return self._results[start:]
+
+    def record(self, result: JoinResult, phase: str) -> ResultEvent:
+        """Record one emitted result under the producing ``phase``."""
+        now = self._clock.now
+        if now < self._last_time:
+            raise SimulationError(
+                f"result emitted at {now} before previous result at {self._last_time}"
+            )
+        self._last_time = now
+        event = ResultEvent(
+            k=len(self._events) + 1, time=now, io=self._disk.io_count, phase=phase
+        )
+        self._events.append(event)
+        if self._keep_results:
+            self._results.append(result)
+        return event
+
+    def record_batch(self, results: Iterable[JoinResult], phase: str) -> int:
+        """Record several results emitted at the current instant."""
+        n = 0
+        for result in results:
+            self.record(result, phase)
+            n += 1
+        return n
+
+    def time_to_kth(self, k: int) -> float:
+        """Virtual time at which the k-th result appeared."""
+        return self._event_at(k).time
+
+    def io_to_kth(self, k: int) -> int:
+        """Cumulative page I/Os when the k-th result appeared."""
+        return self._event_at(k).io
+
+    def total_time(self) -> float:
+        """Virtual time of the final result (0.0 if none were produced)."""
+        if not self._events:
+            return 0.0
+        return self._events[-1].time
+
+    def total_io(self) -> int:
+        """Cumulative page I/Os at the final result (live disk total if none)."""
+        if not self._events:
+            return self._disk.io_count
+        return self._events[-1].io
+
+    def count_in_phase(self, phase: str) -> int:
+        """Number of results the given phase produced."""
+        return sum(1 for e in self._events if e.phase == phase)
+
+    def _event_at(self, k: int) -> ResultEvent:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if k > len(self._events):
+            raise ConfigurationError(
+                f"only {len(self._events)} results recorded; k={k} unavailable"
+            )
+        return self._events[k - 1]

@@ -1,0 +1,72 @@
+"""Plain-text tables for the benchmark harness.
+
+Each figure-reproduction bench prints the same rows/series the paper
+plots; these helpers render them as aligned monospace tables so the
+output of ``pytest benchmarks/ --benchmark-only`` is directly readable
+next to the published figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.series import Series
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned monospace table with a rule under headers."""
+    if not headers:
+        raise ConfigurationError("table needs at least one header")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(series_list: Sequence[Series], title: str = "") -> str:
+    """Render several same-metric series side by side, one row per k.
+
+    Series may be sampled at different k grids; missing cells render
+    blank, mirroring curves of different lengths in the paper's plots.
+    """
+    if not series_list:
+        raise ConfigurationError("need at least one series to compare")
+    metric = series_list[0].metric
+    for s in series_list:
+        if s.metric != metric:
+            raise ConfigurationError(
+                f"cannot compare metrics {metric!r} and {s.metric!r} in one table"
+            )
+    all_ks = sorted({k for s in series_list for k in s.ks()})
+    lookup = [{k: v for k, v in s.points} for s in series_list]
+    headers = ["k"] + [f"{s.name} ({metric})" for s in series_list]
+    rows = []
+    for k in all_ks:
+        row: list[object] = [k]
+        for table in lookup:
+            row.append(table.get(k, ""))
+        rows.append(row)
+    body = format_table(headers, rows)
+    if title:
+        return f"{title}\n{body}"
+    return body
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

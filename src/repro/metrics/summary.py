@@ -1,0 +1,175 @@
+"""Run summaries: phase segments, throughput, and knee detection.
+
+The paper reads its curves structurally: "all policies result in a
+plotting with almost two segments.  The segment with higher slope
+indicates the join results that are produced in the hashing phase.
+The second segment with lower slope indicates the join results
+produced in the merging phase" (Section 6.1.2).  This module extracts
+that structure from a finished run:
+
+* :func:`phase_segments` — contiguous runs of same-phase results with
+  their spans and production rates;
+* :func:`detect_knee` — the k at which the production rate changes
+  the most (the hashing-to-merging transition of Figures 10/11/14);
+* :func:`summarise_run` — one :class:`RunSummary` per run, used by
+  reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import MetricsRecorder
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSegment:
+    """A maximal run of consecutive results from one phase.
+
+    Attributes:
+        phase: Producing phase label.
+        start_k: 1-based index of the first result in the segment.
+        end_k: 1-based index of the last result (inclusive).
+        start_time: Virtual time of the first result.
+        end_time: Virtual time of the last result.
+    """
+
+    phase: str
+    start_k: int
+    end_k: int
+    start_time: float
+    end_time: float
+
+    @property
+    def count(self) -> int:
+        """Results in the segment."""
+        return self.end_k - self.start_k + 1
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds spanned by the segment."""
+        return self.end_time - self.start_time
+
+    @property
+    def rate(self) -> float:
+        """Results per virtual second (inf for instantaneous bursts)."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.count / self.duration
+
+
+def phase_segments(recorder: MetricsRecorder) -> list[PhaseSegment]:
+    """Split the output stream into maximal same-phase segments."""
+    segments: list[PhaseSegment] = []
+    events = recorder.events
+    if not events:
+        return segments
+    start = 0
+    for i in range(1, len(events) + 1):
+        if i == len(events) or events[i].phase != events[start].phase:
+            segments.append(
+                PhaseSegment(
+                    phase=events[start].phase,
+                    start_k=events[start].k,
+                    end_k=events[i - 1].k,
+                    start_time=events[start].time,
+                    end_time=events[i - 1].time,
+                )
+            )
+            start = i
+    return segments
+
+
+def detect_knee(recorder: MetricsRecorder, window: int = 50) -> int | None:
+    """Find the k with the largest production-rate change.
+
+    Compares the average inter-result time in the ``window`` results
+    before and after each candidate k and returns the k maximising the
+    ratio — the figure's "two segments" transition.  Returns ``None``
+    when fewer than ``2 * window`` results exist.
+    """
+    if window < 2:
+        raise ConfigurationError(f"window must be >= 2, got {window}")
+    events = recorder.events
+    if len(events) < 2 * window:
+        return None
+    times = [e.time for e in events]
+    best_k: int | None = None
+    best_ratio = 1.0
+    for i in range(window, len(events) - window):
+        before = (times[i] - times[i - window]) / window
+        after = (times[i + window] - times[i]) / window
+        if before <= 0:
+            continue
+        ratio = max(after / before, before / after) if after > 0 else float("inf")
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_k = events[i].k
+    return best_k
+
+
+@dataclass(slots=True)
+class RunSummary:
+    """Headline numbers and structure of one finished run.
+
+    Attributes:
+        total_results: Results produced.
+        total_time: Virtual time of the last result.
+        total_io: Page I/Os at the last result.
+        first_result_time: Latency of the first result (None if none).
+        phase_totals: Results per phase.
+        segments: Maximal same-phase segments, in order.
+        knee_k: The two-segment transition point, when detectable.
+        mean_rate: Overall results per virtual second.
+    """
+
+    total_results: int
+    total_time: float
+    total_io: int
+    first_result_time: float | None
+    phase_totals: dict[str, int] = field(default_factory=dict)
+    segments: list[PhaseSegment] = field(default_factory=list)
+    knee_k: int | None = None
+    mean_rate: float = 0.0
+
+    def render(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"results      : {self.total_results}",
+            f"total time   : {self.total_time:.4f} s",
+            f"total I/O    : {self.total_io} pages",
+        ]
+        if self.first_result_time is not None:
+            lines.append(f"first result : {self.first_result_time:.4f} s")
+        if self.phase_totals:
+            split = ", ".join(
+                f"{phase}={count}" for phase, count in sorted(self.phase_totals.items())
+            )
+            lines.append(f"phase split  : {split}")
+        if self.knee_k is not None:
+            lines.append(f"segment knee : k = {self.knee_k}")
+        lines.append(f"mean rate    : {self.mean_rate:.1f} results/s")
+        lines.append(f"segments     : {len(self.segments)}")
+        return "\n".join(lines)
+
+
+def summarise_run(recorder: MetricsRecorder, knee_window: int = 50) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished run's recorder."""
+    events = recorder.events
+    phase_totals: dict[str, int] = {}
+    for event in events:
+        phase_totals[event.phase] = phase_totals.get(event.phase, 0) + 1
+    total_time = recorder.total_time()
+    return RunSummary(
+        total_results=recorder.count,
+        total_time=total_time,
+        total_io=recorder.total_io(),
+        first_result_time=events[0].time if events else None,
+        phase_totals=phase_totals,
+        segments=phase_segments(recorder),
+        knee_k=detect_knee(recorder, window=knee_window)
+        if recorder.count >= 2 * knee_window
+        else None,
+        mean_rate=recorder.count / total_time if total_time > 0 else 0.0,
+    )

@@ -1,0 +1,45 @@
+"""Network substrate: arrival processes and streaming sources.
+
+The paper's experiments distinguish *fast and reliable* networks
+(Section 6.2: steady arrivals, possibly with different rates per
+source) from *slow and bursty* networks (Section 6.3: Pareto-distributed
+interarrival times, with a source considered blocked when nothing
+arrives within a threshold ``T``).  This package provides exactly those
+arrival models plus Poisson and trace-driven variants, and the
+:class:`~repro.net.source.NetworkSource` that timestamps a relation's
+tuples accordingly.
+"""
+
+from repro.net.arrival import (
+    ArrivalProcess,
+    BurstyArrival,
+    ConstantRate,
+    ParetoArrival,
+    PoissonArrival,
+    TraceArrival,
+)
+from repro.net.source import NetworkSource
+from repro.net.traces import (
+    TraceStatistics,
+    inject_outages,
+    load_trace,
+    save_trace,
+    suggest_blocking_threshold,
+    trace_statistics,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrival",
+    "ConstantRate",
+    "NetworkSource",
+    "ParetoArrival",
+    "PoissonArrival",
+    "TraceArrival",
+    "TraceStatistics",
+    "inject_outages",
+    "load_trace",
+    "save_trace",
+    "suggest_blocking_threshold",
+    "trace_statistics",
+]

@@ -1,0 +1,178 @@
+"""Arrival processes: when does the next tuple reach the join?
+
+Every process produces a sequence of *interarrival gaps* (seconds of
+virtual time between consecutive tuples).  The paper's two network
+regimes map to:
+
+* fast and reliable (Section 6.2) — :class:`ConstantRate`, optionally
+  with different rates per source (Figure 12 uses a 5x rate skew);
+* slow and bursty (Section 6.3) — :class:`ParetoArrival`, the
+  heavy-tailed distribution the paper cites from Crovella et al. [5],
+  whose long silences are what trigger the blocking threshold ``T``.
+
+:class:`PoissonArrival`, :class:`BurstyArrival` (an ON/OFF model with
+Pareto silences) and :class:`TraceArrival` round out the substrate for
+experiments beyond the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates interarrival gaps for a source's tuples."""
+
+    @abc.abstractmethod
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` non-negative interarrival gaps (seconds)."""
+
+    def arrival_times(
+        self, n: int, rng: np.random.Generator, start: float = 0.0
+    ) -> np.ndarray:
+        """Absolute arrival instants for ``n`` tuples beginning at ``start``."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        return start + np.cumsum(self.gaps(n, rng))
+
+    @staticmethod
+    def _check_positive(name: str, value: float) -> None:
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+class ConstantRate(ArrivalProcess):
+    """Perfectly regular arrivals at ``rate`` tuples per second.
+
+    Models the paper's fast-and-reliable network: no gap ever exceeds a
+    sensible blocking threshold, so the sources never block.
+    """
+
+    def __init__(self, rate: float) -> None:
+        self._check_positive("rate", rate)
+        self.rate = float(rate)
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, 1.0 / self.rate)
+
+    def __repr__(self) -> str:
+        return f"ConstantRate(rate={self.rate})"
+
+
+class PoissonArrival(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``."""
+
+    def __init__(self, rate: float) -> None:
+        self._check_positive("rate", rate)
+        self.rate = float(rate)
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=1.0 / self.rate, size=n)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrival(rate={self.rate})"
+
+
+class ParetoArrival(ArrivalProcess):
+    """Heavy-tailed gaps: Pareto(shape) scaled to a target mean rate.
+
+    This is the slow-and-bursty model of Section 6.3.  ``shape`` must
+    exceed 1 so the mean gap is finite; smaller shapes give heavier
+    tails (longer blocked silences at the same average rate).
+
+    The gap is ``x_m * (1 + P)`` where ``P ~ numpy`` Pareto(shape), i.e.
+    a classical Pareto variate with minimum ``x_m`` chosen so that the
+    mean gap equals ``1/rate``:  ``x_m = (shape - 1) / (shape * rate)``.
+    """
+
+    def __init__(self, rate: float, shape: float = 1.5) -> None:
+        self._check_positive("rate", rate)
+        if shape <= 1.0:
+            raise ConfigurationError(
+                f"Pareto shape must be > 1 for a finite mean gap, got {shape!r}"
+            )
+        self.rate = float(rate)
+        self.shape = float(shape)
+        self.scale = (self.shape - 1.0) / (self.shape * self.rate)
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.scale * (1.0 + rng.pareto(self.shape, size=n))
+
+    def __repr__(self) -> str:
+        return f"ParetoArrival(rate={self.rate}, shape={self.shape})"
+
+
+class BurstyArrival(ArrivalProcess):
+    """ON/OFF bursts: fast back-to-back batches separated by Pareto silences.
+
+    During an ON period, ``burst_size`` tuples arrive with tiny
+    ``intra_gap`` spacing; OFF periods are Pareto-distributed with mean
+    ``mean_silence``.  This exaggerates the stepwise phase switching of
+    Figure 14 and is used by the burstiness ablation benches.
+    """
+
+    def __init__(
+        self,
+        burst_size: int,
+        intra_gap: float,
+        mean_silence: float,
+        shape: float = 1.5,
+    ) -> None:
+        if burst_size < 1:
+            raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
+        self._check_positive("intra_gap", intra_gap)
+        self._check_positive("mean_silence", mean_silence)
+        if shape <= 1.0:
+            raise ConfigurationError(
+                f"Pareto shape must be > 1 for a finite mean silence, got {shape!r}"
+            )
+        self.burst_size = int(burst_size)
+        self.intra_gap = float(intra_gap)
+        self.mean_silence = float(mean_silence)
+        self.shape = float(shape)
+        self._silence_scale = (shape - 1.0) / shape * mean_silence
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.full(n, self.intra_gap)
+        # The first tuple of each burst (except the very first tuple)
+        # waits out a heavy-tailed silence instead of the intra gap.
+        burst_starts = np.arange(self.burst_size, n, self.burst_size)
+        if burst_starts.size:
+            silences = self._silence_scale * (
+                1.0 + rng.pareto(self.shape, size=burst_starts.size)
+            )
+            out[burst_starts] = silences
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyArrival(burst_size={self.burst_size}, "
+            f"intra_gap={self.intra_gap}, mean_silence={self.mean_silence})"
+        )
+
+
+class TraceArrival(ArrivalProcess):
+    """Replay explicit interarrival gaps (reproducible network traces)."""
+
+    def __init__(self, gaps: Sequence[float]) -> None:
+        arr = np.asarray(list(gaps), dtype=float)
+        if arr.size and float(arr.min()) < 0:
+            raise ConfigurationError("trace gaps must be non-negative")
+        self._gaps = arr
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n > self._gaps.size:
+            raise ConfigurationError(
+                f"trace holds {self._gaps.size} gaps but {n} were requested"
+            )
+        return self._gaps[:n].copy()
+
+    def __repr__(self) -> str:
+        return f"TraceArrival(n={self._gaps.size})"

@@ -1,0 +1,95 @@
+"""Streaming network sources.
+
+A :class:`NetworkSource` binds a relation to an arrival process: each
+tuple gets an absolute virtual arrival time.  The engine *peeks* the
+next arrival to decide whether a source has gone silent long enough to
+count as blocked (Section 6.3's threshold ``T``) and *pops* tuples as
+the virtual clock reaches them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.arrival import ArrivalProcess
+from repro.storage.tuples import Relation, Tuple
+
+
+class NetworkSource:
+    """A relation arriving over a (possibly unreliable) network.
+
+    Arrival times are materialised up front from the process and a
+    seeded generator, so a given (relation, process, seed) triple always
+    produces the identical stream — the determinism every experiment in
+    this repository relies on.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        arrivals: ArrivalProcess,
+        seed: int | None = 0,
+        start: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start!r}")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self._relation = relation
+        self._times = arrivals.arrival_times(len(relation), rng, start=start)
+        self._index = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable source name (from the relation schema)."""
+        return self._relation.schema.name
+
+    @property
+    def source_label(self) -> str:
+        """The source tag ("A" or "B") carried by this stream's tuples."""
+        return self._relation.source
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    @property
+    def delivered(self) -> int:
+        """Tuples already popped."""
+        return self._index
+
+    @property
+    def remaining(self) -> int:
+        """Tuples not yet popped."""
+        return len(self._relation) - self._index
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every tuple has been delivered."""
+        return self._index >= len(self._relation)
+
+    def peek_time(self) -> float | None:
+        """Arrival time of the next tuple, or ``None`` when exhausted."""
+        if self.exhausted:
+            return None
+        return float(self._times[self._index])
+
+    def pop(self) -> tuple[float, Tuple]:
+        """Deliver the next (arrival_time, tuple) pair."""
+        if self.exhausted:
+            raise SimulationError(f"source {self.name!r} is exhausted")
+        t = self._relation[self._index]
+        time = float(self._times[self._index])
+        self._index += 1
+        return time, t
+
+    def arrival_schedule(self) -> np.ndarray:
+        """Copy of the full arrival-time vector (for tests and plots)."""
+        return self._times.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSource(name={self.name!r}, n={len(self)}, "
+            f"delivered={self._index})"
+        )

@@ -1,0 +1,183 @@
+"""Arrival-trace tooling: persistence, outage injection, statistics.
+
+Experiments beyond the synthetic arrival models need reproducible
+*traces*: exact interarrival-gap sequences that can be saved, shared,
+replayed (via :class:`~repro.net.arrival.TraceArrival`), and mutated.
+This module provides:
+
+* :func:`save_trace` / :func:`load_trace` — JSON persistence with a
+  small metadata envelope;
+* :func:`inject_outages` — overlay *correlated* network outages on one
+  or more traces, modelling a shared bottleneck link that silences
+  both sources simultaneously (the strongest trigger of the paper's
+  both-sources-blocked condition);
+* :func:`trace_statistics` — the burstiness numbers (rate, coefficient
+  of variation, silence census) used when calibrating the Figure 14
+  workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_FORMAT = "repro-arrival-trace"
+_VERSION = 1
+
+
+def save_trace(
+    path: str | Path,
+    gaps: Sequence[float],
+    description: str = "",
+) -> None:
+    """Persist interarrival gaps (seconds) as a small JSON document."""
+    arr = np.asarray(list(gaps), dtype=float)
+    if arr.size and float(arr.min()) < 0:
+        raise ConfigurationError("trace gaps must be non-negative")
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "description": description,
+        "n": int(arr.size),
+        "gaps": [float(g) for g in arr],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_trace(path: str | Path) -> list[float]:
+    """Load a trace saved by :func:`save_trace`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read trace {path!s}: {exc}") from exc
+    if document.get("format") != _FORMAT:
+        raise ConfigurationError(f"{path!s} is not a repro arrival trace")
+    if document.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {document.get('version')!r}"
+        )
+    gaps = document.get("gaps", [])
+    if len(gaps) != document.get("n"):
+        raise ConfigurationError(f"trace {path!s} is corrupt: length mismatch")
+    return [float(g) for g in gaps]
+
+
+def inject_outages(
+    gap_lists: Sequence[Sequence[float]],
+    outages: Sequence[tuple[float, float]],
+) -> list[list[float]]:
+    """Overlay shared network outages onto several traces at once.
+
+    Each outage is ``(start, duration)`` in absolute trace time.  Every
+    arrival that would land inside an outage window is delayed to the
+    window's end — for *all* traces, which is what makes the silence
+    correlated: a shared bottleneck link goes down and every source
+    behind it stalls together.
+
+    Returns new gap lists; the inputs are not modified.
+    """
+    for start, duration in outages:
+        if start < 0 or duration < 0:
+            raise ConfigurationError(
+                f"outage (start={start!r}, duration={duration!r}) must be non-negative"
+            )
+    windows = sorted(outages)
+    for (s1, d1), (s2, _) in zip(windows, windows[1:]):
+        if s1 + d1 > s2:
+            raise ConfigurationError("outage windows must not overlap")
+
+    out: list[list[float]] = []
+    for gaps in gap_lists:
+        times = np.cumsum(np.asarray(list(gaps), dtype=float))
+        adjusted = times.copy()
+        for start, duration in windows:
+            end = start + duration
+            inside = (adjusted >= start) & (adjusted < end)
+            # Arrivals during the outage queue on the shared link and
+            # are delivered in a burst when it comes back.
+            adjusted[inside] = end
+        adjusted = np.maximum.accumulate(adjusted)
+        new_gaps = np.diff(np.concatenate([[0.0], adjusted]))
+        out.append([float(g) for g in new_gaps])
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStatistics:
+    """Summary statistics of one arrival trace.
+
+    Attributes:
+        n: Number of arrivals.
+        span: Total trace duration (sum of gaps).
+        mean_rate: Arrivals per second over the span.
+        cov: Coefficient of variation of the gaps (1.0 for Poisson;
+            heavy-tailed traffic is far above 1).
+        max_gap: The longest silence.
+        blocked_windows: Gaps exceeding the given threshold ``T`` —
+            the paper's per-source blocking events.
+        blocked_fraction: Fraction of the span spent inside such gaps.
+    """
+
+    n: int
+    span: float
+    mean_rate: float
+    cov: float
+    max_gap: float
+    blocked_windows: int
+    blocked_fraction: float
+
+
+def suggest_blocking_threshold(
+    gaps: Sequence[float], quantile: float = 0.99, floor_factor: float = 3.0
+) -> float:
+    """Suggest the blocking threshold ``T`` for an observed trace.
+
+    The paper takes ``T`` as given; in practice it should separate
+    routine interarrival jitter from genuine silences.  The suggestion
+    is the given high quantile of the observed gaps, floored at
+    ``floor_factor`` times the mean gap so near-constant traffic does
+    not get a hair-trigger threshold.
+    """
+    if not 0 < quantile < 1:
+        raise ConfigurationError(f"quantile must be in (0, 1), got {quantile!r}")
+    if floor_factor <= 0:
+        raise ConfigurationError(
+            f"floor_factor must be > 0, got {floor_factor!r}"
+        )
+    arr = np.asarray(list(gaps), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot suggest a threshold from an empty trace")
+    return float(max(np.quantile(arr, quantile), floor_factor * arr.mean()))
+
+
+def trace_statistics(gaps: Sequence[float], blocking_threshold: float = 0.05) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a gap sequence."""
+    if blocking_threshold <= 0:
+        raise ConfigurationError(
+            f"blocking_threshold must be > 0, got {blocking_threshold!r}"
+        )
+    arr = np.asarray(list(gaps), dtype=float)
+    if arr.size == 0:
+        return TraceStatistics(
+            n=0, span=0.0, mean_rate=0.0, cov=0.0, max_gap=0.0,
+            blocked_windows=0, blocked_fraction=0.0,
+        )
+    span = float(arr.sum())
+    mean = float(arr.mean())
+    cov = float(arr.std() / mean) if mean > 0 else 0.0
+    blocked = arr[arr > blocking_threshold]
+    return TraceStatistics(
+        n=int(arr.size),
+        span=span,
+        mean_rate=arr.size / span if span > 0 else float("inf"),
+        cov=cov,
+        max_gap=float(arr.max()),
+        blocked_windows=int(blocked.size),
+        blocked_fraction=float(blocked.sum() / span) if span > 0 else 0.0,
+    )

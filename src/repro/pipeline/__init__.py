@@ -1,0 +1,48 @@
+"""Pipelined query plans: trees of non-blocking joins.
+
+The paper's opening motivation is that blocking joins break "fully
+pipelined query plans" [18]: in a plan like ``(A ⋈ B) ⋈ C`` a blocking
+operator starves everything above it.  This package executes such
+plans with the library's non-blocking operators: every join result
+produced anywhere in the tree flows *immediately* into its parent
+operator, and blocked network windows are shared round-robin between
+the tree's background (merging / reactive) phases.
+
+Build a plan from :func:`leaf` and :func:`join` and run it with
+:func:`run_plan`::
+
+    plan = join(
+        join(leaf(source_a), leaf(source_b), hmj_factory),
+        leaf(source_c),
+        hmj_factory,
+    )
+    result = run_plan(plan)
+"""
+
+from repro.pipeline.executor import PipelineResult, PlanExecutor, run_plan
+from repro.pipeline.plan import (
+    FilterNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    SourceLeaf,
+    join,
+    leaf,
+    select,
+    transform,
+)
+
+__all__ = [
+    "FilterNode",
+    "JoinNode",
+    "MapNode",
+    "PipelineResult",
+    "PlanExecutor",
+    "PlanNode",
+    "SourceLeaf",
+    "join",
+    "leaf",
+    "run_plan",
+    "select",
+    "transform",
+]

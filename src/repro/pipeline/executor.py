@@ -1,0 +1,362 @@
+"""Execution engine for pipelined multi-join plans.
+
+Generalises :class:`repro.sim.engine.JoinSimulation` from one join over
+two sources to a tree of joins over any number of leaves:
+
+* one shared virtual clock and cost model across the whole plan;
+* one disk and one recorder *per join node* (operators keep their
+  private spill partitions; per-node I/O remains attributable);
+* every result a node produces is wrapped as a side-labelled tuple and
+  pushed into its parent operator immediately — full pipelining;
+* when *every* leaf is silent past the blocking threshold, the gap is
+  shared round-robin between the nodes that have background work
+  (HMJ/PMJ merging, XJoin's reactive stage), in threshold-sized
+  slices, so one node's merge cannot starve the others;
+* at end of input the joins finish bottom-up, each node's final
+  results flowing into its parent before the parent's own cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.joins.base import JoinRuntime, StreamingJoinOperator
+from repro.metrics.recorder import MetricsRecorder
+from repro.pipeline.plan import (
+    FilterNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    SourceLeaf,
+    collect_leaves,
+    unwrap_transforms,
+    validate_plan,
+)
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.journal import SimulationJournal
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, JoinResult, Tuple
+
+
+@dataclass(slots=True)
+class _NodeState:
+    """Execution state of one join node."""
+
+    node: JoinNode
+    operator: StreamingJoinOperator
+    recorder: MetricsRecorder
+    disk: SimulatedDisk
+    # (parent join, side played, transform chain top-down) or None.
+    parent: tuple[JoinNode, str, list[PlanNode]] | None = None
+    consumed: int = 0
+    out_serial: int = 0
+
+
+@dataclass(slots=True)
+class NodeStats:
+    """Per-node summary exposed on the result."""
+
+    label: str
+    operator: str
+    results: int
+    io: int
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Outcome of one plan execution.
+
+    Attributes:
+        recorder: The root join's recorder (the plan's output stream).
+        clock: Final virtual clock.
+        node_stats: Per-join summaries, bottom-up.
+        completed: False when the run stopped early via ``stop_after``.
+    """
+
+    recorder: MetricsRecorder
+    clock: VirtualClock
+    node_stats: list[NodeStats] = field(default_factory=list)
+    completed: bool = True
+    journal: SimulationJournal | None = None
+
+    @property
+    def count(self) -> int:
+        """Results produced at the plan root."""
+        return self.recorder.count
+
+    @property
+    def results(self) -> list[JoinResult]:
+        """Retained root results."""
+        return self.recorder.results
+
+    @property
+    def total_io(self) -> int:
+        """Page I/Os summed over every node's disk."""
+        return sum(stat.io for stat in self.node_stats)
+
+
+class PlanExecutor:
+    """Drives one plan to completion (or to an early stop)."""
+
+    def __init__(
+        self,
+        root: PlanNode,
+        costs: CostModel | None = None,
+        blocking_threshold: float = 1.0,
+        keep_results: bool = True,
+        stop_after: int | None = None,
+        journal: bool = False,
+    ) -> None:
+        if blocking_threshold <= 0:
+            raise ConfigurationError(
+                f"blocking_threshold must be > 0, got {blocking_threshold!r}"
+            )
+        if stop_after is not None and stop_after < 1:
+            raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
+        self._costs = costs or CostModel()
+        self._threshold = float(blocking_threshold)
+        self._stop_after = stop_after
+        self.clock = VirtualClock()
+        self.journal = SimulationJournal(self.clock) if journal else None
+
+        self._joins = validate_plan(root)  # bottom-up order
+        self._root = root
+        self._states: dict[int, _NodeState] = {}
+        for node in self._joins:
+            is_root = node is root
+            disk = SimulatedDisk(self.clock, self._costs)
+            # Non-root nodes must retain results to feed their parents.
+            recorder = MetricsRecorder(
+                self.clock, disk, keep_results=keep_results or not is_root
+            )
+            operator = node.operator_factory()
+            operator.bind(
+                JoinRuntime(
+                    clock=self.clock,
+                    disk=disk,
+                    costs=self._costs,
+                    recorder=recorder,
+                    journal=self.journal,
+                )
+            )
+            self._states[id(node)] = _NodeState(
+                node=node, operator=operator, recorder=recorder, disk=disk
+            )
+        # Resolve each join child through any transform chain down to
+        # the leaf or join actually producing its tuples.
+        self._leaves: list[tuple[SourceLeaf, JoinNode, str, list[PlanNode]]] = []
+        for node in self._joins:
+            for child, side in ((node.left, SOURCE_A), (node.right, SOURCE_B)):
+                target, chain = unwrap_transforms(child)
+                if isinstance(target, JoinNode):
+                    self._states[id(target)].parent = (node, side, chain)
+                else:
+                    assert isinstance(target, SourceLeaf)
+                    self._leaves.append((target, node, side, chain))
+        assert len(self._leaves) == len(collect_leaves(root))
+
+        self._root_state = self._states[id(root)]
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Execute the plan."""
+        while True:
+            if self._stop_reached():
+                return self._result(completed=False)
+            pick = self._next_leaf()
+            if pick is None:
+                break
+            leaf, node, side, chain, arrival = pick
+            gap_end = arrival
+            blocked_from = self.clock.now + self._threshold
+            if gap_end > blocked_from and self._any_background_work():
+                self.clock.advance_to(blocked_from)
+                if self.journal is not None:
+                    self.journal.record(
+                        "engine", "blocked-window", until=round(gap_end, 6)
+                    )
+                self._blocked_window(gap_end)
+                if self._stop_reached():
+                    return self._result(completed=False)
+            self.clock.advance_to(arrival)
+            _, raw = leaf.source.pop()
+            wrapped = self._apply_chain(chain, self._wrap_leaf_tuple(raw, side), side)
+            if wrapped is not None:
+                self._deliver(node, wrapped)
+        self._finish_all()
+        return self._result(completed=not self._stop_reached())
+
+    # -- event loop internals -------------------------------------------------
+
+    def _next_leaf(
+        self,
+    ) -> tuple[SourceLeaf, JoinNode, str, list[PlanNode], float] | None:
+        best: tuple[SourceLeaf, JoinNode, str, list[PlanNode], float] | None = None
+        for leaf, node, side, chain in self._leaves:
+            t = leaf.source.peek_time()
+            if t is not None and (best is None or t < best[4]):
+                best = (leaf, node, side, chain, t)
+        return best
+
+    def _any_background_work(self) -> bool:
+        return any(
+            state.operator.has_background_work() for state in self._states.values()
+        )
+
+    def _blocked_window(self, gap_end: float) -> None:
+        """Share the silent window between nodes, round-robin slices."""
+        while self.clock.now < gap_end and not self._stop_reached():
+            active = [
+                state
+                for state in self._states.values()
+                if state.operator.has_background_work()
+            ]
+            if not active:
+                return
+            for state in active:
+                if self.clock.now >= gap_end or self._stop_reached():
+                    return
+                deadline = min(gap_end, self.clock.now + self._threshold)
+                state.operator.on_blocked(
+                    WorkBudget(
+                        clock=self.clock,
+                        deadline=deadline,
+                        stop_when=self._stop_reached,
+                    )
+                )
+                self._pump(state.node)
+
+    def _finish_all(self) -> None:
+        """Finish joins bottom-up, flowing final results into parents."""
+        for node in self._joins:
+            if self._stop_reached():
+                return
+            state = self._states[id(node)]
+            state.operator.finish(
+                WorkBudget.unbounded(self.clock, stop_when=self._stop_reached)
+            )
+            self._pump(node)
+
+    # -- result propagation ----------------------------------------------------
+
+    def _deliver(self, node: JoinNode, t: Tuple) -> None:
+        state = self._states[id(node)]
+        state.operator.on_tuple(t)
+        self._pump(node)
+
+    def _pump(self, node: JoinNode) -> None:
+        """Push any fresh results of ``node`` up the tree, cascading."""
+        current: JoinNode | None = node
+        while current is not None:
+            state = self._states[id(current)]
+            fresh = state.recorder.results_since(state.consumed)
+            state.consumed += len(fresh)
+            if not fresh or state.parent is None:
+                return
+            parent_node, side, chain = state.parent
+            parent_state = self._states[id(parent_node)]
+            for result in fresh:
+                wrapped = self._apply_chain(
+                    chain, self._wrap_result(result, side, state), side
+                )
+                if wrapped is not None:
+                    parent_state.operator.on_tuple(wrapped)
+            current = parent_node
+
+    def _apply_chain(
+        self, chain: list[PlanNode], t: Tuple, side: str
+    ) -> Tuple | None:
+        """Run a tuple up a transform chain; None means filtered out.
+
+        The chain is stored top-down; tuples flow bottom-up, so it is
+        applied in reverse.  Map results are re-normalised: the original
+        ``tid`` and side label are enforced, so user functions cannot
+        break identity uniqueness.
+        """
+        for node in reversed(chain):
+            self.clock.advance(self._costs.cpu_compare_cost)
+            if isinstance(node, FilterNode):
+                if not node.predicate(t):
+                    return None
+            else:
+                assert isinstance(node, MapNode)
+                mapped = node.fn(t)
+                if not isinstance(mapped, Tuple):
+                    raise ConfigurationError(
+                        f"map node {node.label!r} must return a Tuple, "
+                        f"got {type(mapped)!r}"
+                    )
+                t = Tuple(key=mapped.key, tid=t.tid, source=side, payload=mapped.payload)
+        return t
+
+    def _wrap_leaf_tuple(self, t: Tuple, side: str) -> Tuple:
+        """Relabel a leaf tuple to the side it plays for its join."""
+        if t.source == side:
+            return t
+        return Tuple(key=t.key, tid=t.tid, source=side, payload=t.payload)
+
+    def _wrap_result(self, result: JoinResult, side: str, state: _NodeState) -> Tuple:
+        """Turn a child's result into a tuple for the parent join.
+
+        The payload carries the full result, so lineage is recoverable
+        at the plan root by unwrapping payloads.
+        """
+        key_fn = state.node.output_key
+        key = result.key if key_fn is None else key_fn(result)
+        tid = state.out_serial
+        state.out_serial += 1
+        return Tuple(key=key, tid=tid, source=side, payload=result)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _stop_reached(self) -> bool:
+        return (
+            self._stop_after is not None
+            and self._root_state.recorder.count >= self._stop_after
+        )
+
+    def _result(self, completed: bool) -> PipelineResult:
+        stats = [
+            NodeStats(
+                label=self._states[id(node)].node.label,
+                operator=self._states[id(node)].operator.name,
+                results=self._states[id(node)].recorder.count,
+                io=self._states[id(node)].disk.io_count,
+            )
+            for node in self._joins
+        ]
+        return PipelineResult(
+            recorder=self._root_state.recorder,
+            clock=self.clock,
+            node_stats=stats,
+            completed=completed,
+            journal=self.journal,
+        )
+
+
+def run_plan(
+    root: PlanNode,
+    costs: CostModel | None = None,
+    blocking_threshold: float = 1.0,
+    keep_results: bool = True,
+    stop_after: int | None = None,
+    journal: bool = False,
+) -> PipelineResult:
+    """Execute a plan tree and return the root's output metrics.
+
+    With ``journal=True`` all nodes share one structural-event
+    timeline (each entry's ``actor`` tells the nodes apart).
+    """
+    executor = PlanExecutor(
+        root,
+        costs=costs,
+        blocking_threshold=blocking_threshold,
+        keep_results=keep_results,
+        stop_after=stop_after,
+        journal=journal,
+    )
+    return executor.run()

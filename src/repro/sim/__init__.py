@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a deterministic substitute for the paper's
+wall-clock measurements: a :class:`~repro.sim.clock.VirtualClock`
+advanced by a :class:`~repro.sim.costs.CostModel`, and an
+:func:`~repro.sim.engine.run_join` event loop that feeds two
+:class:`~repro.net.source.NetworkSource` streams into a streaming join
+operator, detecting source blocking exactly as Section 6.3 of the paper
+defines it (no arrival within a threshold ``T``).
+
+The engine symbols (:func:`run_join`, :class:`JoinSimulation`,
+:class:`SimulationResult`) are loaded lazily: the engine imports the
+operator protocol, which imports back into the storage and metrics
+packages, so an eager import here would create a cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.journal import JournalEntry, SimulationJournal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import JoinSimulation, SimulationResult, run_join, stream_join
+
+__all__ = [
+    "CostModel",
+    "JournalEntry",
+    "JoinSimulation",
+    "SimulationJournal",
+    "SimulationResult",
+    "VirtualClock",
+    "WorkBudget",
+    "run_join",
+    "stream_join",
+]
+
+_ENGINE_EXPORTS = {"JoinSimulation", "SimulationResult", "run_join", "stream_join"}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.sim import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

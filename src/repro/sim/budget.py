@@ -1,0 +1,61 @@
+"""Work budget handed to operators during blocked periods.
+
+When both sources are blocked, the engine lets the operator do
+background work (HMJ's merging phase, XJoin's reactive stage) *until the
+next tuple arrives*.  A :class:`WorkBudget` carries that deadline so the
+operator can check, before each bounded work step, whether it still has
+time — modelling the paper's requirement that the merging phase yields
+control back to the hashing phase as soon as a source unblocks.
+
+A budget may also carry an early-stop predicate: experiments that only
+care about the first k results (the paper's Figure 13 measures the
+first 1000) stop the run as soon as the predicate fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import VirtualClock
+
+
+@dataclass(slots=True)
+class WorkBudget:
+    """A deadline-bounded permission to perform background work.
+
+    Attributes:
+        clock: The shared virtual clock work is charged against.
+        deadline: Absolute virtual time at which the operator must
+            yield control back to the engine.  ``None`` means no time
+            bound (used during the final cleanup after both inputs end).
+        stop_when: Optional predicate; once it returns True the budget
+            counts as expired regardless of the deadline.  The engine
+            wires this to "enough results produced" for early-stop runs.
+    """
+
+    clock: VirtualClock
+    deadline: float | None = None
+    stop_when: Callable[[], bool] | None = None
+
+    def expired(self) -> bool:
+        """True once the deadline passed or the stop predicate fired."""
+        if self.stop_when is not None and self.stop_when():
+            return True
+        if self.deadline is None:
+            return False
+        return self.clock.now >= self.deadline
+
+    def remaining(self) -> float:
+        """Seconds of budget left (``inf`` when unbounded)."""
+        if self.deadline is None:
+            return float("inf")
+        return max(0.0, self.deadline - self.clock.now)
+
+    @classmethod
+    def unbounded(
+        cls, clock: VirtualClock, stop_when: Callable[[], bool] | None = None
+    ) -> "WorkBudget":
+        """A budget with no deadline, for end-of-input cleanup."""
+        return cls(clock=clock, deadline=None, stop_when=stop_when)

@@ -1,0 +1,296 @@
+"""The arrival/processing event loop.
+
+:func:`run_join` reproduces the measurement setup of the paper's
+Section 6: two sources deliver tuples at virtual instants drawn from
+their arrival processes; the operator processes each tuple (charging
+CPU and any flush I/O to the shared clock); and whenever *both* sources
+go silent for longer than the blocking threshold ``T``, the operator is
+given the gap for background work (HMJ's and PMJ's merging, XJoin's
+reactive stage).  After both inputs end, ``finish`` runs the cleanup
+phase to completion.
+
+The loop is a single-server queue: if tuples arrive faster than the
+operator can process them, the clock is driven by processing time; if
+the network is the bottleneck, the clock synchronises to arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.joins.base import JoinRuntime, StreamingJoinOperator
+from repro.metrics.recorder import MetricsRecorder
+from repro.net.source import NetworkSource
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.journal import SimulationJournal
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything a finished (or early-stopped) run exposes.
+
+    Attributes:
+        recorder: Per-result metrics (and retained results, if kept).
+        clock: The final virtual clock.
+        disk: The disk with its cumulative I/O counters.
+        operator: The operator, with whatever state it retains.
+        completed: False when the run stopped early via ``stop_after``.
+    """
+
+    recorder: MetricsRecorder
+    clock: VirtualClock
+    disk: SimulatedDisk
+    operator: StreamingJoinOperator
+    completed: bool
+    journal: SimulationJournal | None = None
+
+    @property
+    def results(self):
+        """Retained join results (empty if ``keep_results`` was False)."""
+        return self.recorder.results
+
+    @property
+    def count(self) -> int:
+        """Number of results produced."""
+        return self.recorder.count
+
+
+class JoinSimulation:
+    """A configured, steppable join simulation.
+
+    Most callers should use :func:`run_join`; this class exists for
+    tests and examples that want to inspect state mid-run.
+    """
+
+    def __init__(
+        self,
+        source_a: NetworkSource,
+        source_b: NetworkSource,
+        operator: StreamingJoinOperator,
+        costs: CostModel | None = None,
+        blocking_threshold: float = 1.0,
+        keep_results: bool = True,
+        stop_after: int | None = None,
+        spill_dir: str | None = None,
+        journal: bool = False,
+    ) -> None:
+        if blocking_threshold <= 0:
+            raise ConfigurationError(
+                f"blocking_threshold must be > 0, got {blocking_threshold!r}"
+            )
+        if stop_after is not None and stop_after < 1:
+            raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
+        self._sources = (source_a, source_b)
+        self._operator = operator
+        self._costs = costs or CostModel()
+        self._threshold = float(blocking_threshold)
+        self._stop_after = stop_after
+        self._keep_results = keep_results
+
+        self.clock = VirtualClock()
+        if spill_dir is None:
+            self.disk = SimulatedDisk(self.clock, self._costs)
+        else:
+            # Imported lazily: the file-backed disk is optional and
+            # pulls in the serialization machinery.
+            from repro.storage.filedisk import FileBackedDisk
+
+            self.disk = FileBackedDisk(self.clock, self._costs, spill_dir)
+        self.recorder = MetricsRecorder(self.clock, self.disk, keep_results=keep_results)
+        self.journal = SimulationJournal(self.clock) if journal else None
+        operator.bind(
+            JoinRuntime(
+                clock=self.clock,
+                disk=self.disk,
+                costs=self._costs,
+                recorder=self.recorder,
+                journal=self.journal,
+            )
+        )
+
+    def _stop_reached(self) -> bool:
+        return self._stop_after is not None and self.recorder.count >= self._stop_after
+
+    def _next_source(self) -> NetworkSource | None:
+        """The source with the earliest pending arrival, or None."""
+        best: NetworkSource | None = None
+        best_time = float("inf")
+        for src in self._sources:
+            t = src.peek_time()
+            if t is not None and t < best_time:
+                best, best_time = src, t
+        return best
+
+    def _advance_once(self) -> bool:
+        """Process one arrival (with any preceding blocked window).
+
+        Returns False once both sources are exhausted or the early
+        stop fired; True while there is more streaming input to drive.
+        """
+        operator = self._operator
+        if self._stop_reached():
+            return False
+        src = self._next_source()
+        if src is None:
+            return False
+        next_arrival = src.peek_time()
+        assert next_arrival is not None
+        gap_end = next_arrival
+        blocked_from = self.clock.now + self._threshold
+        if gap_end > blocked_from and operator.has_background_work():
+            # Both sources are silent past the threshold: the operator
+            # gets the rest of the gap for background work.
+            self.clock.advance_to(blocked_from)
+            if self.journal is not None:
+                self.journal.record(
+                    "engine", "blocked-window", until=round(gap_end, 6)
+                )
+            budget = WorkBudget(
+                clock=self.clock, deadline=gap_end, stop_when=self._stop_reached
+            )
+            operator.on_blocked(budget)
+            if self._stop_reached():
+                return False
+        self.clock.advance_to(next_arrival)
+        _, t = src.pop()
+        operator.on_tuple(t)
+        return True
+
+    def _finish(self) -> None:
+        if self.journal is not None:
+            self.journal.record("engine", "finish")
+        budget = WorkBudget.unbounded(self.clock, stop_when=self._stop_reached)
+        self._operator.finish(budget)
+
+    def run(self) -> SimulationResult:
+        """Drive the simulation to completion (or to the early stop)."""
+        while self._advance_once():
+            pass
+        if self._stop_reached():
+            return self._result(completed=False)
+        self._finish()
+        return self._result(completed=not self._stop_reached())
+
+    def stream(self):
+        """Drive the simulation, yielding results as they are produced.
+
+        Yields ``(JoinResult, ResultEvent)`` pairs.  While the sources
+        stream, results surface with single-arrival granularity; the
+        cleanup phase's results are yielded together after it completes
+        (operators finish in one protocol call).  Requires
+        ``keep_results=True``.
+        """
+        if not self._keep_results:
+            raise ConfigurationError(
+                "stream() requires keep_results=True on this simulation"
+            )
+        emitted = 0
+
+        def drain():
+            nonlocal emitted
+            fresh = self.recorder.results_since(emitted)
+            events = self.recorder.events[emitted : emitted + len(fresh)]
+            emitted += len(fresh)
+            yield from zip(fresh, events)
+
+        while self._advance_once():
+            yield from drain()
+        yield from drain()
+        if not self._stop_reached():
+            self._finish()
+            yield from drain()
+
+    def _result(self, completed: bool) -> SimulationResult:
+        return SimulationResult(
+            recorder=self.recorder,
+            clock=self.clock,
+            disk=self.disk,
+            operator=self._operator,
+            completed=completed,
+            journal=self.journal,
+        )
+
+
+def run_join(
+    source_a: NetworkSource,
+    source_b: NetworkSource,
+    operator: StreamingJoinOperator,
+    costs: CostModel | None = None,
+    blocking_threshold: float = 1.0,
+    keep_results: bool = True,
+    stop_after: int | None = None,
+    spill_dir: str | None = None,
+    journal: bool = False,
+) -> SimulationResult:
+    """Run a two-source streaming join to completion.
+
+    Args:
+        source_a: Source delivering relation A.
+        source_b: Source delivering relation B.
+        operator: An unbound streaming join operator.
+        costs: Cost model (defaults to :class:`CostModel` defaults).
+        blocking_threshold: Section 6.3's ``T`` — a source is blocked
+            when no tuple arrives within this many virtual seconds.
+        keep_results: Retain result tuples for correctness checks.
+        stop_after: Optionally stop once this many results exist (the
+            paper's "first k results" measurements).
+        spill_dir: When given, spilled blocks are persisted as real
+            binary files under this directory (a
+            :class:`~repro.storage.filedisk.FileBackedDisk`) and reads
+            round-trip through them; I/O accounting is unchanged.
+        journal: Record a structural-event timeline (flushes, blocked
+            windows, merge passes) on ``result.journal``.
+
+    Returns:
+        A :class:`SimulationResult` with the recorder, clock, and disk.
+    """
+    sim = JoinSimulation(
+        source_a,
+        source_b,
+        operator,
+        costs=costs,
+        blocking_threshold=blocking_threshold,
+        keep_results=keep_results,
+        stop_after=stop_after,
+        spill_dir=spill_dir,
+        journal=journal,
+    )
+    return sim.run()
+
+
+def stream_join(
+    source_a: NetworkSource,
+    source_b: NetworkSource,
+    operator: StreamingJoinOperator,
+    costs: CostModel | None = None,
+    blocking_threshold: float = 1.0,
+    stop_after: int | None = None,
+    spill_dir: str | None = None,
+):
+    """Iterate a streaming join's results as they are produced.
+
+    The generator-of-results counterpart of :func:`run_join` — what a
+    pipelined consumer (or an impatient user) actually sees::
+
+        for result, event in stream_join(src_a, src_b, operator):
+            print(f"match {result.key} after {event.time:.3f}s")
+            if event.k >= 10:
+                break   # early consumers can just stop iterating
+
+    Yields ``(JoinResult, ResultEvent)`` pairs in production order.
+    """
+    sim = JoinSimulation(
+        source_a,
+        source_b,
+        operator,
+        costs=costs,
+        blocking_threshold=blocking_threshold,
+        keep_results=True,
+        stop_after=stop_after,
+        spill_dir=spill_dir,
+    )
+    return sim.stream()

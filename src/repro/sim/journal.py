@@ -1,0 +1,90 @@
+"""Simulation journal: a timeline of structural events.
+
+The metrics recorder captures *results*; the journal captures the
+*mechanics* behind them — flushes, blocked windows, merge passes,
+phase switches — each stamped with the virtual time.  It exists for
+debugging, teaching (the paper's "HMJ switches back and forth between
+the two phases" becomes a visible timeline), and assertions in tests.
+
+Journaling is opt-in (``run_join(..., journal=True)``) and free when
+off: operators guard every entry behind a ``None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.clock import VirtualClock
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """One structural event.
+
+    Attributes:
+        time: Virtual time of the event.
+        actor: Who recorded it ("engine" or an operator name).
+        kind: Event kind (``flush``, ``blocked-window``, ``merge-pass``,
+            ``sort-flush``, ``stage2-pass``, ``finish``, ...).
+        detail: Free-form key/value payload.
+    """
+
+    time: float
+    actor: str
+    kind: str
+    detail: dict
+
+    def render(self) -> str:
+        info = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.4f}s] {self.actor:<8} {self.kind:<14} {info}"
+
+
+class SimulationJournal:
+    """Append-only, size-bounded event timeline."""
+
+    def __init__(self, clock: "VirtualClock", max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self._clock = clock
+        self._max = max_entries
+        self._entries: list[JournalEntry] = []
+        self._dropped = 0
+
+    def record(self, actor: str, kind: str, **detail) -> None:
+        """Append one event at the current virtual time."""
+        if len(self._entries) >= self._max:
+            self._dropped += 1
+            return
+        self._entries.append(
+            JournalEntry(time=self._clock.now, actor=actor, kind=kind, detail=detail)
+        )
+
+    @property
+    def entries(self) -> list[JournalEntry]:
+        """All recorded events, in order."""
+        return list(self._entries)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded after the bound was hit."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def of_kind(self, kind: str) -> list[JournalEntry]:
+        """Events of one kind."""
+        return [e for e in self._entries if e.kind == kind]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable timeline (optionally the first ``limit`` rows)."""
+        rows = self._entries if limit is None else self._entries[:limit]
+        lines = [entry.render() for entry in rows]
+        hidden = len(self._entries) - len(rows) + self._dropped
+        if hidden > 0:
+            lines.append(f"... ({hidden} more events)")
+        return "\n".join(lines)

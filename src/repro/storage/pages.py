@@ -1,0 +1,53 @@
+"""Page arithmetic helpers.
+
+Disk I/O is charged per page of ``page_size`` tuples.  These helpers
+centralise the ceiling-division and chunking logic so the simulated
+disk, the merge machinery, and the benches all count pages identically
+— the paper's Figures 9b, 10b, 11b, and 14b are pure page counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def pages_needed(n_tuples: int, page_size: int) -> int:
+    """Pages required to store ``n_tuples`` tuples, one final partial page.
+
+    A zero-tuple write occupies zero pages; the disk layer rejects
+    empty writes before this is ever relevant.
+    """
+    if page_size < 1:
+        raise ConfigurationError(f"page_size must be >= 1, got {page_size}")
+    if n_tuples < 0:
+        raise ConfigurationError(f"n_tuples must be >= 0, got {n_tuples}")
+    return -(-n_tuples // page_size)
+
+
+def split_into_pages(tuples: Sequence[T], page_size: int) -> Iterator[Sequence[T]]:
+    """Yield consecutive page-sized chunks of ``tuples``.
+
+    The last chunk may be short (a partially filled page), which is how
+    the Flush Smallest policy ends up wasting page capacity — the
+    effect behind its poor I/O curve in the paper's Section 4.
+    """
+    if page_size < 1:
+        raise ConfigurationError(f"page_size must be >= 1, got {page_size}")
+    for start in range(0, len(tuples), page_size):
+        yield tuples[start : start + page_size]
+
+
+def page_utilisation(n_tuples: int, page_size: int) -> float:
+    """Fraction of occupied page capacity actually holding tuples.
+
+    1.0 means perfectly full pages; small flushes drive this down.
+    Returns 1.0 for an empty write (nothing occupied, nothing wasted).
+    """
+    pages = pages_needed(n_tuples, page_size)
+    if pages == 0:
+        return 1.0
+    return n_tuples / (pages * page_size)

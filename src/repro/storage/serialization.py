@@ -1,0 +1,86 @@
+"""Binary serialization of tuple blocks.
+
+The file-backed disk stores each flushed block as one binary file.
+The codec is a small length-prefixed format, not pickle-of-everything:
+
+* header: magic ``RPRB``, version byte, tuple count (uint32);
+* per tuple: key (int64), tid (int64), source byte, payload length
+  (uint32) followed by the pickled payload (length 0 encodes ``None``
+  without invoking pickle at all — the overwhelmingly common case).
+
+Integers outside int64 are rejected up front rather than silently
+truncated.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Sequence
+
+from repro.errors import StorageError
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+
+_MAGIC = b"RPRB"
+_VERSION = 1
+_HEADER = struct.Struct("<4sBI")
+_RECORD = struct.Struct("<qqBI")
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+_SOURCE_TO_BYTE = {SOURCE_A: 0, SOURCE_B: 1}
+_BYTE_TO_SOURCE = {0: SOURCE_A, 1: SOURCE_B}
+
+
+def encode_tuples(tuples: Sequence[Tuple]) -> bytes:
+    """Serialise a block of tuples to bytes."""
+    parts = [_HEADER.pack(_MAGIC, _VERSION, len(tuples))]
+    for t in tuples:
+        if not _INT64_MIN <= t.key <= _INT64_MAX:
+            raise StorageError(f"key {t.key} does not fit in int64")
+        if not _INT64_MIN <= t.tid <= _INT64_MAX:
+            raise StorageError(f"tid {t.tid} does not fit in int64")
+        source_byte = _SOURCE_TO_BYTE.get(t.source)
+        if source_byte is None:
+            raise StorageError(f"cannot serialise source {t.source!r}")
+        payload = b"" if t.payload is None else pickle.dumps(t.payload)
+        parts.append(_RECORD.pack(t.key, t.tid, source_byte, len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_tuples(data: bytes) -> list[Tuple]:
+    """Deserialise a block written by :func:`encode_tuples`."""
+    if len(data) < _HEADER.size:
+        raise StorageError("block file is truncated (no header)")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise StorageError("not a repro block file (bad magic)")
+    if version != _VERSION:
+        raise StorageError(f"unsupported block version {version}")
+    offset = _HEADER.size
+    tuples: list[Tuple] = []
+    for _ in range(count):
+        if offset + _RECORD.size > len(data):
+            raise StorageError("block file is truncated (record header)")
+        key, tid, source_byte, payload_len = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        if offset + payload_len > len(data):
+            raise StorageError("block file is truncated (payload)")
+        if source_byte not in _BYTE_TO_SOURCE:
+            raise StorageError(f"unknown source byte {source_byte}")
+        payload = None
+        if payload_len:
+            payload = pickle.loads(data[offset : offset + payload_len])
+        offset += payload_len
+        tuples.append(
+            Tuple(
+                key=key,
+                tid=tid,
+                source=_BYTE_TO_SOURCE[source_byte],
+                payload=payload,
+            )
+        )
+    if offset != len(data):
+        raise StorageError("block file has trailing bytes")
+    return tuples

@@ -1,0 +1,170 @@
+"""Tuple, schema, relation, and join-result types.
+
+The paper joins two relations of flat tuples on an integer key drawn
+from a bounded range (Section 6: one million tuples, keys uniform in
+two million values).  We model exactly that: a tuple has an integer
+join ``key``, a per-source unique ``tid`` (so duplicate keys remain
+distinguishable when checking the paper's uniqueness theorem), a
+``source`` label, and an opaque ``payload``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+SOURCE_A = "A"
+SOURCE_B = "B"
+
+
+@dataclass(frozen=True, slots=True)
+class Tuple:
+    """One relational tuple flowing through a join.
+
+    Attributes:
+        key: Integer join key.
+        tid: Identifier unique within the tuple's source relation.
+            ``(source, tid)`` globally identifies a tuple, which lets
+            tests verify the multiset of join results exactly.
+        source: Which input relation the tuple belongs to (``"A"`` or
+            ``"B"``).
+        payload: Arbitrary carried value; never inspected by operators.
+    """
+
+    key: int
+    tid: int
+    source: str = SOURCE_A
+    payload: Any = None
+
+    def sort_key(self) -> tuple[int, str, int]:
+        """Total order used by sorts and heap merges (key, then identity)."""
+        return (self.key, self.source, self.tid)
+
+    def identity(self) -> tuple[str, int]:
+        """Globally unique identity of this tuple."""
+        return (self.source, self.tid)
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """A single produced join result: one tuple from each source.
+
+    ``left`` always comes from source A and ``right`` from source B,
+    regardless of which side's arrival triggered the match, so result
+    multisets from different algorithms compare directly.
+    """
+
+    left: Tuple
+    right: Tuple
+
+    def __post_init__(self) -> None:
+        if self.left.key != self.right.key:
+            raise ConfigurationError(
+                f"join result keys differ: {self.left.key} != {self.right.key}"
+            )
+
+    @property
+    def key(self) -> int:
+        """The shared join key of the matched pair."""
+        return self.left.key
+
+    def identity(self) -> tuple[tuple[str, int], tuple[str, int]]:
+        """Globally unique identity of the result pair."""
+        return (self.left.identity(), self.right.identity())
+
+
+def make_result(first: Tuple, second: Tuple) -> JoinResult:
+    """Build a :class:`JoinResult` orienting the pair as (A-side, B-side).
+
+    Operators match tuples in whatever order they encounter them; this
+    helper normalises orientation so duplicate detection is well-defined.
+    """
+    if first.source == second.source:
+        raise ConfigurationError(
+            f"cannot join two tuples from the same source {first.source!r}"
+        )
+    if first.source == SOURCE_A:
+        return JoinResult(left=first, right=second)
+    return JoinResult(left=second, right=first)
+
+
+@dataclass(frozen=True, slots=True)
+class Schema:
+    """Minimal relation schema: a name and a description of the key.
+
+    The library joins on a single integer attribute, so the schema
+    exists to carry human-readable metadata (relation name, key name,
+    key range) into reports rather than to drive per-field access.
+    """
+
+    name: str
+    key_name: str = "key"
+    key_range: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.key_range is not None and self.key_range < 1:
+            raise ConfigurationError(f"key_range must be >= 1, got {self.key_range}")
+
+
+@dataclass(slots=True)
+class Relation:
+    """A named, ordered collection of tuples from one source.
+
+    The order of ``tuples`` is the order in which the network source
+    will deliver them (arrival order matters to every non-blocking
+    join, so it is part of the workload definition).
+    """
+
+    schema: Schema
+    tuples: list[Tuple] = field(default_factory=list)
+
+    @classmethod
+    def from_keys(
+        cls,
+        keys: Iterable[int],
+        source: str = SOURCE_A,
+        name: str | None = None,
+        key_range: int | None = None,
+    ) -> "Relation":
+        """Build a relation whose tuples carry the given keys in order."""
+        schema = Schema(name=name or f"relation_{source}", key_range=key_range)
+        tuples = [
+            Tuple(key=int(k), tid=i, source=source) for i, k in enumerate(keys)
+        ]
+        return cls(schema=schema, tuples=tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, index: int) -> Tuple:
+        return self.tuples[index]
+
+    @property
+    def source(self) -> str:
+        """Source label of this relation (from its first tuple, or name)."""
+        if self.tuples:
+            return self.tuples[0].source
+        return self.schema.name
+
+    def keys(self) -> list[int]:
+        """The join keys in delivery order."""
+        return [t.key for t in self.tuples]
+
+
+def result_multiset(results: Sequence[JoinResult]) -> dict[tuple, int]:
+    """Count results by identity; the canonical form for oracle checks.
+
+    Theorem 1 (completeness) and Theorem 2 (uniqueness) of the paper
+    together say this multiset must equal the oracle's and every count
+    must be exactly one.
+    """
+    counts: dict[tuple, int] = {}
+    for r in results:
+        ident = r.identity()
+        counts[ident] = counts.get(ident, 0) + 1
+    return counts

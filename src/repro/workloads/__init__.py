@@ -1,0 +1,37 @@
+"""Workload generation: relations with controlled key distributions.
+
+Section 6 of the paper fixes one workload for every experiment — two
+relations of one million tuples whose join keys are uniform over two
+million values (output ≈ 550K pairs) — and varies only the network and
+memory parameters.  :func:`~repro.workloads.generator.paper_workload`
+reproduces that recipe at a configurable scale; the other generators
+(zipf, sequential, correlated) support the robustness ablations.
+"""
+
+from repro.workloads.distributions import (
+    bounded_zipf,
+    expected_join_size,
+    sequential_keys,
+    uniform_keys,
+)
+from repro.workloads.generator import (
+    WorkloadSpec,
+    make_fk_pair,
+    make_relation,
+    make_star_schema,
+    make_relation_pair,
+    paper_workload,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "bounded_zipf",
+    "expected_join_size",
+    "make_fk_pair",
+    "make_relation",
+    "make_relation_pair",
+    "make_star_schema",
+    "paper_workload",
+    "sequential_keys",
+    "uniform_keys",
+]

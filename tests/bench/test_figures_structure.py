@@ -1,0 +1,68 @@
+"""Structural tests for the figure reproductions at a tiny scale.
+
+The *shape* claims need the default scale (and are asserted every time
+the benchmarks run); these tests verify the harness itself — that each
+figure function produces a well-formed, deterministic report — using a
+scale small enough for the unit-test suite.
+"""
+
+import pytest
+
+from repro.bench.ablations import ALL_ABLATIONS, ablation_final_flush
+from repro.bench.figures import ALL_FIGURES, fig09_flush_fraction, fig13_memory_size
+from repro.bench.scale import BenchScale
+
+TINY = BenchScale(n_per_source=1_200, seed=3)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+def test_figure_reports_are_well_formed(name):
+    report = ALL_FIGURES[name](TINY)
+    assert report.figure_id == name
+    assert report.title
+    assert report.body.strip()
+    assert report.checks
+    rendered = report.render()
+    assert name in rendered
+    assert "shape checks:" in rendered
+
+
+def test_figure_registry_covers_every_evaluation_figure():
+    assert sorted(ALL_FIGURES) == [
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+    ]
+
+
+def test_fig09_is_deterministic():
+    r1 = fig09_flush_fraction(TINY)
+    r2 = fig09_flush_fraction(TINY)
+    assert r1.body == r2.body
+
+
+def test_fig13_uses_scaled_first_k():
+    report = fig13_memory_size(TINY)
+    assert f"first {TINY.first_k(1000)} results" in report.title
+
+
+def test_ablation_registry():
+    assert set(ALL_ABLATIONS) == {
+        "adaptive",
+        "fanin",
+        "zipf",
+        "finalflush",
+        "dphj",
+        "costs",
+        "xjoin-memory",
+    }
+
+
+def test_ablation_final_flush_well_formed():
+    report = ablation_final_flush(TINY)
+    assert report.body.strip()
+    # These two checks are scale-independent correctness statements.
+    report.assert_ok()

@@ -1,0 +1,45 @@
+"""Unit tests for the multi-seed repeat machinery."""
+
+import pytest
+
+from repro.bench.repeat import RepeatedMetric, repeat_metric, robustness_report
+from repro.bench.scale import BenchScale
+from repro.errors import ConfigurationError
+
+
+def test_repeated_metric_statistics():
+    metric = RepeatedMetric(name="m", values=(1.0, 2.0, 3.0))
+    assert metric.mean == pytest.approx(2.0)
+    assert metric.stdev == pytest.approx(1.0)
+    assert metric.minimum == 1.0
+    assert metric.maximum == 3.0
+
+
+def test_repeated_metric_single_value_has_zero_stdev():
+    assert RepeatedMetric(name="m", values=(5.0,)).stdev == 0.0
+
+
+def test_repeat_metric_runs_per_seed():
+    metric = repeat_metric("double", lambda seed: 2.0 * seed, seeds=[1, 2, 3])
+    assert metric.values == (2.0, 4.0, 6.0)
+
+
+def test_repeat_metric_requires_seeds():
+    with pytest.raises(ConfigurationError):
+        repeat_metric("m", lambda seed: 0.0, seeds=[])
+
+
+def test_robustness_report_structure():
+    # Tiny scale + two seeds: just verify the harness produces a
+    # well-formed report (the real shape checks run at bench scale).
+    report = robustness_report(BenchScale(n_per_source=1500, seed=3), seeds=[3, 4])
+    assert report.figure_id == "robustness"
+    assert "seed" in report.body
+    assert len(report.checks) == 4
+
+
+def test_robustness_report_is_deterministic():
+    scale = BenchScale(n_per_source=1200, seed=5)
+    r1 = robustness_report(scale, seeds=[5, 6])
+    r2 = robustness_report(scale, seeds=[5, 6])
+    assert r1.body == r2.body

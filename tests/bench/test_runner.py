@@ -1,0 +1,100 @@
+"""Unit tests for the bench runner utilities."""
+
+import pytest
+
+from repro.bench.runner import (
+    FigureReport,
+    ShapeCheck,
+    check,
+    curve_ks,
+    early_ks,
+    execute,
+)
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.errors import SimulationError
+from repro.net.arrival import ConstantRate
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+
+def test_check_builds_shape_check():
+    c = check("something holds", 1 + 1 == 2)
+    assert isinstance(c, ShapeCheck)
+    assert c.passed
+
+
+def test_shape_check_render_markers():
+    assert "[ok ]" in ShapeCheck("yes", True).render()
+    assert "[FAIL]" in ShapeCheck("no", False).render()
+
+
+def test_report_render_contains_everything():
+    report = FigureReport(
+        figure_id="figX",
+        title="a title",
+        body="the body",
+        checks=[ShapeCheck("c1", True)],
+    )
+    text = report.render()
+    for needle in ("figX", "a title", "the body", "c1"):
+        assert needle in text
+
+
+def test_report_all_passed_and_assert_ok():
+    good = FigureReport(figure_id="f", title="t", body="b", checks=[check("x", True)])
+    good.assert_ok()
+    assert good.all_passed
+    bad = FigureReport(figure_id="f", title="t", body="b", checks=[check("x", False)])
+    assert not bad.all_passed
+    with pytest.raises(SimulationError):
+        bad.assert_ok()
+
+
+def test_early_ks_fractions():
+    assert early_ks(1000) == [2, 20, 100, 200, 400]
+
+
+def test_early_ks_small_counts_dedupe():
+    ks = early_ks(5)
+    assert ks == sorted(set(ks))
+    assert all(1 <= k <= 5 for k in ks)
+
+
+def test_early_ks_custom_fractions():
+    assert early_ks(100, fractions=(0.5, 1.0)) == [50, 100]
+
+
+def test_curve_ks_endpoints():
+    ks = curve_ks(500)
+    assert ks[0] == 1
+    assert ks[-1] == 500
+
+
+def test_execute_runs_an_operator_end_to_end():
+    spec = WorkloadSpec(n_a=300, n_b=300, key_range=500, seed=1)
+    rel_a, rel_b = make_relation_pair(spec)
+    result = execute(
+        rel_a,
+        rel_b,
+        HashMergeJoin(HMJConfig(memory_capacity=60)),
+        ConstantRate(300.0),
+        ConstantRate(300.0),
+    )
+    assert result.completed
+    assert result.count > 0
+    assert result.results == []  # bench runs do not retain tuples
+
+
+def test_execute_stop_after():
+    spec = WorkloadSpec(n_a=300, n_b=300, key_range=500, seed=1)
+    rel_a, rel_b = make_relation_pair(spec)
+    result = execute(
+        rel_a,
+        rel_b,
+        HashMergeJoin(HMJConfig(memory_capacity=60)),
+        ConstantRate(300.0),
+        ConstantRate(300.0),
+        stop_after=5,
+    )
+    assert result.count == 5
+    assert not result.completed

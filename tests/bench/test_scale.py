@@ -1,0 +1,66 @@
+"""Unit tests for benchmark scale configuration."""
+
+import pytest
+
+from repro.bench.scale import BenchScale, bench_scale
+from repro.errors import ConfigurationError
+
+
+def test_defaults():
+    scale = BenchScale()
+    assert scale.n_per_source == 10_000
+    assert scale.seed == 7
+
+
+def test_spec_preserves_paper_ratios():
+    scale = BenchScale(n_per_source=4_000)
+    spec = scale.spec
+    assert spec.n_a == spec.n_b == 4_000
+    assert spec.key_range == 8_000
+    assert spec.memory_capacity() == 800
+
+
+def test_fast_rate_is_scale_invariant():
+    # Per-tuple processing cost is scale-free, so the arrival rate is a
+    # constant (see BenchScale.fast_rate); it equals the old n/2
+    # formula exactly at the default scale.
+    assert BenchScale(n_per_source=5_000).fast_rate == 5000.0
+    assert BenchScale(n_per_source=10_000).fast_rate == 5000.0
+    assert BenchScale(n_per_source=1_000_000).fast_rate == 5000.0
+
+
+def test_expected_output_is_half_the_source():
+    assert BenchScale(n_per_source=10_000).expected_output == 5_000
+
+
+def test_first_k_scales_with_output():
+    scale = BenchScale(n_per_source=10_000)
+    # 1000 of 550K -> same fraction of 5K, floored at 10.
+    assert scale.first_k(1000) == 10
+    big = BenchScale(n_per_source=1_000_000)
+    assert big.first_k(1000) == pytest.approx(909, abs=1)
+
+
+def test_first_k_floor():
+    assert BenchScale(n_per_source=1_000).first_k(1) == 10
+
+
+def test_too_small_scale_rejected():
+    with pytest.raises(ConfigurationError):
+        BenchScale(n_per_source=50)
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_N", "3000")
+    monkeypatch.setenv("REPRO_BENCH_SEED", "42")
+    scale = bench_scale()
+    assert scale.n_per_source == 3000
+    assert scale.seed == 42
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_N", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+    scale = bench_scale()
+    assert scale.n_per_source == 10_000
+    assert scale.seed == 7

@@ -1,0 +1,107 @@
+"""Shared fixtures and helpers for the test suite.
+
+The helpers centralise two recurring patterns:
+
+* building a bound operator runtime (clock + disk + recorder) without
+  going through the full simulation engine, for operator unit tests;
+* comparing a streaming operator's output against a blocking oracle as
+  a multiset — the concrete form of the paper's Theorems 1 and 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.joins.base import JoinRuntime, StreamingJoinOperator
+from repro.joins.blocking import hash_join
+from repro.metrics.recorder import MetricsRecorder
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import (
+    SOURCE_A,
+    SOURCE_B,
+    Relation,
+    Tuple,
+    result_multiset,
+)
+
+
+def make_runtime(costs: CostModel | None = None) -> JoinRuntime:
+    """A fresh runtime: clock at zero, empty disk, empty recorder."""
+    costs = costs or CostModel()
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, costs)
+    recorder = MetricsRecorder(clock, disk)
+    return JoinRuntime(clock=clock, disk=disk, costs=costs, recorder=recorder)
+
+
+def interleave(rel_a: Relation, rel_b: Relation) -> list[Tuple]:
+    """Alternate tuples from the two relations (simple arrival order)."""
+    out: list[Tuple] = []
+    for a, b in itertools.zip_longest(rel_a, rel_b):
+        if a is not None:
+            out.append(a)
+        if b is not None:
+            out.append(b)
+    return out
+
+
+def drive(
+    operator: StreamingJoinOperator,
+    tuples: list[Tuple],
+    runtime: JoinRuntime | None = None,
+) -> JoinRuntime:
+    """Feed tuples straight into an operator and finish it.
+
+    Bypasses the network/engine layer entirely: every tuple is
+    delivered back-to-back and the final cleanup runs unbounded.
+    """
+    runtime = runtime or make_runtime()
+    operator.bind(runtime)
+    for t in tuples:
+        operator.on_tuple(t)
+    operator.finish(WorkBudget.unbounded(runtime.clock))
+    return runtime
+
+
+def assert_matches_oracle(
+    operator: StreamingJoinOperator,
+    rel_a: Relation,
+    rel_b: Relation,
+    tuples: list[Tuple] | None = None,
+) -> JoinRuntime:
+    """Drive the operator and check Theorems 1 and 2 against hash_join."""
+    runtime = drive(operator, tuples if tuples is not None else interleave(rel_a, rel_b))
+    expected = result_multiset(hash_join(rel_a, rel_b))
+    actual = result_multiset(runtime.recorder.results)
+    assert actual == expected, (
+        f"{operator.name}: output multiset differs from oracle "
+        f"({len(actual)} vs {len(expected)} distinct pairs)"
+    )
+    assert all(count == 1 for count in actual.values()), (
+        f"{operator.name}: duplicate results produced"
+    )
+    return runtime
+
+
+def keys_relation(keys: list[int], source: str = SOURCE_A) -> Relation:
+    """Shorthand for building a relation from explicit keys."""
+    return Relation.from_keys(keys, source=source)
+
+
+@pytest.fixture
+def runtime() -> JoinRuntime:
+    """A fresh bound-able runtime per test."""
+    return make_runtime()
+
+
+@pytest.fixture
+def small_relations() -> tuple[Relation, Relation]:
+    """A pair of small overlapping relations with duplicate keys."""
+    rel_a = Relation.from_keys([1, 2, 3, 3, 5, 8, 13, 2, 99], source=SOURCE_A)
+    rel_b = Relation.from_keys([2, 3, 5, 7, 11, 13, 2, 2, 42], source=SOURCE_B)
+    return rel_a, rel_b

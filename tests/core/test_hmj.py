@@ -1,0 +1,175 @@
+"""Unit and scenario tests for the Hash-Merge Join operator."""
+
+import pytest
+
+from conftest import assert_matches_oracle, drive, interleave, keys_relation, make_runtime
+from repro.core.config import HMJConfig
+from repro.core.flushing import FlushAllPolicy, FlushSmallestPolicy
+from repro.core.hmj import HashMergeJoin
+from repro.errors import ProtocolError
+from repro.sim.budget import WorkBudget
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation
+
+
+def hmj(memory=64, **kwargs):
+    return HashMergeJoin(HMJConfig(memory_capacity=memory, **kwargs))
+
+
+def test_in_memory_join_needs_no_disk(small_relations):
+    rel_a, rel_b = small_relations
+    op = hmj(memory=1000)
+    runtime = assert_matches_oracle(op, rel_a, rel_b)
+    assert runtime.disk.io_count == 0
+    assert op.flush_count == 0
+    # Everything fit in memory: all results from the hashing phase.
+    assert runtime.recorder.count_in_phase("hashing") == runtime.recorder.count
+
+
+def test_spilling_join_matches_oracle(small_relations):
+    rel_a, rel_b = small_relations
+    op = hmj(memory=4, n_buckets=8)
+    runtime = assert_matches_oracle(op, rel_a, rel_b)
+    assert op.flush_count > 0
+    assert runtime.disk.io_count > 0
+
+
+def test_merging_phase_produces_spilled_matches():
+    # Matching pairs arrive far apart so one side is always on disk
+    # when the other arrives: the merging phase must recover them.
+    keys = list(range(40))
+    rel_a = keys_relation(keys, SOURCE_A)
+    rel_b = keys_relation(keys, SOURCE_B)
+    tuples = list(rel_a) + list(rel_b)  # all of A first, then all of B
+    op = hmj(memory=10, n_buckets=8)
+    runtime = drive(op, tuples)
+    assert runtime.recorder.count == 40
+    assert runtime.recorder.count_in_phase("merging") > 0
+
+
+def test_empty_inputs():
+    op = hmj()
+    runtime = drive(op, [])
+    assert runtime.recorder.count == 0
+    assert op.finished
+
+
+def test_one_empty_source():
+    rel_a = keys_relation([1, 2, 3], SOURCE_A)
+    rel_b = keys_relation([], SOURCE_B)
+    assert_matches_oracle(hmj(memory=4), rel_a, rel_b, tuples=list(rel_a))
+
+
+def test_disjoint_keys_produce_nothing():
+    rel_a = keys_relation([1, 2, 3], SOURCE_A)
+    rel_b = keys_relation([10, 20, 30], SOURCE_B)
+    runtime = assert_matches_oracle(hmj(memory=4, n_buckets=4), rel_a, rel_b)
+    assert runtime.recorder.count == 0
+
+
+def test_all_equal_keys():
+    rel_a = keys_relation([7] * 12, SOURCE_A)
+    rel_b = keys_relation([7] * 9, SOURCE_B)
+    runtime = assert_matches_oracle(hmj(memory=6, n_buckets=4), rel_a, rel_b)
+    assert runtime.recorder.count == 12 * 9
+
+
+@pytest.mark.parametrize("memory", [2, 3, 5, 16, 64])
+def test_various_memory_sizes_match_oracle(memory, small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(hmj(memory=memory, n_buckets=8), rel_a, rel_b)
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.1, 0.5, 1.0])
+def test_various_flush_fractions_match_oracle(fraction, small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(
+        hmj(memory=6, n_buckets=8, flush_fraction=fraction), rel_a, rel_b
+    )
+
+
+@pytest.mark.parametrize("policy_cls", [FlushAllPolicy, FlushSmallestPolicy])
+def test_alternate_policies_match_oracle(policy_cls, small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(
+        hmj(memory=6, n_buckets=8, policy=policy_cls()), rel_a, rel_b
+    )
+
+
+def test_final_flush_optimisation_preserves_output():
+    keys = list(range(30))
+    rel_a = keys_relation(keys, SOURCE_A)
+    rel_b = keys_relation(keys, SOURCE_B)
+
+    def run(final_flush_all):
+        op = hmj(memory=16, n_buckets=8, final_flush_all=final_flush_all)
+        runtime = drive(op, interleave(rel_a, rel_b))
+        return runtime
+
+    faithful = run(True)
+    optimised = run(False)
+    ids_f = sorted(r.identity() for r in faithful.recorder.results)
+    ids_o = sorted(r.identity() for r in optimised.recorder.results)
+    assert ids_f == ids_o
+    assert optimised.disk.io_count <= faithful.disk.io_count
+
+
+def test_memory_budget_respected_throughout(small_relations):
+    rel_a, rel_b = small_relations
+    op = hmj(memory=5, n_buckets=8)
+    drive(op, interleave(rel_a, rel_b))
+    assert op.memory.peak <= 5
+
+
+def test_on_blocked_merges_spilled_blocks():
+    keys = list(range(30))
+    rel_a = keys_relation(keys, SOURCE_A)
+    rel_b = keys_relation(keys, SOURCE_B)
+    op = hmj(memory=10, n_buckets=8)
+    runtime = make_runtime()
+    op.bind(runtime)
+    for t in list(rel_a) + list(rel_b):
+        op.on_tuple(t)
+    assert op.has_background_work()
+    before = runtime.recorder.count
+    op.on_blocked(WorkBudget.unbounded(runtime.clock))
+    assert runtime.recorder.count > before
+
+
+def test_peak_imbalance_tracked():
+    rel_a = keys_relation(list(range(20)), SOURCE_A)
+    op = hmj(memory=30, n_buckets=8)
+    drive(op, list(rel_a))  # only A arrives
+    assert op.peak_imbalance > 0
+
+
+def test_emit_after_finish_is_protocol_error(small_relations):
+    rel_a, rel_b = small_relations
+    op = hmj(memory=1000)
+    runtime = drive(op, interleave(rel_a, rel_b))
+    with pytest.raises(ProtocolError):
+        op.emit(rel_a[0], rel_b[0], "hashing")
+
+
+def test_arrival_order_does_not_change_result_set(small_relations):
+    rel_a, rel_b = small_relations
+    orders = [
+        interleave(rel_a, rel_b),
+        list(rel_a) + list(rel_b),
+        list(rel_b) + list(rel_a),
+        list(reversed(interleave(rel_a, rel_b))),
+    ]
+    outputs = []
+    for order in orders:
+        runtime = drive(hmj(memory=5, n_buckets=8), order)
+        outputs.append(sorted(r.identity() for r in runtime.recorder.results))
+    assert all(out == outputs[0] for out in outputs)
+
+
+def test_phases_are_labelled():
+    keys = list(range(40))
+    rel_a = keys_relation(keys, SOURCE_A)
+    rel_b = keys_relation(keys, SOURCE_B)
+    op = hmj(memory=10, n_buckets=8)
+    runtime = drive(op, list(rel_a) + list(rel_b))
+    phases = {e.phase for e in runtime.recorder.events}
+    assert phases <= {"hashing", "merging"}

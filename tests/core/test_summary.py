@@ -1,0 +1,97 @@
+"""Unit tests for the bucket summary table."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryBudgetError
+from repro.core.summary import BucketSummaryTable
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+
+
+def test_initially_empty():
+    table = BucketSummaryTable(3)
+    assert table.total == 0
+    assert table.total_a == 0
+    assert table.total_b == 0
+    assert table.nonempty_groups() == []
+
+
+def test_n_groups_validation():
+    with pytest.raises(ConfigurationError):
+        BucketSummaryTable(0)
+
+
+def test_add_updates_counts_and_totals():
+    table = BucketSummaryTable(3)
+    table.add(SOURCE_A, 1, 5)
+    table.add(SOURCE_B, 1, 3)
+    assert table.pair_sizes(1) == (5, 3)
+    assert table.pair_total(1) == 8
+    assert table.total == 8
+    assert table.total_a == 5
+    assert table.total_b == 3
+
+
+def test_remove_updates_counts():
+    table = BucketSummaryTable(2)
+    table.add(SOURCE_A, 0, 5)
+    table.remove(SOURCE_A, 0, 2)
+    assert table.size(SOURCE_A, 0) == 3
+    assert table.total_a == 3
+
+
+def test_remove_more_than_held_raises():
+    table = BucketSummaryTable(2)
+    table.add(SOURCE_B, 0, 1)
+    with pytest.raises(MemoryBudgetError):
+        table.remove(SOURCE_B, 0, 2)
+
+
+def test_imbalance_is_absolute_difference():
+    table = BucketSummaryTable(2)
+    table.add(SOURCE_A, 0, 10)
+    table.add(SOURCE_B, 1, 4)
+    assert table.imbalance() == 6
+    table.add(SOURCE_B, 0, 10)
+    assert table.imbalance() == 4
+
+
+def test_nonempty_groups():
+    table = BucketSummaryTable(4)
+    table.add(SOURCE_A, 0, 1)
+    table.add(SOURCE_B, 2, 1)
+    assert table.nonempty_groups() == [0, 2]
+
+
+def test_rows_layout():
+    table = BucketSummaryTable(2)
+    table.add(SOURCE_A, 0, 9)
+    table.add(SOURCE_B, 0, 12)
+    assert table.rows() == [(0, 9, 12), (1, 0, 0)]
+
+
+def test_group_bounds_checked():
+    table = BucketSummaryTable(2)
+    with pytest.raises(ConfigurationError):
+        table.add(SOURCE_A, 2, 1)
+    with pytest.raises(ConfigurationError):
+        table.size(SOURCE_A, -1)
+
+
+def test_unknown_source_rejected():
+    table = BucketSummaryTable(2)
+    with pytest.raises(ConfigurationError):
+        table.add("C", 0, 1)
+
+
+def test_negative_counts_rejected():
+    table = BucketSummaryTable(2)
+    with pytest.raises(ConfigurationError):
+        table.add(SOURCE_A, 0, -1)
+    with pytest.raises(ConfigurationError):
+        table.remove(SOURCE_A, 0, -1)
+
+
+def test_repr_shows_totals():
+    table = BucketSummaryTable(2)
+    table.add(SOURCE_A, 0, 3)
+    assert "|A|=3" in repr(table)

@@ -1,0 +1,154 @@
+"""End-to-end correctness: every operator, through the full engine.
+
+This is the concrete enforcement of the paper's Section 5 theorems:
+for every algorithm, workload shape, memory size, and network regime,
+the engine-driven output multiset must equal the blocking oracle's and
+contain no duplicates.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.flushing import (
+    AdaptiveFlushingPolicy,
+    FlushAllPolicy,
+    FlushLargestPolicy,
+    FlushSmallestPolicy,
+)
+from repro.core.hmj import HashMergeJoin
+from repro.joins.blocking import hash_join
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BurstyArrival, ConstantRate, ParetoArrival, PoissonArrival
+from repro.net.source import NetworkSource
+from repro.sim.costs import CostModel
+from repro.sim.engine import run_join
+from repro.storage.tuples import result_multiset
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+OPERATORS = {
+    "hmj": lambda mem: HashMergeJoin(HMJConfig(memory_capacity=mem, n_buckets=32)),
+    "xjoin": lambda mem: XJoin(memory_capacity=mem, n_buckets=8),
+    "pmj": lambda mem: ProgressiveMergeJoin(memory_capacity=mem),
+    "dphj": lambda mem: DoublePipelinedHashJoin(memory_capacity=mem, n_buckets=8),
+}
+
+ARRIVALS = {
+    "constant": lambda: ConstantRate(rate=500.0),
+    "poisson": lambda: PoissonArrival(rate=500.0),
+    "pareto": lambda: ParetoArrival(rate=500.0, shape=1.3),
+    "bursty": lambda: BurstyArrival(burst_size=50, intra_gap=0.002, mean_silence=0.6),
+}
+
+
+def run_case(op_name, arrival_name, spec, mem):
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ARRIVALS[arrival_name](), seed=101)
+    src_b = NetworkSource(rel_b, ARRIVALS[arrival_name](), seed=202)
+    result = run_join(
+        src_a,
+        src_b,
+        OPERATORS[op_name](mem),
+        costs=CostModel(page_size=16),
+        blocking_threshold=0.05,
+    )
+    expected = result_multiset(hash_join(rel_a, rel_b))
+    actual = result_multiset(result.results)
+    assert actual == expected, f"{op_name}/{arrival_name}: output differs from oracle"
+    assert all(v == 1 for v in actual.values())
+    assert result.completed
+    return result
+
+
+@pytest.mark.parametrize("op_name", sorted(OPERATORS))
+@pytest.mark.parametrize("arrival_name", sorted(ARRIVALS))
+def test_operator_network_matrix(op_name, arrival_name):
+    spec = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=3)
+    run_case(op_name, arrival_name, spec, mem=80)
+
+
+@pytest.mark.parametrize("op_name", sorted(OPERATORS))
+def test_tiny_memory(op_name):
+    spec = WorkloadSpec(n_a=300, n_b=300, key_range=500, seed=5)
+    run_case(op_name, "constant", spec, mem=8)
+
+
+@pytest.mark.parametrize("op_name", sorted(OPERATORS))
+def test_skewed_zipf_keys(op_name):
+    spec = WorkloadSpec(
+        n_a=300, n_b=300, key_range=100, distribution="zipf", zipf_theta=1.3, seed=7
+    )
+    run_case(op_name, "constant", spec, mem=60)
+
+
+@pytest.mark.parametrize("op_name", sorted(OPERATORS))
+def test_asymmetric_sizes(op_name):
+    spec = WorkloadSpec(n_a=500, n_b=50, key_range=300, seed=9)
+    run_case(op_name, "poisson", spec, mem=60)
+
+
+def test_symmetric_hash_join_through_engine():
+    spec = WorkloadSpec(n_a=300, n_b=300, key_range=500, seed=11)
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ConstantRate(500.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(500.0), seed=2)
+    result = run_join(src_a, src_b, SymmetricHashJoin())
+    assert result_multiset(result.results) == result_multiset(hash_join(rel_a, rel_b))
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [FlushAllPolicy(), FlushSmallestPolicy(), FlushLargestPolicy(), AdaptiveFlushingPolicy()],
+    ids=lambda p: p.name,
+)
+def test_hmj_policies_through_engine(policy):
+    spec = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=13)
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ParetoArrival(rate=500.0, shape=1.3), seed=1)
+    src_b = NetworkSource(rel_b, ParetoArrival(rate=500.0, shape=1.3), seed=2)
+    op = HashMergeJoin(HMJConfig(memory_capacity=60, n_buckets=32, policy=policy))
+    result = run_join(src_a, src_b, op, blocking_threshold=0.05)
+    assert result_multiset(result.results) == result_multiset(hash_join(rel_a, rel_b))
+
+
+def test_rate_skew_correctness():
+    spec = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=17)
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ConstantRate(rate=2500.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(rate=500.0), seed=2)
+    for factory in OPERATORS.values():
+        a = NetworkSource(rel_a, ConstantRate(rate=2500.0), seed=1)
+        b = NetworkSource(rel_b, ConstantRate(rate=500.0), seed=2)
+        result = run_join(a, b, factory(60))
+        assert result_multiset(result.results) == result_multiset(
+            hash_join(rel_a, rel_b)
+        )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="large-scale validation; set REPRO_SLOW=1 to run",
+)
+def test_large_scale_correctness_and_shape():
+    """Optional heavyweight check at 50K tuples per source."""
+    spec = WorkloadSpec(n_a=50_000, n_b=50_000, key_range=100_000, seed=7)
+    rel_a, rel_b = make_relation_pair(spec)
+    memory = spec.memory_capacity()
+    expected = result_multiset(hash_join(rel_a, rel_b))
+    recs = {}
+    for name, factory in [
+        ("hmj", lambda: HashMergeJoin(HMJConfig(memory_capacity=memory))),
+        ("xjoin", lambda: XJoin(memory_capacity=memory)),
+    ]:
+        src_a = NetworkSource(rel_a, ConstantRate(25_000.0), seed=1)
+        src_b = NetworkSource(rel_b, ConstantRate(25_000.0), seed=2)
+        result = run_join(src_a, src_b, factory())
+        assert result_multiset(result.results) == expected
+        recs[name] = result.recorder
+    k20 = round(0.2 * recs["hmj"].count)
+    assert recs["hmj"].time_to_kth(k20) <= recs["xjoin"].time_to_kth(k20)
+    assert recs["hmj"].total_io() <= recs["xjoin"].total_io()

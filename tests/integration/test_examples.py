@@ -1,0 +1,26 @@
+"""Guard against example bitrot (opt-in: the examples take ~2 minutes).
+
+Run with ``REPRO_SLOW=1 pytest tests/integration/test_examples.py``.
+Each example is executed as a script; any exception fails the test.
+"""
+
+import os
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="examples take minutes; set REPRO_SLOW=1 to run",
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(example, capsys):
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example.name} printed nothing"

@@ -1,0 +1,93 @@
+"""Invariants of the measurement pipeline across full runs."""
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BurstyArrival, ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+SPEC = WorkloadSpec(n_a=500, n_b=500, key_range=800, seed=21)
+
+
+def run_hmj(spec=SPEC, **kwargs):
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ConstantRate(1000.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(1000.0), seed=2)
+    op = HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=32))
+    return run_join(src_a, src_b, op, **kwargs)
+
+
+def test_result_times_are_nondecreasing():
+    result = run_hmj()
+    times = [e.time for e in result.recorder.events]
+    assert all(t1 <= t2 for t1, t2 in zip(times, times[1:]))
+
+
+def test_result_io_counts_are_nondecreasing():
+    result = run_hmj()
+    ios = [e.io for e in result.recorder.events]
+    assert all(i1 <= i2 for i1, i2 in zip(ios, ios[1:]))
+
+
+def test_io_snapshots_bounded_by_disk_total():
+    result = run_hmj()
+    assert all(e.io <= result.disk.io_count for e in result.recorder.events)
+
+
+def test_repeated_runs_are_bit_identical():
+    r1 = run_hmj()
+    r2 = run_hmj()
+    assert [e.time for e in r1.recorder.events] == [e.time for e in r2.recorder.events]
+    assert [e.io for e in r1.recorder.events] == [e.io for e in r2.recorder.events]
+    assert r1.clock.now == r2.clock.now
+    assert r1.disk.io_count == r2.disk.io_count
+
+
+def test_stop_after_prefix_matches_full_run():
+    full = run_hmj()
+    partial = run_hmj(stop_after=50)
+    assert partial.count == 50
+    full_prefix = [(e.k, e.time, e.io) for e in full.recorder.events[:50]]
+    partial_events = [(e.k, e.time, e.io) for e in partial.recorder.events]
+    assert partial_events == full_prefix
+
+
+def test_keep_results_false_preserves_metrics():
+    with_results = run_hmj()
+    without = run_hmj(keep_results=False)
+    assert without.results == []
+    assert without.count == with_results.count
+    assert [e.time for e in without.recorder.events] == [
+        e.time for e in with_results.recorder.events
+    ]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=32)),
+        lambda: XJoin(memory_capacity=100, n_buckets=8),
+        lambda: ProgressiveMergeJoin(memory_capacity=100),
+    ],
+    ids=["hmj", "xjoin", "pmj"],
+)
+def test_bursty_runs_deterministic_per_operator(factory):
+    def run_once():
+        rel_a, rel_b = make_relation_pair(SPEC)
+        src_a = NetworkSource(
+            rel_a, BurstyArrival(burst_size=50, intra_gap=0.001, mean_silence=0.4), seed=5
+        )
+        src_b = NetworkSource(
+            rel_b, BurstyArrival(burst_size=50, intra_gap=0.001, mean_silence=0.4), seed=6
+        )
+        return run_join(src_a, src_b, factory(), blocking_threshold=0.05)
+
+    r1, r2 = run_once(), run_once()
+    assert r1.count == r2.count
+    assert r1.clock.now == r2.clock.now
+    assert r1.disk.io_count == r2.disk.io_count

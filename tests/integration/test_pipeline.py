@@ -1,0 +1,462 @@
+"""Tests for pipelined multi-join plans.
+
+Correctness oracle for an equi-join chain ``(A ⋈ B) ⋈ C`` on a shared
+key: the triple count per key is ``|A_k| * |B_k| * |C_k|``.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.errors import ConfigurationError
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BurstyArrival, ConstantRate
+from repro.net.source import NetworkSource
+from repro.pipeline import PlanExecutor, join, leaf, run_plan
+from repro.pipeline.plan import collect_leaves, validate_plan
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, result_multiset
+
+
+def relation(keys, source, name):
+    return Relation.from_keys(keys, source=source, name=name)
+
+
+def source_of(rel, rate=500.0, seed=1):
+    return NetworkSource(rel, ConstantRate(rate), seed=seed)
+
+
+def random_keys(n, key_range, seed):
+    return np.random.default_rng(seed).integers(0, key_range, n).tolist()
+
+
+def expected_triples(keys_a, keys_b, keys_c):
+    ca, cb, cc = Counter(keys_a), Counter(keys_b), Counter(keys_c)
+    return sum(ca[k] * cb[k] * cc.get(k, 0) for k in ca)
+
+
+def hmj_factory(memory=100):
+    return lambda: HashMergeJoin(HMJConfig(memory_capacity=memory, n_buckets=16))
+
+
+def three_way_plan(keys_a, keys_b, keys_c, factory=None, **exec_kwargs):
+    factory = factory or hmj_factory()
+    plan = join(
+        join(
+            leaf(source_of(relation(keys_a, SOURCE_A, "A"), seed=1)),
+            leaf(source_of(relation(keys_b, SOURCE_B, "B"), seed=2)),
+            factory,
+            label="ab",
+        ),
+        leaf(source_of(relation(keys_c, SOURCE_B, "C"), seed=3)),
+        factory,
+        label="root",
+    )
+    return run_plan(plan, **exec_kwargs)
+
+
+def test_three_way_chain_count_matches_oracle():
+    ka = random_keys(400, 150, 1)
+    kb = random_keys(400, 150, 2)
+    kc = random_keys(400, 150, 3)
+    result = three_way_plan(ka, kb, kc)
+    assert result.completed
+    assert result.count == expected_triples(ka, kb, kc)
+
+
+def test_three_way_chain_no_duplicates():
+    ka = random_keys(300, 80, 4)
+    kb = random_keys(300, 80, 5)
+    kc = random_keys(300, 80, 6)
+    result = three_way_plan(ka, kb, kc)
+    counts = result_multiset(result.results)
+    assert all(v == 1 for v in counts.values())
+
+
+def test_lineage_recoverable_from_payloads():
+    result = three_way_plan([7], [7], [7])
+    assert result.count == 1
+    (triple,) = result.results
+    # The left side of the root is a wrapped (A join B) result.
+    inner = triple.left.payload
+    assert inner is not None
+    assert inner.left.key == 7 and inner.right.key == 7
+    assert triple.right.key == 7
+
+
+def test_mixed_operator_plan():
+    ka = random_keys(300, 100, 7)
+    kb = random_keys(300, 100, 8)
+    kc = random_keys(300, 100, 9)
+    plan = join(
+        join(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+            lambda: XJoin(memory_capacity=80, n_buckets=8),
+            label="xjoin-ab",
+        ),
+        leaf(source_of(relation(kc, SOURCE_B, "C"), seed=3)),
+        lambda: ProgressiveMergeJoin(memory_capacity=120),
+        label="pmj-root",
+    )
+    result = run_plan(plan, blocking_threshold=0.05)
+    assert result.count == expected_triples(ka, kb, kc)
+    assert [s.operator for s in result.node_stats] == ["XJoin", "PMJ"]
+
+
+def test_four_way_balanced_tree():
+    # (A join B) join (C join D): output key defaults to the join key.
+    keys = [random_keys(200, 60, 10 + i) for i in range(4)]
+    rels = [
+        relation(keys[0], SOURCE_A, "A"),
+        relation(keys[1], SOURCE_B, "B"),
+        relation(keys[2], SOURCE_A, "C"),
+        relation(keys[3], SOURCE_B, "D"),
+    ]
+    plan = join(
+        join(leaf(source_of(rels[0], seed=1)), leaf(source_of(rels[1], seed=2)), hmj_factory()),
+        join(leaf(source_of(rels[2], seed=3)), leaf(source_of(rels[3], seed=4)), hmj_factory()),
+        hmj_factory(200),
+    )
+    result = run_plan(plan)
+    counters = [Counter(k) for k in keys]
+    expected = sum(
+        counters[0][k] * counters[1][k] * counters[2][k] * counters[3][k]
+        for k in counters[0]
+    )
+    assert result.count == expected
+
+
+def test_output_key_function_redirects_join():
+    # Second join matches on (key % 2) of the intermediate results.
+    ka, kb = [2, 3], [2, 3]
+    kc = [0, 1]
+    plan = join(
+        join(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+            hmj_factory(),
+            output_key=lambda r: r.key % 2,
+        ),
+        leaf(source_of(relation(kc, SOURCE_B, "C"), seed=3)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    # (2,2) -> key 0 matches C's 0; (3,3) -> key 1 matches C's 1.
+    assert result.count == 2
+
+
+def test_bursty_pipeline_uses_blocked_windows():
+    ka = random_keys(600, 200, 20)
+    kb = random_keys(600, 200, 21)
+    kc = random_keys(600, 200, 22)
+
+    def bursty():
+        return BurstyArrival(burst_size=60, intra_gap=0.002, mean_silence=0.5)
+
+    plan = join(
+        join(
+            leaf(NetworkSource(relation(ka, SOURCE_A, "A"), bursty(), seed=1)),
+            leaf(NetworkSource(relation(kb, SOURCE_B, "B"), bursty(), seed=2)),
+            hmj_factory(60),
+            label="ab",
+        ),
+        leaf(NetworkSource(relation(kc, SOURCE_B, "C"), bursty(), seed=3)),
+        hmj_factory(60),
+        label="root",
+    )
+    result = run_plan(plan, blocking_threshold=0.05)
+    assert result.count == expected_triples(ka, kb, kc)
+    counts = result_multiset(result.results)
+    assert all(v == 1 for v in counts.values())
+
+
+def test_stop_after_truncates_at_root():
+    ka = random_keys(400, 100, 30)
+    kb = random_keys(400, 100, 31)
+    kc = random_keys(400, 100, 32)
+    result = three_way_plan(ka, kb, kc, stop_after=5)
+    assert result.count == 5
+    assert not result.completed
+
+
+def test_node_stats_cover_all_joins():
+    result = three_way_plan(random_keys(100, 40, 1), random_keys(100, 40, 2), random_keys(100, 40, 3))
+    labels = [s.label for s in result.node_stats]
+    assert labels == ["ab", "root"]
+    assert result.total_io == sum(s.io for s in result.node_stats)
+
+
+def test_symmetric_hash_pipeline():
+    ka = random_keys(200, 80, 40)
+    kb = random_keys(200, 80, 41)
+    kc = random_keys(200, 80, 42)
+    result = three_way_plan(ka, kb, kc, factory=lambda: SymmetricHashJoin())
+    assert result.count == expected_triples(ka, kb, kc)
+    assert result.total_io == 0
+
+
+def test_deterministic_across_runs():
+    args = (random_keys(300, 90, 50), random_keys(300, 90, 51), random_keys(300, 90, 52))
+    r1 = three_way_plan(*args)
+    r2 = three_way_plan(*args)
+    assert r1.count == r2.count
+    assert r1.clock.now == r2.clock.now
+    assert r1.total_io == r2.total_io
+
+
+def test_plan_validation_rejects_bare_leaf():
+    src = source_of(relation([1], SOURCE_A, "A"))
+    with pytest.raises(ConfigurationError):
+        validate_plan(leaf(src))
+
+
+def test_plan_validation_rejects_shared_nodes():
+    shared = leaf(source_of(relation([1], SOURCE_A, "A")))
+    plan = join(shared, shared, hmj_factory())
+    with pytest.raises(ConfigurationError):
+        validate_plan(plan)
+
+
+def test_plan_validation_rejects_consumed_source():
+    src = source_of(relation([1, 2], SOURCE_A, "A"))
+    src.pop()
+    src.pop()
+    plan = join(
+        leaf(src), leaf(source_of(relation([1], SOURCE_B, "B"))), hmj_factory()
+    )
+    with pytest.raises(ConfigurationError):
+        validate_plan(plan)
+
+
+def test_collect_leaves_order():
+    l1 = leaf(source_of(relation([1], SOURCE_A, "A"), seed=1), label="l1")
+    l2 = leaf(source_of(relation([1], SOURCE_B, "B"), seed=2), label="l2")
+    l3 = leaf(source_of(relation([1], SOURCE_B, "C"), seed=3), label="l3")
+    plan = join(join(l1, l2, hmj_factory()), l3, hmj_factory())
+    assert [l.label for l in collect_leaves(plan)] == ["l1", "l2", "l3"]
+
+
+def test_executor_validation():
+    plan = join(
+        leaf(source_of(relation([1], SOURCE_A, "A"), seed=1)),
+        leaf(source_of(relation([1], SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    with pytest.raises(ConfigurationError):
+        PlanExecutor(plan, blocking_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        PlanExecutor(plan, stop_after=0)
+
+
+def test_leaf_relabelled_to_its_side():
+    # A 'B'-labelled relation placed on the LEFT side still works: the
+    # executor relabels tuples to the side they play.
+    rel_left = relation([5, 6], SOURCE_B, "left")
+    rel_right = relation([5, 6], SOURCE_B, "right")
+    plan = join(
+        leaf(source_of(rel_left, seed=1)),
+        leaf(source_of(rel_right, seed=2)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    assert result.count == 2
+    assert all(r.left.source == SOURCE_A for r in result.results)
+
+
+# -- transform nodes (select / map) -------------------------------------------
+
+
+def test_filter_node_drops_tuples():
+    from repro.pipeline import select
+
+    ka, kb = [1, 2, 3, 4], [1, 2, 3, 4]
+    plan = join(
+        select(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            predicate=lambda t: t.key % 2 == 0,
+        ),
+        leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    assert sorted(r.key for r in result.results) == [2, 4]
+
+
+def test_map_node_rekeys_tuples():
+    from repro.pipeline import transform
+    from repro.storage.tuples import Tuple as T
+
+    ka, kb = [10, 20], [1, 2]
+    plan = join(
+        transform(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            fn=lambda t: T(key=t.key // 10, tid=t.tid, source=t.source),
+        ),
+        leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    assert sorted(r.key for r in result.results) == [1, 2]
+
+
+def test_transform_chain_between_joins():
+    from repro.pipeline import select
+
+    ka = random_keys(200, 50, 60)
+    kb = random_keys(200, 50, 61)
+    kc = random_keys(200, 50, 62)
+    plan = join(
+        select(
+            join(
+                leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+                leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+                hmj_factory(),
+            ),
+            predicate=lambda t: t.key < 25,
+        ),
+        leaf(source_of(relation(kc, SOURCE_B, "C"), seed=3)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    expected = sum(
+        Counter(ka)[k] * Counter(kb)[k] * Counter(kc)[k]
+        for k in set(ka)
+        if k < 25
+    )
+    assert result.count == expected
+    assert all(r.key < 25 for r in result.results)
+
+
+def test_map_node_cannot_break_identity_uniqueness():
+    from repro.pipeline import transform
+    from repro.storage.tuples import Tuple as T
+
+    # A malicious map sets every tid to 0; the executor re-imposes the
+    # original tids, so results stay distinct.
+    ka, kb = [5, 5], [5]
+    plan = join(
+        transform(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            fn=lambda t: T(key=t.key, tid=0, source="B"),
+        ),
+        leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    result = run_plan(plan)
+    assert result.count == 2
+    counts = result_multiset(result.results)
+    assert all(v == 1 for v in counts.values())
+
+
+def test_map_node_must_return_tuple():
+    from repro.pipeline import transform
+
+    plan = join(
+        transform(
+            leaf(source_of(relation([1], SOURCE_A, "A"), seed=1)),
+            fn=lambda t: 42,  # type: ignore[arg-type]
+        ),
+        leaf(source_of(relation([1], SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    with pytest.raises(ConfigurationError):
+        run_plan(plan)
+
+
+def test_transform_root_rejected():
+    from repro.pipeline import select
+    from repro.pipeline.plan import validate_plan as vp
+
+    inner = join(
+        leaf(source_of(relation([1], SOURCE_A, "A"), seed=1)),
+        leaf(source_of(relation([1], SOURCE_B, "B"), seed=2)),
+        hmj_factory(),
+    )
+    with pytest.raises(ConfigurationError):
+        vp(select(inner, predicate=lambda t: True))
+
+
+# -- star-schema re-keying ------------------------------------------------------
+
+
+def test_star_schema_join_rekeys_between_dimensions():
+    from repro.workloads.generator import make_star_schema
+
+    fact, dims = make_star_schema(n_fact=400, dim_sizes=[40, 25, 10], seed=9)
+
+    def fact_tuple_of(result):
+        """Walk a nested plan result back to the original fact tuple."""
+        node = result
+        while not isinstance(node.left.payload, dict):
+            node = node.left.payload
+        return node.left
+
+    def fk_of(result, d):
+        return fact_tuple_of(result).payload[f"fk{d}"]
+
+    plan = join(
+        join(
+            join(
+                leaf(source_of(fact, seed=1)),
+                leaf(source_of(dims[0], seed=2)),
+                hmj_factory(),
+                output_key=lambda r: fk_of(r, 1),
+                label="fact-dim0",
+            ),
+            leaf(source_of(dims[1], seed=3)),
+            hmj_factory(),
+            output_key=lambda r: fk_of(r, 2),
+            label="dim1",
+        ),
+        leaf(source_of(dims[2], seed=4)),
+        hmj_factory(),
+        label="dim2",
+    )
+    result = run_plan(plan)
+    # Every foreign key is valid, so the full star join returns exactly
+    # one row per fact tuple, with no duplicates.
+    assert result.count == 400
+    counts = result_multiset(result.results)
+    assert all(v == 1 for v in counts.values())
+    # Spot-check referential integrity end to end on one result.
+    sample = result.results[0]
+    fact_tuple = sample
+    while not isinstance(fact_tuple.left.payload, dict):
+        fact_tuple = fact_tuple.left.payload
+    assert fact_tuple.left.payload["fk2"] == sample.right.key
+
+
+def test_pipeline_journal_spans_all_nodes():
+    from repro.net.arrival import BurstyArrival
+
+    ka = random_keys(400, 120, 70)
+    kb = random_keys(400, 120, 71)
+    kc = random_keys(400, 120, 72)
+
+    def bursty():
+        return BurstyArrival(burst_size=40, intra_gap=0.002, mean_silence=0.5)
+
+    plan = join(
+        join(
+            leaf(NetworkSource(relation(ka, SOURCE_A, "A"), bursty(), seed=1)),
+            leaf(NetworkSource(relation(kb, SOURCE_B, "B"), bursty(), seed=2)),
+            hmj_factory(60),
+            label="ab",
+        ),
+        leaf(NetworkSource(relation(kc, SOURCE_B, "C"), bursty(), seed=3)),
+        hmj_factory(60),
+        label="root",
+    )
+    result = run_plan(plan, blocking_threshold=0.05, journal=True)
+    journal = result.journal
+    assert journal is not None
+    actors = {e.actor for e in journal.entries}
+    assert "engine" in actors
+    assert "HMJ" in actors  # operator events from both join nodes
+    assert journal.of_kind("blocked-window")
+    assert journal.of_kind("flush")

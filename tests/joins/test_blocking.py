@@ -1,0 +1,91 @@
+"""Unit tests for the blocking oracle joins (they must agree exactly)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.joins.blocking import (
+    grace_hash_join,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, result_multiset
+
+ORACLES = [hash_join, nested_loop_join, sort_merge_join, grace_hash_join]
+
+
+def rels(keys_a, keys_b):
+    return (
+        Relation.from_keys(keys_a, source=SOURCE_A),
+        Relation.from_keys(keys_b, source=SOURCE_B),
+    )
+
+
+def test_simple_match():
+    rel_a, rel_b = rels([1, 2, 3], [2, 3, 4])
+    results = hash_join(rel_a, rel_b)
+    assert sorted(r.key for r in results) == [2, 3]
+
+
+def test_duplicates_cross_product():
+    rel_a, rel_b = rels([5, 5], [5, 5, 5])
+    for oracle in ORACLES:
+        assert len(oracle(rel_a, rel_b)) == 6
+
+
+def test_no_matches():
+    rel_a, rel_b = rels([1], [2])
+    for oracle in ORACLES:
+        assert oracle(rel_a, rel_b) == []
+
+
+def test_empty_inputs():
+    rel_a, rel_b = rels([], [1, 2])
+    for oracle in ORACLES:
+        assert oracle(rel_a, rel_b) == []
+        assert oracle(rel_b_to_a(rel_b), Relation.from_keys([], source=SOURCE_B)) == []
+
+
+def rel_b_to_a(rel):
+    return Relation.from_keys([t.key for t in rel], source=SOURCE_A)
+
+
+def test_results_are_a_oriented():
+    rel_a, rel_b = rels([1], [1])
+    for oracle in ORACLES:
+        (result,) = oracle(rel_a, rel_b)
+        assert result.left.source == SOURCE_A
+        assert result.right.source == SOURCE_B
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_all_oracles_agree_on_random_inputs(seed):
+    rng = np.random.default_rng(seed)
+    rel_a, rel_b = rels(
+        rng.integers(0, 30, size=60).tolist(),
+        rng.integers(0, 30, size=45).tolist(),
+    )
+    reference = result_multiset(hash_join(rel_a, rel_b))
+    for oracle in ORACLES[1:]:
+        assert result_multiset(oracle(rel_a, rel_b)) == reference, oracle.__name__
+
+
+def test_grace_partition_count_irrelevant_to_output():
+    rel_a, rel_b = rels([1, 2, 3, 17, 33], [17, 33, 2])
+    reference = result_multiset(hash_join(rel_a, rel_b))
+    for n_partitions in [1, 2, 7, 64]:
+        assert (
+            result_multiset(grace_hash_join(rel_a, rel_b, n_partitions)) == reference
+        )
+
+
+def test_grace_validation():
+    rel_a, rel_b = rels([1], [1])
+    with pytest.raises(ConfigurationError):
+        grace_hash_join(rel_a, rel_b, n_partitions=0)
+
+
+def test_sort_merge_handles_runs_of_equal_keys_at_end():
+    rel_a, rel_b = rels([9, 9, 9], [9, 9])
+    assert len(sort_merge_join(rel_a, rel_b)) == 6

@@ -1,0 +1,76 @@
+"""Unit tests for the Double Pipelined Hash Join."""
+
+import pytest
+
+from conftest import assert_matches_oracle, drive, interleave, keys_relation, make_runtime
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.sim.budget import WorkBudget
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+
+
+def test_matches_oracle(small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(
+        DoublePipelinedHashJoin(memory_capacity=4, n_buckets=4), rel_a, rel_b
+    )
+
+
+def test_no_background_work_even_with_spilled_data():
+    keys = list(range(30))
+    rel_a = keys_relation(keys, SOURCE_A)
+    op = DoublePipelinedHashJoin(memory_capacity=8, n_buckets=4)
+    runtime = make_runtime()
+    op.bind(runtime)
+    for t in rel_a:
+        op.on_tuple(t)
+    assert op.flush_count > 0
+    assert not op.has_background_work()
+    op.on_blocked(WorkBudget.unbounded(runtime.clock))
+    assert runtime.recorder.count == 0
+
+
+def test_deferred_stage_produces_disk_matches():
+    keys = list(range(30))
+    rel_a = keys_relation(keys, SOURCE_A)
+    rel_b = keys_relation(keys, SOURCE_B)
+    op = DoublePipelinedHashJoin(memory_capacity=8, n_buckets=4)
+    runtime = drive(op, list(rel_a) + list(rel_b))
+    assert runtime.recorder.count == 30
+    assert runtime.recorder.count_in_phase("stage2-disk") > 0
+
+
+def test_flushes_from_the_loaded_source():
+    # Only A arrives: every flush must come from A's partitions.
+    rel_a = keys_relation(list(range(40)), SOURCE_A)
+    op = DoublePipelinedHashJoin(memory_capacity=8, n_buckets=4)
+    runtime = make_runtime()
+    op.bind(runtime)
+    for t in rel_a:
+        op.on_tuple(t)
+    names = [p.name for p in runtime.disk.partitions() if len(p) > 0]
+    assert names
+    assert all("/A/" in name for name in names)
+
+
+@pytest.mark.parametrize("memory", [2, 6, 20])
+def test_various_memory_sizes(memory, small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(
+        DoublePipelinedHashJoin(memory_capacity=memory, n_buckets=4), rel_a, rel_b
+    )
+
+
+def test_arrival_order_invariance(small_relations):
+    rel_a, rel_b = small_relations
+    orders = [
+        interleave(rel_a, rel_b),
+        list(rel_a) + list(rel_b),
+        list(rel_b) + list(rel_a),
+    ]
+    outputs = []
+    for order in orders:
+        runtime = drive(
+            DoublePipelinedHashJoin(memory_capacity=5, n_buckets=4), order
+        )
+        outputs.append(sorted(r.identity() for r in runtime.recorder.results))
+    assert all(out == outputs[0] for out in outputs)

@@ -1,0 +1,103 @@
+"""Unit tests for the ripple join and its online estimator."""
+
+import pytest
+
+from conftest import assert_matches_oracle, drive, interleave, keys_relation, make_runtime
+from repro.errors import ConfigurationError, MemoryBudgetError
+from repro.joins.ripple import RippleJoin
+from repro.sim.budget import WorkBudget
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RippleJoin(n_a=-1, n_b=10)
+    with pytest.raises(ConfigurationError):
+        RippleJoin(n_a=1, n_b=1, memory_capacity=0)
+
+
+def test_matches_oracle(small_relations):
+    rel_a, rel_b = small_relations
+    assert_matches_oracle(
+        RippleJoin(n_a=len(rel_a), n_b=len(rel_b)), rel_a, rel_b
+    )
+
+
+def test_duplicate_keys_cross_product():
+    rel_a = keys_relation([4, 4], SOURCE_A)
+    rel_b = keys_relation([4, 4, 4], SOURCE_B)
+    runtime = drive(
+        RippleJoin(n_a=2, n_b=3), interleave(rel_a, rel_b)
+    )
+    assert runtime.recorder.count == 6
+
+
+def test_estimate_exact_at_end(small_relations):
+    rel_a, rel_b = small_relations
+    op = RippleJoin(n_a=len(rel_a), n_b=len(rel_b))
+    runtime = drive(op, interleave(rel_a, rel_b))
+    # Everything seen: scale-up factor is 1, estimate equals truth.
+    assert op.current_estimate() == pytest.approx(runtime.recorder.count)
+    assert op.seen == (len(rel_a), len(rel_b))
+
+
+def test_estimate_evolves_during_run():
+    rel_a = keys_relation([1, 2, 3, 4], SOURCE_A)
+    rel_b = keys_relation([1, 2, 3, 4], SOURCE_B)
+    op = RippleJoin(n_a=4, n_b=4)
+    runtime = make_runtime()
+    op.bind(runtime)
+    op.on_tuple(rel_a[0])
+    op.on_tuple(rel_b[0])  # match: 1 among 1x1 seen -> estimate 16
+    assert op.current_estimate() == pytest.approx(16.0)
+    for t in interleave(rel_a, rel_b)[2:]:
+        op.on_tuple(t)
+    assert op.current_estimate() == pytest.approx(4.0)
+
+
+def test_memory_budget_enforced():
+    rel_a = keys_relation(list(range(10)), SOURCE_A)
+    op = RippleJoin(n_a=10, n_b=0, memory_capacity=5)
+    runtime = make_runtime()
+    op.bind(runtime)
+    with pytest.raises(MemoryBudgetError):
+        for t in rel_a:
+            op.on_tuple(t)
+
+
+def test_no_background_work(small_relations):
+    rel_a, _ = small_relations
+    op = RippleJoin(n_a=len(rel_a), n_b=0)
+    runtime = make_runtime()
+    op.bind(runtime)
+    op.on_tuple(rel_a[0])
+    assert not op.has_background_work()
+    op.on_blocked(WorkBudget.unbounded(runtime.clock))
+    assert runtime.recorder.count == 0
+
+
+def test_probe_cost_scales_with_opposite_side():
+    # Nested-loop semantics: probing charges for the *whole* opposite
+    # side, unlike a hash probe.
+    rel_a = keys_relation(list(range(50)), SOURCE_A)
+    rel_b = keys_relation([99], SOURCE_B)
+    op = RippleJoin(n_a=50, n_b=1)
+    runtime = make_runtime()
+    op.bind(runtime)
+    for t in rel_a:
+        op.on_tuple(t)
+    before = runtime.clock.now
+    op.on_tuple(rel_b[0])
+    elapsed = runtime.clock.now - before
+    expected = (
+        runtime.costs.cpu_tuple_cost + 50 * runtime.costs.cpu_compare_cost
+    )
+    assert elapsed == pytest.approx(expected)
+
+
+def test_phase_label(small_relations):
+    rel_a, rel_b = small_relations
+    runtime = drive(
+        RippleJoin(n_a=len(rel_a), n_b=len(rel_b)), interleave(rel_a, rel_b)
+    )
+    assert {e.phase for e in runtime.recorder.events} == {"ripple"}

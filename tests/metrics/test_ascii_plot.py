@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII plotter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_plot import plot_series
+from repro.metrics.series import Series
+
+
+def series(name, points, metric="time"):
+    return Series(name=name, metric=metric, points=points)
+
+
+def test_plot_contains_markers_and_legend():
+    s1 = series("HMJ", [(1, 0.0), (50, 5.0), (100, 10.0)])
+    s2 = series("XJoin", [(1, 0.0), (50, 8.0), (100, 12.0)])
+    text = plot_series([s1, s2])
+    assert "* HMJ" in text
+    assert "+ XJoin" in text
+    assert "k=1" in text and "k=100" in text
+    assert "*" in text.splitlines()[0] or any("*" in line for line in text.splitlines())
+
+
+def test_plot_title():
+    s = series("A", [(1, 1.0), (2, 2.0)])
+    text = plot_series([s], title="my plot")
+    assert text.splitlines()[0] == "my plot"
+
+
+def test_plot_y_labels_reflect_range():
+    s = series("A", [(1, 2.0), (10, 42.0)])
+    text = plot_series([s])
+    assert "42" in text
+    assert "2" in text
+
+
+def test_monotone_series_renders_monotone():
+    points = [(k, float(k)) for k in range(1, 33)]
+    text = plot_series([series("A", points)], width=32, height=8)
+    rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+    # Marker columns must increase as rows go down (lower y = smaller k).
+    cols = [row.index("*") for row in rows if "*" in row]
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_flat_series_renders_on_one_row():
+    points = [(k, 5.0) for k in range(1, 11)]
+    text = plot_series([series("A", points)], height=6)
+    rows = [line for line in text.splitlines() if "*" in line and "|" in line]
+    assert len(rows) == 1
+
+
+def test_plot_rejects_empty_and_mixed():
+    with pytest.raises(ConfigurationError):
+        plot_series([])
+    with pytest.raises(ConfigurationError):
+        plot_series([series("A", [])])
+    with pytest.raises(ConfigurationError):
+        plot_series(
+            [series("A", [(1, 1.0)]), series("B", [(1, 1.0)], metric="io")]
+        )
+
+
+def test_plot_rejects_tiny_canvas():
+    s = series("A", [(1, 1.0), (2, 2.0)])
+    with pytest.raises(ConfigurationError):
+        plot_series([s], width=4)
+    with pytest.raises(ConfigurationError):
+        plot_series([s], height=2)
+
+
+def test_plot_is_deterministic():
+    s1 = series("A", [(1, 0.5), (100, 9.5), (200, 12.0)])
+    s2 = series("B", [(1, 1.0), (100, 4.0), (200, 20.0)])
+    assert plot_series([s1, s2]) == plot_series([s1, s2])
+
+
+def test_single_point_series():
+    text = plot_series([series("A", [(5, 3.0)])])
+    assert "* A" in text

@@ -1,0 +1,139 @@
+"""Unit tests for online estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.estimators import (
+    JoinSizeEstimator,
+    ProgressEstimator,
+    SelectivityEstimator,
+)
+
+
+def test_selectivity_starts_at_zero():
+    assert SelectivityEstimator().selectivity == 0.0
+
+
+def test_selectivity_running_ratio():
+    est = SelectivityEstimator()
+    est.observe(pairs=10, matches=2)
+    est.observe(pairs=10, matches=0)
+    assert est.selectivity == pytest.approx(0.1)
+    assert est.pairs == 20
+    assert est.matches == 2
+
+
+def test_selectivity_validation():
+    est = SelectivityEstimator()
+    with pytest.raises(ConfigurationError):
+        est.observe(pairs=-1, matches=0)
+    with pytest.raises(ConfigurationError):
+        est.observe(pairs=1, matches=2)
+
+
+def test_join_size_zero_until_both_sides_seen():
+    est = JoinSizeEstimator(n_a=100, n_b=100)
+    est.observe_tuple(source_is_a=True, new_matches=0)
+    assert est.estimate() == 0.0
+
+
+def test_join_size_exact_when_everything_seen():
+    # 3x3 inputs, 4 matches: once all tuples are seen the scale-up
+    # factor is 1 and the estimate is exact.
+    est = JoinSizeEstimator(n_a=3, n_b=3)
+    for _ in range(3):
+        est.observe_tuple(True, 0)
+    for matches in (2, 1, 1):
+        est.observe_tuple(False, matches)
+    assert est.estimate() == pytest.approx(4.0)
+    assert est.seen == (3, 3)
+    assert est.matches_seen == 4
+
+
+def test_join_size_scales_up_partial_views():
+    est = JoinSizeEstimator(n_a=100, n_b=200)
+    for _ in range(10):
+        est.observe_tuple(True, 0)
+    for _ in range(19):
+        est.observe_tuple(False, 0)
+    est.observe_tuple(False, 1)  # 1 match among 10 x 20 seen pairs
+    # 1 * (100/10) * (200/20) = 100.
+    assert est.estimate() == pytest.approx(100.0)
+
+
+def test_join_size_estimate_converges_on_uniform_keys():
+    rng = np.random.default_rng(4)
+    n, key_range = 2000, 500
+    keys_a = rng.integers(0, key_range, n)
+    keys_b = rng.integers(0, key_range, n)
+    true_size = sum(int(np.count_nonzero(keys_b == k)) for k in keys_a)
+
+    est = JoinSizeEstimator(n_a=n, n_b=n)
+    seen_b: dict[int, int] = {}
+    seen_a: dict[int, int] = {}
+    # Interleave arrivals; each arrival's matches = count of equal keys
+    # already seen on the other side.
+    for ka, kb in zip(keys_a, keys_b):
+        est.observe_tuple(True, seen_b.get(int(ka), 0))
+        seen_a[int(ka)] = seen_a.get(int(ka), 0) + 1
+        est.observe_tuple(False, seen_a.get(int(kb), 0))
+        seen_b[int(kb)] = seen_b.get(int(kb), 0) + 1
+    assert est.estimate() == pytest.approx(true_size, rel=0.01)
+
+
+def test_join_size_confidence_shrinks():
+    est = JoinSizeEstimator(n_a=1000, n_b=1000)
+    # Seed a non-degenerate selectivity (0 < p < 1), then keep
+    # observing at the same match rate: the half-width must shrink as
+    # the sampled rectangle grows.
+    for i in range(10):
+        est.observe_tuple(True, 0)
+        est.observe_tuple(False, 1 if i % 2 == 0 else 0)
+    wide = est.confidence_halfwidth()
+    assert wide > 0
+    for i in range(200):
+        est.observe_tuple(True, 0)
+        est.observe_tuple(False, 1 if i % 2 == 0 else 0)
+    narrow = est.confidence_halfwidth()
+    assert 0 < narrow < wide
+
+
+def test_join_size_validation():
+    with pytest.raises(ConfigurationError):
+        JoinSizeEstimator(n_a=-1, n_b=1)
+    est = JoinSizeEstimator(n_a=1, n_b=1)
+    with pytest.raises(ConfigurationError):
+        est.observe_tuple(True, -1)
+
+
+def test_progress_initial_state():
+    est = ProgressEstimator()
+    assert est.produced == 0
+    assert est.completion(100) == 0.0
+    assert est.remaining_time(100) == float("inf")
+
+
+def test_progress_completion_clamps():
+    est = ProgressEstimator()
+    for i in range(10):
+        est.observe_result(time=float(i + 1))
+    assert est.completion(20) == pytest.approx(0.5)
+    assert est.completion(5) == 1.0
+    assert est.completion(0) == 0.0
+
+
+def test_progress_remaining_time_from_rate():
+    est = ProgressEstimator()
+    for i in range(10):
+        est.observe_result(time=(i + 1) * 0.1)  # 10 results in 1 second
+    # 10 more at 10/s -> 1 more second.
+    assert est.remaining_time(20) == pytest.approx(1.0)
+    assert est.remaining_time(5) == 0.0
+
+
+def test_progress_rejects_time_going_backwards():
+    est = ProgressEstimator()
+    est.observe_result(1.0)
+    with pytest.raises(ConfigurationError):
+        est.observe_result(0.5)

@@ -1,0 +1,104 @@
+"""Unit tests for metric exports (CSV / markdown)."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.export import (
+    load_series_csv,
+    recorder_to_csv,
+    series_to_csv,
+    series_to_markdown,
+)
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.series import Series
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+
+
+def small_recorder(n=3):
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    rec = MetricsRecorder(clock, disk)
+    for i in range(n):
+        clock.advance(0.5)
+        rec.record(
+            make_result(
+                Tuple(key=1, tid=i, source=SOURCE_A),
+                Tuple(key=1, tid=i, source=SOURCE_B),
+            ),
+            "hashing" if i % 2 == 0 else "merging",
+        )
+    return rec
+
+
+def test_recorder_to_csv(tmp_path):
+    rec = small_recorder(3)
+    path = tmp_path / "events.csv"
+    assert recorder_to_csv(rec, path) == 3
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["k", "time", "io", "phase"]
+    assert rows[1][0] == "1"
+    assert float(rows[1][1]) == pytest.approx(0.5)
+    assert rows[2][3] == "merging"
+
+
+def test_series_csv_roundtrip(tmp_path):
+    s1 = Series(name="HMJ", metric="time", points=[(1, 0.1), (10, 1.0)])
+    s2 = Series(name="XJoin", metric="time", points=[(1, 0.2), (5, 0.5)])
+    path = tmp_path / "series.csv"
+    assert series_to_csv([s1, s2], path) == 3  # k grid {1, 5, 10}
+    loaded = load_series_csv(path)
+    assert loaded["HMJ"] == [(1, pytest.approx(0.1)), (10, pytest.approx(1.0))]
+    assert loaded["XJoin"] == [(1, pytest.approx(0.2)), (5, pytest.approx(0.5))]
+
+
+def test_series_csv_blank_cells(tmp_path):
+    s1 = Series(name="A", metric="io", points=[(1, 1.0)])
+    s2 = Series(name="B", metric="io", points=[(2, 2.0)])
+    path = tmp_path / "s.csv"
+    series_to_csv([s1, s2], path)
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[1] == ["1", "1.000000000", ""]
+    assert rows[2] == ["2", "", "2.000000000"]
+
+
+def test_series_csv_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        series_to_csv([], tmp_path / "x.csv")
+    s1 = Series(name="A", metric="io", points=[(1, 1.0)])
+    s2 = Series(name="B", metric="time", points=[(1, 1.0)])
+    with pytest.raises(ConfigurationError):
+        series_to_csv([s1, s2], tmp_path / "x.csv")
+
+
+def test_load_series_rejects_non_series(tmp_path):
+    path = tmp_path / "junk.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ConfigurationError):
+        load_series_csv(path)
+
+
+def test_load_series_rejects_empty(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ConfigurationError):
+        load_series_csv(path)
+
+
+def test_markdown_rendering():
+    s = Series(name="HMJ", metric="time", points=[(1, 0.1234), (2, 1.0)])
+    text = series_to_markdown([s], title="Figure 11a")
+    assert "### Figure 11a" in text
+    assert "| k | HMJ |" in text
+    assert "| 1 | 0.123 |" in text
+
+
+def test_markdown_requires_series():
+    with pytest.raises(ConfigurationError):
+        series_to_markdown([])

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics recorder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import MetricsRecorder
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+
+
+def setup():
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel(page_size=2, io_cost=1.0))
+    return clock, disk, MetricsRecorder(clock, disk)
+
+
+def pair(key=1, tid_a=0, tid_b=0):
+    return make_result(
+        Tuple(key=key, tid=tid_a, source=SOURCE_A),
+        Tuple(key=key, tid=tid_b, source=SOURCE_B),
+    )
+
+
+def test_record_stamps_time_io_and_k():
+    clock, disk, rec = setup()
+    clock.advance(1.5)
+    disk.write_block("p", [Tuple(key=1, tid=0)], block_id=0)
+    event = rec.record(pair(), "hashing")
+    assert event.k == 1
+    assert event.time == pytest.approx(2.5)  # 1.5 + one page write
+    assert event.io == 1
+    assert event.phase == "hashing"
+
+
+def test_sequence_numbers_increment():
+    _, _, rec = setup()
+    rec.record(pair(tid_a=0), "hashing")
+    rec.record(pair(tid_a=1), "merging")
+    assert [e.k for e in rec.events] == [1, 2]
+    assert rec.count == 2
+
+
+def test_kth_queries():
+    clock, _, rec = setup()
+    rec.record(pair(tid_a=0), "hashing")
+    clock.advance(3.0)
+    rec.record(pair(tid_a=1), "hashing")
+    assert rec.time_to_kth(1) == 0.0
+    assert rec.time_to_kth(2) == pytest.approx(3.0)
+    assert rec.io_to_kth(2) == 0
+
+
+def test_kth_query_validation():
+    _, _, rec = setup()
+    rec.record(pair(), "hashing")
+    with pytest.raises(ConfigurationError):
+        rec.time_to_kth(0)
+    with pytest.raises(ConfigurationError):
+        rec.time_to_kth(2)
+
+
+def test_totals():
+    clock, _, rec = setup()
+    clock.advance(2.0)
+    rec.record(pair(), "hashing")
+    assert rec.total_time() == pytest.approx(2.0)
+    assert rec.total_io() == 0
+
+
+def test_totals_when_empty():
+    _, disk, rec = setup()
+    disk.write_block("p", [Tuple(key=1, tid=0)], block_id=0)
+    assert rec.total_time() == 0.0
+    assert rec.total_io() == disk.io_count
+
+
+def test_count_in_phase():
+    _, _, rec = setup()
+    rec.record(pair(tid_a=0), "hashing")
+    rec.record(pair(tid_a=1), "merging")
+    rec.record(pair(tid_a=2), "merging")
+    assert rec.count_in_phase("hashing") == 1
+    assert rec.count_in_phase("merging") == 2
+    assert rec.count_in_phase("other") == 0
+
+
+def test_results_retained_by_default():
+    _, _, rec = setup()
+    r = pair()
+    rec.record(r, "hashing")
+    assert rec.results == [r]
+
+
+def test_keep_results_false_drops_tuples_keeps_metrics():
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    rec = MetricsRecorder(clock, disk, keep_results=False)
+    rec.record(pair(), "hashing")
+    assert rec.results == []
+    assert rec.count == 1
+
+
+def test_record_batch():
+    _, _, rec = setup()
+    n = rec.record_batch([pair(tid_a=0), pair(tid_a=1)], "merging")
+    assert n == 2
+    assert rec.count == 2
+
+
+def test_events_are_copies():
+    _, _, rec = setup()
+    rec.record(pair(), "hashing")
+    rec.events.clear()
+    assert rec.count == 1

@@ -1,0 +1,65 @@
+"""Unit tests for text report formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.series import Series
+
+
+def test_table_alignment_and_rule():
+    text = format_table(["k", "time"], [[1, 0.5], [100, 12.25]])
+    lines = text.splitlines()
+    assert lines[0].startswith("k")
+    assert set(lines[1]) <= {"-", " "}
+    assert "12.250" in lines[3]
+
+
+def test_table_float_formatting():
+    text = format_table(["v"], [[1.23456]])
+    assert "1.235" in text
+
+
+def test_table_needs_headers():
+    with pytest.raises(ConfigurationError):
+        format_table([], [])
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ConfigurationError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_table_widens_to_longest_cell():
+    text = format_table(["x"], [["abcdefghij"]])
+    assert "abcdefghij" in text.splitlines()[2]
+
+
+def test_comparison_merges_k_grids():
+    s1 = Series(name="HMJ", metric="time", points=[(1, 0.1), (10, 1.0)])
+    s2 = Series(name="XJoin", metric="time", points=[(1, 0.2), (5, 0.6)])
+    text = format_comparison([s1, s2])
+    assert "HMJ (time)" in text
+    assert "XJoin (time)" in text
+    # k=5 exists only for XJoin; k=10 only for HMJ.
+    lines = text.splitlines()
+    assert any(line.strip().startswith("5") for line in lines)
+    assert any(line.strip().startswith("10") for line in lines)
+
+
+def test_comparison_title():
+    s = Series(name="A", metric="io", points=[(1, 2.0)])
+    text = format_comparison([s], title="Figure 11b")
+    assert text.splitlines()[0] == "Figure 11b"
+
+
+def test_comparison_rejects_mixed_metrics():
+    s1 = Series(name="A", metric="time", points=[(1, 0.1)])
+    s2 = Series(name="B", metric="io", points=[(1, 2.0)])
+    with pytest.raises(ConfigurationError):
+        format_comparison([s1, s2])
+
+
+def test_comparison_needs_series():
+    with pytest.raises(ConfigurationError):
+        format_comparison([])

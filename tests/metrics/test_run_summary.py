@@ -1,0 +1,130 @@
+"""Unit tests for run summaries, segments, and knee detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.summary import detect_knee, phase_segments, summarise_run
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+
+
+def recorder_with(spec):
+    """Build a recorder from (phase, dt) pairs."""
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    rec = MetricsRecorder(clock, disk)
+    for i, (phase, dt) in enumerate(spec):
+        clock.advance(dt)
+        rec.record(
+            make_result(
+                Tuple(key=1, tid=i, source=SOURCE_A),
+                Tuple(key=1, tid=i, source=SOURCE_B),
+            ),
+            phase,
+        )
+    return rec
+
+
+def test_segments_empty_run():
+    assert phase_segments(recorder_with([])) == []
+
+
+def test_segments_single_phase():
+    rec = recorder_with([("hashing", 0.1)] * 4)
+    (segment,) = phase_segments(rec)
+    assert segment.phase == "hashing"
+    assert segment.start_k == 1
+    assert segment.end_k == 4
+    assert segment.count == 4
+
+
+def test_segments_split_on_phase_change():
+    rec = recorder_with(
+        [("hashing", 0.1)] * 3 + [("merging", 0.1)] * 2 + [("hashing", 0.1)]
+    )
+    segments = phase_segments(rec)
+    assert [s.phase for s in segments] == ["hashing", "merging", "hashing"]
+    assert [(s.start_k, s.end_k) for s in segments] == [(1, 3), (4, 5), (6, 6)]
+
+
+def test_segment_rate():
+    rec = recorder_with([("hashing", 0.0), ("hashing", 1.0), ("hashing", 1.0)])
+    (segment,) = phase_segments(rec)
+    assert segment.duration == pytest.approx(2.0)
+    assert segment.rate == pytest.approx(1.5)
+
+
+def test_segment_rate_instantaneous_burst():
+    rec = recorder_with([("sorting", 0.5), ("sorting", 0.0)])
+    (segment,) = phase_segments(rec)
+    assert segment.rate == float("inf")
+
+
+def test_knee_detects_rate_change():
+    # 100 fast results (0.001 s apart) then 100 slow ones (0.05 s).
+    rec = recorder_with([("hashing", 0.001)] * 100 + [("merging", 0.05)] * 100)
+    knee = detect_knee(rec, window=20)
+    assert knee is not None
+    assert 85 <= knee <= 115
+
+
+def test_knee_none_when_too_few_results():
+    rec = recorder_with([("hashing", 0.1)] * 10)
+    assert detect_knee(rec, window=20) is None
+
+
+def test_knee_window_validation():
+    rec = recorder_with([("hashing", 0.1)] * 10)
+    with pytest.raises(ConfigurationError):
+        detect_knee(rec, window=1)
+
+
+def test_summary_contents():
+    rec = recorder_with([("hashing", 0.5), ("hashing", 0.5), ("merging", 1.0)])
+    summary = summarise_run(rec)
+    assert summary.total_results == 3
+    assert summary.total_time == pytest.approx(2.0)
+    assert summary.first_result_time == pytest.approx(0.5)
+    assert summary.phase_totals == {"hashing": 2, "merging": 1}
+    assert len(summary.segments) == 2
+    assert summary.mean_rate == pytest.approx(1.5)
+    assert summary.knee_k is None  # too few results for the default window
+
+
+def test_summary_empty_run():
+    summary = summarise_run(recorder_with([]))
+    assert summary.total_results == 0
+    assert summary.first_result_time is None
+    assert summary.mean_rate == 0.0
+
+
+def test_summary_render_mentions_key_numbers():
+    rec = recorder_with([("hashing", 0.25)] * 4)
+    text = summarise_run(rec).render()
+    assert "results      : 4" in text
+    assert "hashing=4" in text
+
+
+def test_summary_on_real_hmj_run():
+    from repro.core.config import HMJConfig
+    from repro.core.hmj import HashMergeJoin
+    from repro.net.arrival import ConstantRate
+    from repro.net.source import NetworkSource
+    from repro.sim.engine import run_join
+    from repro.workloads.generator import paper_workload, make_relation_pair
+
+    spec = paper_workload(n_per_source=4000)
+    rel_a, rel_b = make_relation_pair(spec)
+    src_a = NetworkSource(rel_a, ConstantRate(2000.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(2000.0), seed=2)
+    op = HashMergeJoin(HMJConfig(memory_capacity=spec.memory_capacity()))
+    result = run_join(src_a, src_b, op)
+    summary = summarise_run(result.recorder)
+    # The two-segment structure of the paper's curves: the knee sits at
+    # the hashing/merging boundary.
+    hashing = summary.phase_totals["hashing"]
+    assert summary.knee_k is not None
+    assert abs(summary.knee_k - hashing) < 0.2 * summary.total_results

@@ -1,0 +1,104 @@
+"""Unit tests for series extraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.series import Series, phase_counts, sample_ks, series_from_recorder
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+
+
+def recorder_with(n, phase="hashing"):
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    rec = MetricsRecorder(clock, disk)
+    for i in range(n):
+        clock.advance(1.0)
+        rec.record(
+            make_result(
+                Tuple(key=1, tid=i, source=SOURCE_A),
+                Tuple(key=1, tid=i, source=SOURCE_B),
+            ),
+            phase,
+        )
+    return rec
+
+
+def test_sample_ks_includes_first_and_last():
+    ks = sample_ks(1000, n_samples=5)
+    assert ks[0] == 1
+    assert ks[-1] == 1000
+
+
+def test_sample_ks_small_total():
+    assert sample_ks(3, n_samples=10) == [1, 2, 3]
+
+
+def test_sample_ks_empty():
+    assert sample_ks(0) == []
+
+
+def test_sample_ks_validation():
+    with pytest.raises(ConfigurationError):
+        sample_ks(10, n_samples=1)
+
+
+def test_series_from_recorder_time():
+    rec = recorder_with(4)
+    series = series_from_recorder(rec, "op", metric="time", ks=[1, 4])
+    assert series.points == [(1, 1.0), (4, 4.0)]
+    assert series.name == "op"
+    assert series.metric == "time"
+
+
+def test_series_from_recorder_io():
+    rec = recorder_with(2)
+    series = series_from_recorder(rec, "op", metric="io", ks=[1, 2])
+    assert series.values() == [0.0, 0.0]
+
+
+def test_series_from_recorder_skips_out_of_range_ks():
+    rec = recorder_with(2)
+    series = series_from_recorder(rec, "op", ks=[1, 2, 50])
+    assert series.ks() == [1, 2]
+
+
+def test_series_invalid_metric():
+    rec = recorder_with(1)
+    with pytest.raises(ConfigurationError):
+        series_from_recorder(rec, "op", metric="latency")
+
+
+def test_series_value_at():
+    s = Series(name="x", metric="time", points=[(1, 0.5), (10, 2.0)])
+    assert s.value_at(10) == 2.0
+    with pytest.raises(ConfigurationError):
+        s.value_at(5)
+
+
+def test_series_final():
+    s = Series(name="x", metric="time", points=[(1, 0.5), (10, 2.0)])
+    assert s.final() == 2.0
+
+
+def test_series_final_empty_raises():
+    with pytest.raises(ConfigurationError):
+        Series(name="x", metric="time").final()
+
+
+def test_phase_counts():
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    rec = MetricsRecorder(clock, disk)
+    for i, phase in enumerate(["hashing", "hashing", "merging"]):
+        rec.record(
+            make_result(
+                Tuple(key=1, tid=i, source=SOURCE_A),
+                Tuple(key=1, tid=i, source=SOURCE_B),
+            ),
+            phase,
+        )
+    assert phase_counts(rec) == {"hashing": 2, "merging": 1}

@@ -1,0 +1,104 @@
+"""Unit tests for network sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.arrival import ConstantRate, ParetoArrival, TraceArrival
+from repro.net.source import NetworkSource
+from repro.storage.tuples import SOURCE_B, Relation
+
+
+def make_source(n=3, rate=2.0, **kwargs):
+    rel = Relation.from_keys(range(n), name="src", key_range=100)
+    return NetworkSource(rel, ConstantRate(rate), **kwargs)
+
+
+def test_peek_does_not_consume():
+    src = make_source()
+    assert src.peek_time() == pytest.approx(0.5)
+    assert src.peek_time() == pytest.approx(0.5)
+    assert src.delivered == 0
+
+
+def test_pop_returns_time_and_tuple_in_order():
+    src = make_source()
+    time, t = src.pop()
+    assert time == pytest.approx(0.5)
+    assert t.key == 0
+    time, t = src.pop()
+    assert time == pytest.approx(1.0)
+    assert t.key == 1
+
+
+def test_exhaustion_lifecycle():
+    src = make_source(n=1)
+    assert not src.exhausted
+    assert src.remaining == 1
+    src.pop()
+    assert src.exhausted
+    assert src.remaining == 0
+    assert src.peek_time() is None
+    with pytest.raises(SimulationError):
+        src.pop()
+
+
+def test_len_counts_relation_size():
+    assert len(make_source(n=7)) == 7
+
+
+def test_start_offset_shifts_schedule():
+    src = make_source(start=5.0)
+    assert src.peek_time() == pytest.approx(5.5)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ConfigurationError):
+        make_source(start=-1.0)
+
+
+def test_same_seed_gives_identical_schedule():
+    rel = Relation.from_keys(range(50))
+    s1 = NetworkSource(rel, ParetoArrival(rate=100.0), seed=9)
+    s2 = NetworkSource(rel, ParetoArrival(rate=100.0), seed=9)
+    assert np.array_equal(s1.arrival_schedule(), s2.arrival_schedule())
+
+
+def test_different_seed_gives_different_schedule():
+    rel = Relation.from_keys(range(50))
+    s1 = NetworkSource(rel, ParetoArrival(rate=100.0), seed=9)
+    s2 = NetworkSource(rel, ParetoArrival(rate=100.0), seed=10)
+    assert not np.array_equal(s1.arrival_schedule(), s2.arrival_schedule())
+
+
+def test_explicit_rng_overrides_seed():
+    rel = Relation.from_keys(range(50))
+    s1 = NetworkSource(rel, ParetoArrival(rate=100.0), rng=np.random.default_rng(3))
+    s2 = NetworkSource(rel, ParetoArrival(rate=100.0), seed=3)
+    assert np.array_equal(s1.arrival_schedule(), s2.arrival_schedule())
+
+
+def test_arrival_schedule_is_a_copy():
+    src = make_source()
+    sched = src.arrival_schedule()
+    sched[0] = -99.0
+    assert src.peek_time() == pytest.approx(0.5)
+
+
+def test_source_label_comes_from_relation():
+    rel = Relation.from_keys([1, 2], source=SOURCE_B)
+    src = NetworkSource(rel, ConstantRate(1.0))
+    assert src.source_label == SOURCE_B
+
+
+def test_trace_driven_source():
+    rel = Relation.from_keys([1, 2, 3])
+    src = NetworkSource(rel, TraceArrival([0.5, 0.25, 0.25]))
+    times = [src.pop()[0] for _ in range(3)]
+    assert times == pytest.approx([0.5, 0.75, 1.0])
+
+
+def test_repr_shows_progress():
+    src = make_source(n=2)
+    src.pop()
+    assert "delivered=1" in repr(src)

@@ -1,0 +1,166 @@
+"""Unit tests for trace persistence, outage injection, and statistics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.arrival import ParetoArrival, PoissonArrival, TraceArrival
+from repro.net.traces import (
+    inject_outages,
+    load_trace,
+    save_trace,
+    trace_statistics,
+)
+
+
+def test_save_load_roundtrip(tmp_path):
+    gaps = [0.1, 0.5, 0.0, 2.25]
+    path = tmp_path / "trace.json"
+    save_trace(path, gaps, description="test trace")
+    assert load_trace(path) == gaps
+
+
+def test_saved_trace_is_replayable(tmp_path):
+    gaps = [0.1, 0.2, 0.3]
+    path = tmp_path / "t.json"
+    save_trace(path, gaps)
+    arrival = TraceArrival(load_trace(path))
+    assert list(arrival.gaps(3, np.random.default_rng(0))) == gaps
+
+
+def test_save_rejects_negative_gaps(tmp_path):
+    with pytest.raises(ConfigurationError):
+        save_trace(tmp_path / "t.json", [0.1, -0.1])
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_trace(tmp_path / "nope.json")
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "other"}))
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_load_rejects_corrupt_length(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(
+        json.dumps(
+            {"format": "repro-arrival-trace", "version": 1, "n": 5, "gaps": [0.1]}
+        )
+    )
+    with pytest.raises(ConfigurationError):
+        load_trace(path)
+
+
+def test_inject_outages_delays_arrivals_inside_window():
+    gaps = [1.0, 1.0, 1.0, 1.0]  # arrivals at 1, 2, 3, 4
+    (out,) = inject_outages([gaps], [(1.5, 1.0)])  # outage [1.5, 2.5)
+    times = np.cumsum(out)
+    # Arrival at 2.0 is delayed to 2.5; others untouched.
+    assert list(times) == pytest.approx([1.0, 2.5, 3.0, 4.0])
+
+
+def test_inject_outages_is_correlated_across_traces():
+    a = [1.0, 1.0]
+    b = [1.8, 0.4]
+    out_a, out_b = inject_outages([a, b], [(1.5, 2.0)])  # [1.5, 3.5)
+    times_a = np.cumsum(out_a)
+    times_b = np.cumsum(out_b)
+    # Both traces' arrivals inside the window land together at 3.5.
+    assert times_a[1] == pytest.approx(3.5)
+    assert times_b[0] == pytest.approx(3.5)
+    assert times_b[1] == pytest.approx(3.5)
+
+
+def test_inject_outages_keeps_ordering():
+    rng = np.random.default_rng(1)
+    gaps = rng.exponential(0.1, size=200).tolist()
+    (out,) = inject_outages([gaps], [(2.0, 5.0), (10.0, 1.0)])
+    times = np.cumsum(out)
+    assert (np.diff(times) >= -1e-12).all()
+    # No arrival inside either outage window.
+    for start, duration in [(2.0, 5.0), (10.0, 1.0)]:
+        inside = (times > start) & (times < start + duration)
+        assert not inside.any()
+
+
+def test_inject_outages_validation():
+    with pytest.raises(ConfigurationError):
+        inject_outages([[0.1]], [(-1.0, 1.0)])
+    with pytest.raises(ConfigurationError):
+        inject_outages([[0.1]], [(0.0, 2.0), (1.0, 1.0)])  # overlap
+
+
+def test_inject_outages_does_not_mutate_input():
+    gaps = [1.0, 1.0]
+    inject_outages([gaps], [(0.5, 1.0)])
+    assert gaps == [1.0, 1.0]
+
+
+def test_statistics_empty_trace():
+    stats = trace_statistics([])
+    assert stats.n == 0
+    assert stats.span == 0.0
+    assert stats.blocked_windows == 0
+
+
+def test_statistics_constant_trace():
+    stats = trace_statistics([0.5] * 10, blocking_threshold=1.0)
+    assert stats.n == 10
+    assert stats.span == pytest.approx(5.0)
+    assert stats.mean_rate == pytest.approx(2.0)
+    assert stats.cov == pytest.approx(0.0)
+    assert stats.blocked_windows == 0
+    assert stats.blocked_fraction == 0.0
+
+
+def test_statistics_counts_blocked_windows():
+    stats = trace_statistics([0.01, 0.2, 0.01, 0.5], blocking_threshold=0.1)
+    assert stats.blocked_windows == 2
+    assert stats.max_gap == pytest.approx(0.5)
+    assert stats.blocked_fraction == pytest.approx(0.7 / 0.72)
+
+
+def test_statistics_cov_separates_traffic_models():
+    rng = np.random.default_rng(3)
+    poisson = PoissonArrival(rate=100.0).gaps(20_000, rng)
+    pareto = ParetoArrival(rate=100.0, shape=1.2).gaps(20_000, rng)
+    assert trace_statistics(pareto).cov > 2 * trace_statistics(poisson).cov
+
+
+def test_statistics_threshold_validation():
+    with pytest.raises(ConfigurationError):
+        trace_statistics([0.1], blocking_threshold=0.0)
+
+
+def test_suggest_threshold_quantile_dominates_for_bursty():
+    from repro.net.traces import suggest_blocking_threshold
+
+    gaps = [0.001] * 99 + [1.0]
+    t = suggest_blocking_threshold(gaps, quantile=0.95)
+    # Well above the routine jitter, below the big silence.
+    assert 0.003 < t < 1.0
+
+
+def test_suggest_threshold_floor_for_constant_traffic():
+    from repro.net.traces import suggest_blocking_threshold
+
+    t = suggest_blocking_threshold([0.01] * 100, floor_factor=3.0)
+    assert t == pytest.approx(0.03)
+
+
+def test_suggest_threshold_validation():
+    from repro.net.traces import suggest_blocking_threshold
+
+    with pytest.raises(ConfigurationError):
+        suggest_blocking_threshold([], quantile=0.5)
+    with pytest.raises(ConfigurationError):
+        suggest_blocking_threshold([0.1], quantile=1.0)
+    with pytest.raises(ConfigurationError):
+        suggest_blocking_threshold([0.1], floor_factor=0.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the blocked-time work budget."""
+
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+
+
+def test_not_expired_before_deadline():
+    clock = VirtualClock()
+    budget = WorkBudget(clock=clock, deadline=1.0)
+    assert not budget.expired()
+
+
+def test_expired_at_deadline():
+    clock = VirtualClock()
+    budget = WorkBudget(clock=clock, deadline=1.0)
+    clock.advance(1.0)
+    assert budget.expired()
+
+
+def test_expired_past_deadline():
+    clock = VirtualClock()
+    budget = WorkBudget(clock=clock, deadline=1.0)
+    clock.advance(2.0)
+    assert budget.expired()
+
+
+def test_unbounded_never_time_expires():
+    clock = VirtualClock()
+    budget = WorkBudget.unbounded(clock)
+    clock.advance(1e9)
+    assert not budget.expired()
+    assert budget.remaining() == float("inf")
+
+
+def test_remaining_counts_down():
+    clock = VirtualClock()
+    budget = WorkBudget(clock=clock, deadline=2.0)
+    clock.advance(0.5)
+    assert budget.remaining() == 1.5
+
+
+def test_remaining_clamps_at_zero():
+    clock = VirtualClock()
+    budget = WorkBudget(clock=clock, deadline=1.0)
+    clock.advance(5.0)
+    assert budget.remaining() == 0.0
+
+
+def test_stop_when_overrides_deadline():
+    clock = VirtualClock()
+    flag = {"stop": False}
+    budget = WorkBudget(clock=clock, deadline=100.0, stop_when=lambda: flag["stop"])
+    assert not budget.expired()
+    flag["stop"] = True
+    assert budget.expired()
+
+
+def test_stop_when_applies_to_unbounded_budget():
+    clock = VirtualClock()
+    budget = WorkBudget.unbounded(clock, stop_when=lambda: True)
+    assert budget.expired()

@@ -1,0 +1,68 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_instant():
+    assert VirtualClock(start=4.5).now == 4.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        VirtualClock(start=-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == 2.0
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance(3.0) == 3.0
+
+
+def test_advance_zero_is_allowed():
+    clock = VirtualClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_advance_negative_rejected():
+    clock = VirtualClock()
+    with pytest.raises(SimulationError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_future_moves_clock():
+    clock = VirtualClock()
+    clock.advance_to(7.0)
+    assert clock.now == 7.0
+
+
+def test_advance_to_past_is_noop():
+    clock = VirtualClock()
+    clock.advance(5.0)
+    clock.advance_to(2.0)
+    assert clock.now == 5.0
+
+
+def test_advance_to_present_is_noop():
+    clock = VirtualClock()
+    clock.advance(5.0)
+    assert clock.advance_to(5.0) == 5.0
+
+
+def test_repr_shows_time():
+    clock = VirtualClock()
+    clock.advance(1.25)
+    assert "1.25" in repr(clock)

@@ -1,0 +1,106 @@
+"""Tests for the simulation journal (structural-event timeline)."""
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.errors import ConfigurationError
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BurstyArrival, ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import run_join
+from repro.sim.journal import SimulationJournal
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+SPEC = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=41)
+
+
+def run_with_journal(operator, bursty=False):
+    rel_a, rel_b = make_relation_pair(SPEC)
+    if bursty:
+        arrival = lambda: BurstyArrival(burst_size=40, intra_gap=0.002, mean_silence=0.5)
+    else:
+        arrival = lambda: ConstantRate(400.0)
+    src_a = NetworkSource(rel_a, arrival(), seed=1)
+    src_b = NetworkSource(rel_b, arrival(), seed=2)
+    return run_join(
+        src_a, src_b, operator, blocking_threshold=0.05, journal=True
+    )
+
+
+def test_journal_unit_behaviour():
+    clock = VirtualClock()
+    journal = SimulationJournal(clock, max_entries=2)
+    journal.record("x", "a", n=1)
+    clock.advance(1.0)
+    journal.record("x", "b")
+    journal.record("x", "c")  # over the bound: dropped
+    assert len(journal) == 2
+    assert journal.dropped == 1
+    assert journal.of_kind("a")[0].detail == {"n": 1}
+    assert journal.entries[1].time == pytest.approx(1.0)
+    assert "more events" in journal.render(limit=1)
+
+
+def test_journal_bound_validation():
+    with pytest.raises(ConfigurationError):
+        SimulationJournal(VirtualClock(), max_entries=0)
+
+
+def test_journal_off_by_default():
+    rel_a, rel_b = make_relation_pair(SPEC)
+    src_a = NetworkSource(rel_a, ConstantRate(400.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(400.0), seed=2)
+    result = run_join(src_a, src_b, HashMergeJoin(HMJConfig(memory_capacity=80)))
+    assert result.journal is None
+
+
+def test_hmj_journal_records_flushes_and_merges():
+    result = run_with_journal(
+        HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16)), bursty=True
+    )
+    journal = result.journal
+    assert journal is not None
+    kinds = {e.kind for e in journal.entries}
+    assert "flush" in kinds
+    assert "merge-pass" in kinds
+    assert "final-flush" in kinds
+    assert "finish" in kinds
+    # Phase switching: at least one blocked window before end of input.
+    assert journal.of_kind("blocked-window")
+    # Events are time-ordered.
+    times = [e.time for e in journal.entries]
+    assert times == sorted(times)
+
+
+def test_hmj_flush_events_match_flush_count():
+    result = run_with_journal(HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16)))
+    op = result.operator
+    assert len(result.journal.of_kind("flush")) == op.flush_count
+
+
+def test_pmj_journal_records_sort_flushes():
+    result = run_with_journal(ProgressiveMergeJoin(memory_capacity=80))
+    events = result.journal.of_kind("sort-flush")
+    assert len(events) == result.operator.sort_flush_count
+    assert all(e.detail["a"] + e.detail["b"] > 0 for e in events)
+
+
+def test_xjoin_journal_records_stage2_passes():
+    result = run_with_journal(XJoin(memory_capacity=80, n_buckets=8), bursty=True)
+    journal = result.journal
+    assert journal.of_kind("flush")
+    stage2 = result.recorder.count_in_phase("stage2")
+    if stage2:
+        assert journal.of_kind("stage2-pass")
+
+
+def test_journal_render_is_readable():
+    result = run_with_journal(
+        HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16)), bursty=True
+    )
+    text = result.journal.render(limit=10)
+    assert "flush" in text
+    assert "s]" in text

@@ -1,0 +1,120 @@
+"""Tests for the streaming-iterator API (stream_join)."""
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.joins.blocking import hash_join
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BurstyArrival, ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join, stream_join
+from repro.storage.tuples import result_multiset
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+SPEC = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=23)
+
+
+def sources(rate=400.0):
+    rel_a, rel_b = make_relation_pair(SPEC)
+    return (
+        NetworkSource(rel_a, ConstantRate(rate), seed=1),
+        NetworkSource(rel_b, ConstantRate(rate), seed=2),
+        rel_a,
+        rel_b,
+    )
+
+
+def test_stream_yields_every_result_exactly_once():
+    src_a, src_b, rel_a, rel_b = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    streamed = [result for result, _ in stream_join(src_a, src_b, op)]
+    assert result_multiset(streamed) == result_multiset(hash_join(rel_a, rel_b))
+
+
+def test_stream_events_are_ordered_and_numbered():
+    src_a, src_b, _, _ = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    events = [event for _, event in stream_join(src_a, src_b, op)]
+    assert [e.k for e in events] == list(range(1, len(events) + 1))
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_stream_matches_run_join_metrics():
+    src_a, src_b, _, _ = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    streamed = list(stream_join(src_a, src_b, op))
+
+    src_a2, src_b2, _, _ = sources()
+    op2 = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    batch = run_join(src_a2, src_b2, op2)
+    assert len(streamed) == batch.count
+    assert [e.time for _, e in streamed] == [e.time for e in batch.recorder.events]
+    assert [e.io for _, e in streamed] == [e.io for e in batch.recorder.events]
+
+
+def test_stream_consumer_can_stop_early():
+    src_a, src_b, _, _ = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    seen = []
+    for result, event in stream_join(src_a, src_b, op):
+        seen.append(result)
+        if event.k == 10:
+            break
+    assert len(seen) == 10
+    # The sources were not fully drained: early consumers pay only for
+    # what they read.
+    assert not (src_a.exhausted and src_b.exhausted)
+
+
+def test_stream_stop_after_truncates():
+    src_a, src_b, _, _ = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    streamed = list(stream_join(src_a, src_b, op, stop_after=7))
+    assert len(streamed) == 7
+
+
+def test_stream_under_bursty_network_includes_blocked_results():
+    rel_a, rel_b = make_relation_pair(SPEC)
+    src_a = NetworkSource(
+        rel_a, BurstyArrival(burst_size=40, intra_gap=0.002, mean_silence=0.5), seed=5
+    )
+    src_b = NetworkSource(
+        rel_b, BurstyArrival(burst_size=40, intra_gap=0.002, mean_silence=0.5), seed=6
+    )
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    phases = {event.phase for _, event in stream_join(src_a, src_b, op, blocking_threshold=0.05)}
+    assert "hashing" in phases
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: XJoin(memory_capacity=80, n_buckets=8),
+        lambda: ProgressiveMergeJoin(memory_capacity=80),
+        lambda: SymmetricHashJoin(),
+    ],
+    ids=["xjoin", "pmj", "shj"],
+)
+def test_stream_other_operators_match_oracle(factory):
+    src_a, src_b, rel_a, rel_b = sources()
+    streamed = [r for r, _ in stream_join(src_a, src_b, factory())]
+    assert result_multiset(streamed) == result_multiset(hash_join(rel_a, rel_b))
+
+
+def test_stream_requires_keep_results():
+    from repro.errors import ConfigurationError
+    from repro.sim.engine import JoinSimulation
+
+    src_a, src_b, _, _ = sources()
+    sim = JoinSimulation(
+        src_a,
+        src_b,
+        HashMergeJoin(HMJConfig(memory_capacity=80)),
+        keep_results=False,
+    )
+    with pytest.raises(ConfigurationError):
+        next(sim.stream())

@@ -1,0 +1,85 @@
+"""Unit tests for the memory budget pool."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryBudgetError
+from repro.storage.memory import MemoryPool
+
+
+def test_initial_state():
+    pool = MemoryPool(10)
+    assert pool.capacity == 10
+    assert pool.used == 0
+    assert pool.free == 10
+    assert pool.peak == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryPool(0)
+
+
+def test_allocate_and_release_roundtrip():
+    pool = MemoryPool(10)
+    pool.allocate(4)
+    assert pool.used == 4
+    pool.release(4)
+    assert pool.used == 0
+
+
+def test_has_room_at_boundary():
+    pool = MemoryPool(3)
+    pool.allocate(3)
+    assert not pool.has_room(1)
+    assert pool.has_room(0)
+
+
+def test_allocate_past_budget_raises():
+    pool = MemoryPool(2)
+    pool.allocate(2)
+    with pytest.raises(MemoryBudgetError):
+        pool.allocate(1)
+
+
+def test_release_more_than_used_raises():
+    pool = MemoryPool(5)
+    pool.allocate(2)
+    with pytest.raises(MemoryBudgetError):
+        pool.release(3)
+
+
+def test_peak_tracks_high_water_mark():
+    pool = MemoryPool(10)
+    pool.allocate(7)
+    pool.release(5)
+    pool.allocate(1)
+    assert pool.peak == 7
+
+
+def test_utilisation_fraction():
+    pool = MemoryPool(4)
+    pool.allocate(1)
+    assert pool.utilisation() == pytest.approx(0.25)
+
+
+def test_negative_arguments_rejected():
+    pool = MemoryPool(4)
+    with pytest.raises(ConfigurationError):
+        pool.allocate(-1)
+    with pytest.raises(ConfigurationError):
+        pool.release(-1)
+    with pytest.raises(ConfigurationError):
+        pool.has_room(-1)
+
+
+def test_zero_allocation_is_noop():
+    pool = MemoryPool(4)
+    pool.allocate(0)
+    pool.release(0)
+    assert pool.used == 0
+
+
+def test_repr_mentions_usage():
+    pool = MemoryPool(4)
+    pool.allocate(2)
+    assert "2" in repr(pool) and "4" in repr(pool)

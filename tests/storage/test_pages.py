@@ -1,0 +1,63 @@
+"""Unit tests for page arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.pages import page_utilisation, pages_needed, split_into_pages
+
+
+def test_pages_needed_exact():
+    assert pages_needed(100, 50) == 2
+
+
+def test_pages_needed_rounds_up():
+    assert pages_needed(101, 50) == 3
+
+
+def test_pages_needed_zero_tuples():
+    assert pages_needed(0, 50) == 0
+
+
+def test_pages_needed_one_tuple():
+    assert pages_needed(1, 50) == 1
+
+
+def test_pages_needed_rejects_bad_page_size():
+    with pytest.raises(ConfigurationError):
+        pages_needed(10, 0)
+
+
+def test_pages_needed_rejects_negative_tuples():
+    with pytest.raises(ConfigurationError):
+        pages_needed(-1, 50)
+
+
+def test_split_into_pages_chunks():
+    pages = list(split_into_pages(list(range(7)), 3))
+    assert pages == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+def test_split_into_pages_empty():
+    assert list(split_into_pages([], 3)) == []
+
+
+def test_split_into_pages_exact_boundary():
+    pages = list(split_into_pages(list(range(6)), 3))
+    assert [len(p) for p in pages] == [3, 3]
+
+
+def test_split_into_pages_rejects_bad_page_size():
+    with pytest.raises(ConfigurationError):
+        list(split_into_pages([1], 0))
+
+
+def test_utilisation_full_pages():
+    assert page_utilisation(100, 50) == 1.0
+
+
+def test_utilisation_partial_page():
+    assert page_utilisation(10, 50) == pytest.approx(0.2)
+
+
+def test_utilisation_empty_is_perfect():
+    assert page_utilisation(0, 50) == 1.0

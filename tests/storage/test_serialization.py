@@ -1,0 +1,81 @@
+"""Unit tests for the binary tuple-block codec."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.serialization import decode_tuples, encode_tuples
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+
+
+def test_roundtrip_plain_tuples():
+    tuples = [
+        Tuple(key=1, tid=0, source=SOURCE_A),
+        Tuple(key=-5, tid=99, source=SOURCE_B),
+        Tuple(key=2**62, tid=2**40, source=SOURCE_A),
+    ]
+    assert decode_tuples(encode_tuples(tuples)) == tuples
+
+
+def test_roundtrip_empty_block():
+    assert decode_tuples(encode_tuples([])) == []
+
+
+def test_roundtrip_payloads():
+    tuples = [
+        Tuple(key=1, tid=0, source=SOURCE_A, payload={"a": [1, 2]}),
+        Tuple(key=1, tid=1, source=SOURCE_B, payload="text"),
+        Tuple(key=1, tid=2, source=SOURCE_A, payload=None),
+    ]
+    decoded = decode_tuples(encode_tuples(tuples))
+    assert decoded == tuples
+    assert decoded[2].payload is None
+
+
+def test_none_payload_costs_no_pickle_bytes():
+    with_none = encode_tuples([Tuple(key=1, tid=0)])
+    with_payload = encode_tuples([Tuple(key=1, tid=0, payload=0)])
+    assert len(with_none) < len(with_payload)
+
+
+def test_rejects_oversized_key():
+    with pytest.raises(StorageError):
+        encode_tuples([Tuple(key=2**63, tid=0)])
+
+
+def test_rejects_unknown_source():
+    with pytest.raises(StorageError):
+        encode_tuples([Tuple(key=1, tid=0, source="C")])
+
+
+def test_rejects_bad_magic():
+    with pytest.raises(StorageError):
+        decode_tuples(b"XXXX" + bytes(10))
+
+
+def test_rejects_truncated_header():
+    with pytest.raises(StorageError):
+        decode_tuples(b"RP")
+
+
+def test_rejects_truncated_records():
+    data = encode_tuples([Tuple(key=1, tid=0), Tuple(key=2, tid=1)])
+    with pytest.raises(StorageError):
+        decode_tuples(data[:-3])
+
+
+def test_rejects_trailing_bytes():
+    data = encode_tuples([Tuple(key=1, tid=0)])
+    with pytest.raises(StorageError):
+        decode_tuples(data + b"\x00")
+
+
+def test_rejects_wrong_version():
+    data = bytearray(encode_tuples([Tuple(key=1, tid=0)]))
+    data[4] = 99  # version byte
+    with pytest.raises(StorageError):
+        decode_tuples(bytes(data))
+
+
+def test_large_block_roundtrip():
+    tuples = [Tuple(key=i % 97, tid=i, source=SOURCE_B) for i in range(5000)]
+    assert decode_tuples(encode_tuples(tuples)) == tuples

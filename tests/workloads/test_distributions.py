@@ -1,0 +1,117 @@
+"""Unit tests for key-distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    bounded_zipf,
+    expected_join_size,
+    sequential_keys,
+    uniform_keys,
+)
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+def test_uniform_keys_in_range():
+    keys = uniform_keys(10_000, 100, rng())
+    assert keys.min() >= 0
+    assert keys.max() < 100
+    assert keys.shape == (10_000,)
+
+
+def test_uniform_covers_the_range():
+    keys = uniform_keys(50_000, 100, rng())
+    assert len(np.unique(keys)) == 100
+
+
+def test_uniform_validation():
+    with pytest.raises(ConfigurationError):
+        uniform_keys(-1, 10, rng())
+    with pytest.raises(ConfigurationError):
+        uniform_keys(10, 0, rng())
+
+
+def test_sequential_keys_basic():
+    assert list(sequential_keys(4)) == [0, 1, 2, 3]
+
+
+def test_sequential_keys_wrap():
+    assert list(sequential_keys(5, key_range=3)) == [0, 1, 2, 0, 1]
+
+
+def test_sequential_validation():
+    with pytest.raises(ConfigurationError):
+        sequential_keys(-1)
+    with pytest.raises(ConfigurationError):
+        sequential_keys(3, key_range=0)
+
+
+def test_zipf_keys_in_range():
+    keys = bounded_zipf(10_000, 50, rng(), theta=1.2)
+    assert keys.min() >= 0
+    assert keys.max() < 50
+
+
+def test_zipf_is_skewed_towards_low_ranks():
+    keys = bounded_zipf(50_000, 100, rng(), theta=1.2)
+    counts = np.bincount(keys, minlength=100)
+    # Rank-0 key should dominate the median key.
+    assert counts[0] > 5 * np.median(counts)
+
+
+def test_zipf_higher_theta_more_skew():
+    mild = bounded_zipf(50_000, 100, rng(), theta=0.5)
+    steep = bounded_zipf(50_000, 100, rng(), theta=2.0)
+    top_mild = np.mean(mild == 0)
+    top_steep = np.mean(steep == 0)
+    assert top_steep > top_mild
+
+
+def test_zipf_accepts_sub_one_theta():
+    keys = bounded_zipf(100, 10, rng(), theta=0.5)
+    assert keys.shape == (100,)
+
+
+def test_zipf_zero_n():
+    assert bounded_zipf(0, 10, rng()).size == 0
+
+
+def test_zipf_validation():
+    with pytest.raises(ConfigurationError):
+        bounded_zipf(10, 10, rng(), theta=0.0)
+    with pytest.raises(ConfigurationError):
+        bounded_zipf(10, 0, rng())
+
+
+def test_expected_join_size_matches_formula():
+    # The paper's setup: 1M x 1M over 2M values => ~500K.
+    assert expected_join_size(1_000_000, 1_000_000, 2_000_000) == pytest.approx(500_000)
+
+
+def test_expected_join_size_empirically_close():
+    generator = rng()
+    a = uniform_keys(5_000, 1000, generator)
+    b = uniform_keys(5_000, 1000, generator)
+    actual = sum(np.count_nonzero(b == k) for k in a)
+    expected = expected_join_size(5_000, 5_000, 1000)
+    assert actual == pytest.approx(expected, rel=0.1)
+
+
+def test_expected_join_size_validation():
+    with pytest.raises(ConfigurationError):
+        expected_join_size(1, 1, 0)
+    with pytest.raises(ConfigurationError):
+        expected_join_size(-1, 1, 10)
+
+
+def test_samplers_deterministic_by_seed():
+    a = uniform_keys(100, 50, np.random.default_rng(1))
+    b = uniform_keys(100, 50, np.random.default_rng(1))
+    assert np.array_equal(a, b)
+    za = bounded_zipf(100, 50, np.random.default_rng(1))
+    zb = bounded_zipf(100, 50, np.random.default_rng(1))
+    assert np.array_equal(za, zb)

@@ -1,0 +1,210 @@
+"""Unit tests for workload specs and relation generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.tuples import SOURCE_A, SOURCE_B
+from repro.workloads.generator import (
+    WorkloadSpec,
+    make_relation,
+    make_relation_pair,
+    paper_workload,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(n_a=-1, n_b=10, key_range=10)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(n_a=1, n_b=1, key_range=0)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(n_a=1, n_b=1, key_range=10, distribution="normal")
+
+
+def test_memory_capacity_default_ten_percent():
+    spec = WorkloadSpec(n_a=500, n_b=500, key_range=2000)
+    assert spec.memory_capacity() == 100
+
+
+def test_memory_capacity_custom_fraction():
+    spec = WorkloadSpec(n_a=500, n_b=500, key_range=2000)
+    assert spec.memory_capacity(0.5) == 500
+
+
+def test_memory_capacity_never_below_one():
+    spec = WorkloadSpec(n_a=1, n_b=1, key_range=2)
+    assert spec.memory_capacity(0.01) == 1
+
+
+def test_memory_capacity_fraction_validation():
+    spec = WorkloadSpec(n_a=10, n_b=10, key_range=10)
+    with pytest.raises(ConfigurationError):
+        spec.memory_capacity(0.0)
+    with pytest.raises(ConfigurationError):
+        spec.memory_capacity(1.5)
+
+
+def test_paper_workload_ratios():
+    spec = paper_workload(n_per_source=1_000_000)
+    assert spec.n_a == spec.n_b == 1_000_000
+    assert spec.key_range == 2_000_000
+    assert spec.distribution == "uniform"
+    assert spec.memory_capacity() == 200_000
+
+
+def test_paper_workload_validation():
+    with pytest.raises(ConfigurationError):
+        paper_workload(n_per_source=0)
+
+
+def test_make_relation_uniform_respects_range():
+    rel = make_relation(1000, 50, seed=1)
+    assert len(rel) == 1000
+    assert all(0 <= t.key < 50 for t in rel)
+
+
+def test_make_relation_sequential():
+    rel = make_relation(5, 100, distribution="sequential")
+    assert rel.keys() == [0, 1, 2, 3, 4]
+
+
+def test_make_relation_zipf_skewed():
+    rel = make_relation(5000, 100, distribution="zipf", zipf_theta=1.5, seed=1)
+    counts = {}
+    for t in rel:
+        counts[t.key] = counts.get(t.key, 0) + 1
+    assert max(counts.values()) > 10 * (len(rel) / 100)
+
+
+def test_make_relation_bad_distribution():
+    with pytest.raises(ConfigurationError):
+        make_relation(10, 10, distribution="pareto")
+
+
+def test_make_relation_deterministic_by_seed():
+    r1 = make_relation(100, 50, seed=3)
+    r2 = make_relation(100, 50, seed=3)
+    assert r1.keys() == r2.keys()
+
+
+def test_pair_sources_and_sizes():
+    spec = WorkloadSpec(n_a=100, n_b=60, key_range=40, seed=1)
+    rel_a, rel_b = make_relation_pair(spec)
+    assert len(rel_a) == 100
+    assert len(rel_b) == 60
+    assert rel_a.source == SOURCE_A
+    assert rel_b.source == SOURCE_B
+
+
+def test_pair_relations_are_independent():
+    spec = WorkloadSpec(n_a=200, n_b=200, key_range=1000, seed=1)
+    rel_a, rel_b = make_relation_pair(spec)
+    assert rel_a.keys() != rel_b.keys()
+
+
+def test_pair_deterministic_by_spec_seed():
+    spec = WorkloadSpec(n_a=50, n_b=50, key_range=100, seed=12)
+    a1, b1 = make_relation_pair(spec)
+    a2, b2 = make_relation_pair(spec)
+    assert a1.keys() == a2.keys()
+    assert b1.keys() == b2.keys()
+
+
+def test_pair_changes_with_seed():
+    s1 = WorkloadSpec(n_a=50, n_b=50, key_range=100, seed=1)
+    s2 = WorkloadSpec(n_a=50, n_b=50, key_range=100, seed=2)
+    a1, _ = make_relation_pair(s1)
+    a2, _ = make_relation_pair(s2)
+    assert a1.keys() != a2.keys()
+
+
+# -- foreign-key pairs ---------------------------------------------------------
+
+
+def test_fk_pair_parent_keys_are_unique_permutation():
+    from repro.workloads.generator import make_fk_pair
+
+    parent, child = make_fk_pair(50, 200, seed=1)
+    assert sorted(parent.keys()) == list(range(50))
+    assert len(child) == 200
+    assert all(0 <= t.key < 50 for t in child)
+
+
+def test_fk_pair_join_size_is_child_count():
+    from repro.joins.blocking import hash_join
+    from repro.workloads.generator import make_fk_pair
+
+    parent, child = make_fk_pair(40, 150, seed=2)
+    assert len(hash_join(parent, child)) == 150
+
+
+def test_fk_pair_skew_concentrates_children():
+    from collections import Counter
+
+    from repro.workloads.generator import make_fk_pair
+
+    _, uniform_child = make_fk_pair(100, 5000, seed=3)
+    _, skewed_child = make_fk_pair(100, 5000, seed=3, fk_skew=1.5)
+    top_uniform = Counter(uniform_child.keys()).most_common(1)[0][1]
+    top_skewed = Counter(skewed_child.keys()).most_common(1)[0][1]
+    assert top_skewed > 3 * top_uniform
+
+
+def test_fk_pair_sources_and_determinism():
+    from repro.workloads.generator import make_fk_pair
+
+    p1, c1 = make_fk_pair(30, 100, seed=4)
+    p2, c2 = make_fk_pair(30, 100, seed=4)
+    assert p1.keys() == p2.keys()
+    assert c1.keys() == c2.keys()
+    assert p1.source == SOURCE_A
+    assert c1.source == SOURCE_B
+
+
+def test_fk_pair_validation():
+    from repro.errors import ConfigurationError as CE
+    from repro.workloads.generator import make_fk_pair
+
+    with pytest.raises(CE):
+        make_fk_pair(0, 10)
+    with pytest.raises(CE):
+        make_fk_pair(10, -1)
+    with pytest.raises(CE):
+        make_fk_pair(10, 10, fk_skew=0.0)
+
+
+# -- star schema -----------------------------------------------------------------
+
+
+def test_star_schema_shapes_and_fks():
+    from repro.workloads.generator import make_star_schema
+
+    fact, dims = make_star_schema(200, [10, 20], seed=5)
+    assert len(fact) == 200
+    assert [len(d) for d in dims] == [10, 20]
+    for t in fact:
+        assert t.key == t.payload["fk0"]
+        assert 0 <= t.payload["fk0"] < 10
+        assert 0 <= t.payload["fk1"] < 20
+    for d, dim in enumerate(dims):
+        assert sorted(dim.keys()) == list(range([10, 20][d]))
+
+
+def test_star_schema_deterministic():
+    from repro.workloads.generator import make_star_schema
+
+    f1, _ = make_star_schema(50, [5], seed=3)
+    f2, _ = make_star_schema(50, [5], seed=3)
+    assert [t.payload for t in f1] == [t.payload for t in f2]
+
+
+def test_star_schema_validation():
+    from repro.errors import ConfigurationError as CE
+    from repro.workloads.generator import make_star_schema
+
+    with pytest.raises(CE):
+        make_star_schema(-1, [5])
+    with pytest.raises(CE):
+        make_star_schema(10, [])
+    with pytest.raises(CE):
+        make_star_schema(10, [5, 0])
