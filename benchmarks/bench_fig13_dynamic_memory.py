@@ -1,0 +1,13 @@
+"""Figure 13 (dynamic)
+
+Not in the paper: the ResourceBroker revokes 90% of the memory grant a
+third of the way through the stream and restores it at two thirds; the
+result set must match the static run for every resizable operator.
+"""
+
+from repro.bench.figures import fig13_dynamic_memory
+from repro.bench.scale import bench_scale
+
+
+def test_fig13_dynamic_memory(run_figure):
+    run_figure(lambda: fig13_dynamic_memory(bench_scale()))

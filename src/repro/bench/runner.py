@@ -10,6 +10,7 @@ from repro.joins.base import StreamingJoinOperator
 from repro.metrics.series import sample_ks
 from repro.net.arrival import ArrivalProcess
 from repro.net.source import NetworkSource
+from repro.sim.broker import ResourceBroker
 from repro.sim.costs import CostModel
 from repro.sim.engine import SimulationResult, run_join
 from repro.storage.tuples import Relation
@@ -79,6 +80,7 @@ def execute(
     costs: CostModel | None = None,
     blocking_threshold: float = 1.0,
     stop_after: int | None = None,
+    broker: ResourceBroker | None = None,
 ) -> SimulationResult:
     """Run one operator over one workload (results not retained)."""
     src_a = NetworkSource(rel_a, arrival_a, seed=seed_a)
@@ -91,6 +93,7 @@ def execute(
         blocking_threshold=blocking_threshold,
         keep_results=False,
         stop_after=stop_after,
+        broker=broker,
     )
 
 

@@ -46,7 +46,9 @@ from repro.net.arrival import (
     ParetoArrival,
     PoissonArrival,
 )
+from repro.errors import ConfigurationError
 from repro.net.source import NetworkSource
+from repro.sim.broker import ResourceBroker
 from repro.sim.engine import run_join
 from repro.workloads.generator import WorkloadSpec, make_relation_pair
 
@@ -87,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="print the structural-event timeline (flushes, blocked windows)",
+    )
+    run_p.add_argument(
+        "--memory-schedule",
+        default=None,
+        help="drive the operator's memory through a broker: comma-separated "
+        "time:tuples grants, e.g. '0.5:50,1.5:400' (resizable algorithms only)",
     )
 
     cmp_p = sub.add_parser("compare", help="run several operators side by side")
@@ -231,6 +239,25 @@ def _spec_from(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
+def _parse_memory_schedule(text: str) -> list[tuple[float, int]]:
+    """Parse '0.5:50,1.5:400' into (time, total) grant pairs."""
+    grants: list[tuple[float, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        time_s, _, total_s = part.partition(":")
+        try:
+            grants.append((float(time_s), int(total_s)))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad memory-schedule entry {part!r}; expected time:tuples"
+            ) from None
+    if not grants:
+        raise ConfigurationError(f"memory schedule {text!r} contains no grants")
+    return grants
+
+
 def _run_one(
     name: str, args: argparse.Namespace, spec: WorkloadSpec
 ):
@@ -240,6 +267,12 @@ def _run_one(
     src_b = NetworkSource(rel_b, _make_arrival(args, rate), seed=22)
     memory = spec.memory_capacity(args.memory_fraction)
     operator = _make_operator(name, memory, args)
+    schedule = getattr(args, "memory_schedule", None)
+    broker = (
+        ResourceBroker(_parse_memory_schedule(schedule))
+        if schedule is not None
+        else None
+    )
     result = run_join(
         src_a,
         src_b,
@@ -248,17 +281,25 @@ def _run_one(
         keep_results=False,
         stop_after=getattr(args, "stop_after", None),
         journal=getattr(args, "timeline", False),
+        broker=broker,
     )
-    return operator, result
+    return operator, result, broker
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
-    operator, result = _run_one(args.algorithm, args, spec)
+    try:
+        operator, result, broker = _run_one(args.algorithm, args, spec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
     recorder = result.recorder
     print(f"algorithm : {operator.name}")
     print(f"workload  : {spec.n_a} x {spec.n_b} tuples, keys in [0, {spec.key_range})")
     print(f"memory    : {spec.memory_capacity(args.memory_fraction)} tuples")
+    if broker is not None:
+        fired = ", ".join(f"{g.time:g}s->{g.total}" for g in broker.applied)
+        print(f"grants    : {fired or 'none fired before end of input'}")
     print(f"results   : {recorder.count}")
     if recorder.count:
         print(f"first result : {recorder.time_to_kth(1):.4f} virtual s")
@@ -293,7 +334,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
     recorders: dict[str, MetricsRecorder] = {}
     for name in names:
-        operator, result = _run_one(name, args, spec)
+        operator, result, _ = _run_one(name, args, spec)
         recorders[operator.name] = result.recorder
     count = min(r.count for r in recorders.values())
     if count == 0:

@@ -32,6 +32,7 @@ class HashMergeJoin(StreamingJoinOperator):
     """The paper's non-blocking Hash-Merge Join."""
 
     name = "HMJ"
+    supports_memory_resize = True
     PHASE_HASHING = "hashing"
     PHASE_MERGING = "merging"
 

@@ -58,6 +58,12 @@ class StreamingJoinOperator(abc.ABC):
     #: Human-readable operator name, overridden by subclasses.
     name = "streaming-join"
 
+    #: Whether :meth:`resize_memory` accepts mid-run budget changes.
+    #: Operators that implement a usable resize set this True; the
+    #: :class:`~repro.sim.broker.ResourceBroker` only binds operators
+    #: that advertise it.
+    supports_memory_resize = False
+
     def __init__(self) -> None:
         self._runtime: JoinRuntime | None = None
         self._finished = False
@@ -128,6 +134,17 @@ class StreamingJoinOperator(abc.ABC):
     @abc.abstractmethod
     def finish(self, budget: WorkBudget) -> None:
         """Complete all remaining work after both inputs ended."""
+
+    def resize_memory(self, new_capacity: int) -> None:
+        """Adapt to a changed memory grant while running.
+
+        The default rejects the call; operators that can re-fit their
+        resident state to a new budget override this and set
+        :attr:`supports_memory_resize`.
+        """
+        raise ProtocolError(
+            f"{self.name} does not support runtime memory adaptation"
+        )
 
     # -- shared services ----------------------------------------------
 

@@ -28,6 +28,7 @@ class ProgressiveMergeJoin(StreamingJoinOperator):
     """Non-blocking sort-based join (PMJ)."""
 
     name = "PMJ"
+    supports_memory_resize = True
     PHASE_SORTING = "sorting"
     PHASE_MERGING = "merging"
 

@@ -52,6 +52,7 @@ class XJoin(StreamingJoinOperator):
     """The three-stage reactively scheduled hash join."""
 
     name = "XJoin"
+    supports_memory_resize = True
     PHASE_STAGE1 = "stage1"
     PHASE_STAGE2 = "stage2"
     PHASE_STAGE3 = "stage3"
@@ -387,6 +388,7 @@ class XJoinStaticMemory(XJoin):
     """
 
     name = "XJoin-static"
+    supports_memory_resize = False
 
     def _setup(self) -> None:
         super()._setup()
@@ -440,7 +442,7 @@ class XJoinStaticMemory(XJoin):
         super()._flush_all_memory()
         self._side_used = {SOURCE_A: 0, SOURCE_B: 0}
 
-    def resize_memory(self, new_capacity: int) -> None:  # pragma: no cover
+    def resize_memory(self, new_capacity: int) -> None:
         raise ConfigurationError(
             "XJoinStaticMemory has fixed per-source halves; use XJoin for "
             "runtime memory adaptation"

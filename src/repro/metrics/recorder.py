@@ -10,7 +10,7 @@ regenerate every curve in the paper's evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.storage.tuples import JoinResult
@@ -57,6 +57,7 @@ class MetricsRecorder:
         self._keep_results = keep_results
         self._events: list[ResultEvent] = []
         self._results: list[JoinResult] = []
+        self._taps: list[Callable[[JoinResult, ResultEvent], None]] = []
         self._last_time = 0.0
 
     @property
@@ -83,6 +84,15 @@ class MetricsRecorder:
         """
         return self._results[start:]
 
+    def add_tap(self, tap: Callable[[JoinResult, ResultEvent], None]) -> None:
+        """Observe every result as it is recorded.
+
+        Taps see the result tuple even when ``keep_results=False`` —
+        this is how the streaming APIs yield results without forcing
+        the recorder to retain the full output history.
+        """
+        self._taps.append(tap)
+
     def record(self, result: JoinResult, phase: str) -> ResultEvent:
         """Record one emitted result under the producing ``phase``."""
         now = self._clock.now
@@ -97,6 +107,8 @@ class MetricsRecorder:
         self._events.append(event)
         if self._keep_results:
             self._results.append(result)
+        for tap in self._taps:
+            tap(result, event)
         return event
 
     def record_batch(self, results: Iterable[JoinResult], phase: str) -> int:

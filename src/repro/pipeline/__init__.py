@@ -19,7 +19,7 @@ Build a plan from :func:`leaf` and :func:`join` and run it with
     result = run_plan(plan)
 """
 
-from repro.pipeline.executor import PipelineResult, PlanExecutor, run_plan
+from repro.pipeline.executor import PipelineResult, PlanExecutor, run_plan, stream_plan
 from repro.pipeline.plan import (
     FilterNode,
     JoinNode,
@@ -44,5 +44,6 @@ __all__ = [
     "leaf",
     "run_plan",
     "select",
+    "stream_plan",
     "transform",
 ]

@@ -1,17 +1,22 @@
 """Execution engine for pipelined multi-join plans.
 
 Generalises :class:`repro.sim.engine.JoinSimulation` from one join over
-two sources to a tree of joins over any number of leaves:
+two sources to a tree of joins over any number of leaves, as a second
+adapter on the shared :class:`~repro.sim.scheduler.EventScheduler`
+kernel:
 
 * one shared virtual clock and cost model across the whole plan;
 * one disk and one recorder *per join node* (operators keep their
   private spill partitions; per-node I/O remains attributable);
 * every result a node produces is wrapped as a side-labelled tuple and
   pushed into its parent operator immediately — full pipelining;
-* when *every* leaf is silent past the blocking threshold, the gap is
-  shared round-robin between the nodes that have background work
-  (HMJ/PMJ merging, XJoin's reactive stage), in threshold-sized
+* when *every* leaf is silent past the blocking threshold, the kernel
+  shares the gap round-robin between the nodes that have background
+  work (HMJ/PMJ merging, XJoin's reactive stage), in threshold-sized
   slices, so one node's merge cannot starve the others;
+* a :class:`~repro.sim.broker.ResourceBroker` can put every resizable
+  node under one global memory grant, re-granted by timed kernel
+  events mid-run;
 * at end of input the joins finish bottom-up, each node's final
   results flowing into its parent before the parent's own cleanup.
 """
@@ -33,10 +38,12 @@ from repro.pipeline.plan import (
     unwrap_transforms,
     validate_plan,
 )
-from repro.sim.budget import WorkBudget
+from repro.sim.broker import ResourceBroker
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
+from repro.sim.engine import ResultStream
 from repro.sim.journal import SimulationJournal
+from repro.sim.scheduler import EventScheduler
 from repro.storage.disk import SimulatedDisk
 from repro.storage.tuples import SOURCE_A, SOURCE_B, JoinResult, Tuple
 
@@ -109,15 +116,11 @@ class PlanExecutor:
         keep_results: bool = True,
         stop_after: int | None = None,
         journal: bool = False,
+        broker: ResourceBroker | None = None,
     ) -> None:
-        if blocking_threshold <= 0:
-            raise ConfigurationError(
-                f"blocking_threshold must be > 0, got {blocking_threshold!r}"
-            )
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
         self._costs = costs or CostModel()
-        self._threshold = float(blocking_threshold)
         self._stop_after = stop_after
         self.clock = VirtualClock()
         self.journal = SimulationJournal(self.clock) if journal else None
@@ -160,75 +163,83 @@ class PlanExecutor:
 
         self._root_state = self._states[id(root)]
 
+        self.scheduler = EventScheduler(
+            clock=self.clock,
+            blocking_threshold=float(blocking_threshold),
+            stop_when=self._stop_reached,
+            journal=self.journal,
+        )
+        for leaf, node, side, chain in self._leaves:
+            self.scheduler.add_stream(
+                leaf.source.peek_time, self._deliver_from(leaf, node, side, chain)
+            )
+        for node in self._joins:
+            state = self._states[id(node)]
+            self.scheduler.add_worker(
+                state.operator.has_background_work, self._worker_for(state)
+            )
+        if broker is not None:
+            for node in self._joins:
+                state = self._states[id(node)]
+                if state.operator.supports_memory_resize:
+                    broker.bind(state.operator, label=node.label)
+            broker.install(self.scheduler)
+
     # -- public API ---------------------------------------------------------
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """The root join's recorder (the plan's output stream)."""
+        return self._root_state.recorder
 
     def run(self) -> PipelineResult:
         """Execute the plan."""
-        while True:
-            if self._stop_reached():
-                return self._result(completed=False)
-            pick = self._next_leaf()
-            if pick is None:
-                break
-            leaf, node, side, chain, arrival = pick
-            gap_end = arrival
-            blocked_from = self.clock.now + self._threshold
-            if gap_end > blocked_from and self._any_background_work():
-                self.clock.advance_to(blocked_from)
-                if self.journal is not None:
-                    self.journal.record(
-                        "engine", "blocked-window", until=round(gap_end, 6)
-                    )
-                self._blocked_window(gap_end)
-                if self._stop_reached():
-                    return self._result(completed=False)
-            self.clock.advance_to(arrival)
+        if not self.scheduler.run():
+            return self._result(completed=False)
+        self._finish_all()
+        return self._result(completed=not self._stop_reached())
+
+    def stream(self):
+        """Execute the plan, yielding root results as they surface.
+
+        Yields ``(JoinResult, ResultEvent)`` pairs from the plan root
+        with single-arrival granularity while the leaves stream; the
+        bottom-up cleanup's results arrive in per-node batches.  Works
+        with ``keep_results=False``: results come from a tap on the
+        root recorder, so the output history need not stay resident.
+        """
+        fresh: list = []
+        self.recorder.add_tap(lambda result, event: fresh.append((result, event)))
+
+        def drain():
+            batch = fresh.copy()
+            fresh.clear()
+            yield from batch
+
+        while self.scheduler.step():
+            yield from drain()
+        yield from drain()
+        if not self._stop_reached():
+            self._finish_all()
+            yield from drain()
+
+    # -- kernel participants ------------------------------------------------
+
+    def _deliver_from(self, leaf: SourceLeaf, node: JoinNode, side: str, chain):
+        def deliver() -> None:
             _, raw = leaf.source.pop()
             wrapped = self._apply_chain(chain, self._wrap_leaf_tuple(raw, side), side)
             if wrapped is not None:
                 self._deliver(node, wrapped)
-        self._finish_all()
-        return self._result(completed=not self._stop_reached())
 
-    # -- event loop internals -------------------------------------------------
+        return deliver
 
-    def _next_leaf(
-        self,
-    ) -> tuple[SourceLeaf, JoinNode, str, list[PlanNode], float] | None:
-        best: tuple[SourceLeaf, JoinNode, str, list[PlanNode], float] | None = None
-        for leaf, node, side, chain in self._leaves:
-            t = leaf.source.peek_time()
-            if t is not None and (best is None or t < best[4]):
-                best = (leaf, node, side, chain, t)
-        return best
+    def _worker_for(self, state: _NodeState):
+        def run_blocked(budget) -> None:
+            state.operator.on_blocked(budget)
+            self._pump(state.node)
 
-    def _any_background_work(self) -> bool:
-        return any(
-            state.operator.has_background_work() for state in self._states.values()
-        )
-
-    def _blocked_window(self, gap_end: float) -> None:
-        """Share the silent window between nodes, round-robin slices."""
-        while self.clock.now < gap_end and not self._stop_reached():
-            active = [
-                state
-                for state in self._states.values()
-                if state.operator.has_background_work()
-            ]
-            if not active:
-                return
-            for state in active:
-                if self.clock.now >= gap_end or self._stop_reached():
-                    return
-                deadline = min(gap_end, self.clock.now + self._threshold)
-                state.operator.on_blocked(
-                    WorkBudget(
-                        clock=self.clock,
-                        deadline=deadline,
-                        stop_when=self._stop_reached,
-                    )
-                )
-                self._pump(state.node)
+        return run_blocked
 
     def _finish_all(self) -> None:
         """Finish joins bottom-up, flowing final results into parents."""
@@ -236,9 +247,7 @@ class PlanExecutor:
             if self._stop_reached():
                 return
             state = self._states[id(node)]
-            state.operator.finish(
-                WorkBudget.unbounded(self.clock, stop_when=self._stop_reached)
-            )
+            state.operator.finish(self.scheduler.unbounded_budget())
             self._pump(node)
 
     # -- result propagation ----------------------------------------------------
@@ -345,11 +354,14 @@ def run_plan(
     keep_results: bool = True,
     stop_after: int | None = None,
     journal: bool = False,
+    broker: ResourceBroker | None = None,
 ) -> PipelineResult:
     """Execute a plan tree and return the root's output metrics.
 
     With ``journal=True`` all nodes share one structural-event
-    timeline (each entry's ``actor`` tells the nodes apart).
+    timeline (each entry's ``actor`` tells the nodes apart).  With a
+    ``broker``, every resizable join node is bound under the broker's
+    global memory grant and its schedule fires mid-run.
     """
     executor = PlanExecutor(
         root,
@@ -358,5 +370,34 @@ def run_plan(
         keep_results=keep_results,
         stop_after=stop_after,
         journal=journal,
+        broker=broker,
     )
     return executor.run()
+
+
+def stream_plan(
+    root: PlanNode,
+    costs: CostModel | None = None,
+    blocking_threshold: float = 1.0,
+    keep_results: bool = True,
+    stop_after: int | None = None,
+    journal: bool = False,
+    broker: ResourceBroker | None = None,
+) -> ResultStream:
+    """Iterate a plan's root results as they are produced.
+
+    The streaming counterpart of :func:`run_plan`, mirroring
+    :func:`repro.sim.engine.stream_join`: yields ``(JoinResult,
+    ResultEvent)`` pairs from the plan root, with the run's journal,
+    recorder, and clock attached to the returned stream.
+    """
+    executor = PlanExecutor(
+        root,
+        costs=costs,
+        blocking_threshold=blocking_threshold,
+        keep_results=keep_results,
+        stop_after=stop_after,
+        journal=journal,
+        broker=broker,
+    )
+    return ResultStream(executor)

@@ -2,15 +2,20 @@
 
 The kernel provides a deterministic substitute for the paper's
 wall-clock measurements: a :class:`~repro.sim.clock.VirtualClock`
-advanced by a :class:`~repro.sim.costs.CostModel`, and an
-:func:`~repro.sim.engine.run_join` event loop that feeds two
+advanced by a :class:`~repro.sim.costs.CostModel`, and one heap-based
+:class:`~repro.sim.scheduler.EventScheduler` event loop that every
+driver adapts onto — :func:`~repro.sim.engine.run_join` feeds two
 :class:`~repro.net.source.NetworkSource` streams into a streaming join
-operator, detecting source blocking exactly as Section 6.3 of the paper
-defines it (no arrival within a threshold ``T``).
+operator, the pipeline's :func:`~repro.pipeline.executor.run_plan`
+feeds a whole join tree — detecting source blocking exactly as
+Section 6.3 of the paper defines it (no arrival within a threshold
+``T``).  A :class:`~repro.sim.broker.ResourceBroker` can re-grant a
+global memory budget across the bound operators mid-run through the
+scheduler's timed events.
 
 The engine symbols (:func:`run_join`, :class:`JoinSimulation`,
-:class:`SimulationResult`) are loaded lazily: the engine imports the
-operator protocol, which imports back into the storage and metrics
+:class:`SimulationResult`, ...) are loaded lazily: the engine imports
+the operator protocol, which imports back into the storage and metrics
 packages, so an eager import here would create a cycle.
 """
 
@@ -20,14 +25,26 @@ from repro.sim.budget import WorkBudget
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.journal import JournalEntry, SimulationJournal
+from repro.sim.scheduler import EventScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.engine import JoinSimulation, SimulationResult, run_join, stream_join
+    from repro.sim.broker import MemoryGrant, ResourceBroker
+    from repro.sim.engine import (
+        JoinSimulation,
+        ResultStream,
+        SimulationResult,
+        run_join,
+        stream_join,
+    )
 
 __all__ = [
     "CostModel",
+    "EventScheduler",
     "JournalEntry",
     "JoinSimulation",
+    "MemoryGrant",
+    "ResourceBroker",
+    "ResultStream",
     "SimulationJournal",
     "SimulationResult",
     "VirtualClock",
@@ -36,7 +53,14 @@ __all__ = [
     "stream_join",
 ]
 
-_ENGINE_EXPORTS = {"JoinSimulation", "SimulationResult", "run_join", "stream_join"}
+_ENGINE_EXPORTS = {
+    "JoinSimulation",
+    "ResultStream",
+    "SimulationResult",
+    "run_join",
+    "stream_join",
+}
+_BROKER_EXPORTS = {"MemoryGrant", "ResourceBroker"}
 
 
 def __getattr__(name: str):
@@ -44,4 +68,8 @@ def __getattr__(name: str):
         from repro.sim import engine
 
         return getattr(engine, name)
+    if name in _BROKER_EXPORTS:
+        from repro.sim import broker
+
+        return getattr(broker, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

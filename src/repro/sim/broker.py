@@ -1,0 +1,196 @@
+"""Global memory governance across running operators.
+
+The per-operator ``resize_memory`` hooks (HMJ flushes victim pairs,
+XJoin flushes largest buckets, PMJ forces an early sort/join/flush)
+adapt one operator to one new budget — but nothing in the seed ever
+*drove* them.  The :class:`ResourceBroker` closes that loop: it owns a
+single global memory grant, splits it across every bound operator, and
+uses the kernel's timed events to re-grant mid-run.  This is what the
+adaptive stream-join literature (PanJoin's partition re-allocation,
+the robust dynamic hybrid hash join's memory-adaptive operators) calls
+a memory broker, and it turns the paper's static Figure 13 sweep into
+a dynamic experiment: one run can live through a shrink *and* the
+recovery.
+
+Shares use a weighted largest-remainder split with a per-operator
+floor (operators reject budgets below 2 tuples), so the grant total is
+honoured exactly whenever it is feasible.
+
+Correctness is unaffected by any schedule: shrinking only forces
+spills, which the operators' disk-side phases merge like any other,
+and the integration suite asserts result-multiset equality against the
+blocking oracle under adversarial schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.joins.base import StreamingJoinOperator
+    from repro.sim.scheduler import EventScheduler
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryGrant:
+    """One scheduled change of the global memory total.
+
+    Attributes:
+        time: Absolute virtual time the grant takes effect.
+        total: New global budget, in tuples, split across operators.
+    """
+
+    time: float
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"grant time must be >= 0, got {self.time!r}")
+        if self.total < MIN_OPERATOR_SHARE:
+            raise ConfigurationError(
+                f"grant total must be >= {MIN_OPERATOR_SHARE}, got {self.total!r}"
+            )
+
+
+#: Smallest budget any operator accepts (``resize_memory`` floors).
+MIN_OPERATOR_SHARE = 2
+
+
+@dataclass(slots=True)
+class _Binding:
+    operator: "StreamingJoinOperator"
+    weight: float
+    label: str
+
+
+class ResourceBroker:
+    """Owns a global memory grant and drives ``resize_memory`` on it.
+
+    Usage::
+
+        broker = ResourceBroker([(0.5, 50), (1.5, 400)])
+        run_join(src_a, src_b, operator, broker=broker)
+
+    The simulations bind their resizable operators and install the
+    schedule as kernel timers; each grant splits the new total across
+    the bound operators (by weight, largest-remainder) and applies it
+    via ``resize_memory``.  Grants scheduled after the last arrival
+    never fire — the cleanup phase runs in one protocol call, so there
+    is nothing left to adapt.
+    """
+
+    def __init__(
+        self, schedule: Iterable["MemoryGrant | tuple[float, int]"] = ()
+    ) -> None:
+        grants = [
+            g if isinstance(g, MemoryGrant) else MemoryGrant(time=g[0], total=g[1])
+            for g in schedule
+        ]
+        self._schedule = sorted(grants, key=lambda g: g.time)
+        self._bindings: list[_Binding] = []
+        self._applied: list[MemoryGrant] = []
+        self._installed = False
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(
+        self,
+        operator: "StreamingJoinOperator",
+        weight: float = 1.0,
+        label: str | None = None,
+    ) -> None:
+        """Put one operator's memory under this broker's control."""
+        if not operator.supports_memory_resize:
+            raise ConfigurationError(
+                f"{operator.name} does not support runtime memory adaptation"
+            )
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be > 0, got {weight!r}")
+        self._bindings.append(
+            _Binding(operator=operator, weight=weight, label=label or operator.name)
+        )
+
+    def install(self, scheduler: "EventScheduler") -> None:
+        """Register every scheduled grant as a kernel timer."""
+        if self._installed:
+            raise ConfigurationError("broker is already installed on a scheduler")
+        if not self._bindings:
+            raise ConfigurationError(
+                "broker has no bound operators; bind at least one resizable "
+                "operator before installing"
+            )
+        self._installed = True
+        for grant in self._schedule:
+            scheduler.call_at(
+                grant.time, lambda g=grant: self._fire(g, scheduler.journal)
+            )
+
+    # -- grant arithmetic ---------------------------------------------------
+
+    def shares(self, total: int) -> list[int]:
+        """Split ``total`` across the bound operators.
+
+        Every operator gets the floor of :data:`MIN_OPERATOR_SHARE`;
+        the rest is distributed proportionally to the binding weights
+        with largest-remainder rounding, so the shares always sum to
+        exactly ``total``.
+        """
+        n = len(self._bindings)
+        if n == 0:
+            raise ConfigurationError("broker has no bound operators")
+        floor_total = MIN_OPERATOR_SHARE * n
+        if total < floor_total:
+            raise ConfigurationError(
+                f"grant total {total} cannot cover {n} operators at the "
+                f"minimum share of {MIN_OPERATOR_SHARE}"
+            )
+        spare = total - floor_total
+        weight_sum = sum(b.weight for b in self._bindings)
+        exact = [spare * b.weight / weight_sum for b in self._bindings]
+        base = [int(x) for x in exact]
+        remainder = spare - sum(base)
+        # Largest fractional part first; ties go to earlier bindings.
+        order = sorted(range(n), key=lambda i: (base[i] - exact[i], i))
+        for i in order[:remainder]:
+            base[i] += 1
+        return [MIN_OPERATOR_SHARE + share for share in base]
+
+    def apply(self, total: int) -> list[int]:
+        """Resize every bound operator to its share of ``total`` now."""
+        shares = self.shares(total)
+        for binding, share in zip(self._bindings, shares):
+            binding.operator.resize_memory(share)
+        return shares
+
+    def _fire(self, grant: MemoryGrant, journal) -> None:
+        shares = self.apply(grant.total)
+        self._applied.append(grant)
+        if journal is not None:
+            journal.record(
+                "broker",
+                "grant",
+                total=grant.total,
+                shares={
+                    b.label: s for b, s in zip(self._bindings, shares)
+                },
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def schedule(self) -> Sequence[MemoryGrant]:
+        """The time-ordered grant schedule."""
+        return tuple(self._schedule)
+
+    @property
+    def applied(self) -> Sequence[MemoryGrant]:
+        """Grants that actually fired, in firing order."""
+        return tuple(self._applied)
+
+    @property
+    def operators(self) -> list["StreamingJoinOperator"]:
+        """The bound operators, in binding order."""
+        return [b.operator for b in self._bindings]

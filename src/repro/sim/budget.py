@@ -1,8 +1,10 @@
 """Work budget handed to operators during blocked periods.
 
-When both sources are blocked, the engine lets the operator do
-background work (HMJ's merging phase, XJoin's reactive stage) *until the
-next tuple arrives*.  A :class:`WorkBudget` carries that deadline so the
+When every source is blocked, the
+:class:`~repro.sim.scheduler.EventScheduler` lets its registered
+workers do background work (HMJ's merging phase, XJoin's reactive
+stage) *until the next event is due*, in threshold-sized round-robin
+slices.  A :class:`WorkBudget` carries each slice's deadline so the
 operator can check, before each bounded work step, whether it still has
 time — modelling the paper's requirement that the merging phase yields
 control back to the hashing phase as soon as a source unblocks.

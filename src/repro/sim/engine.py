@@ -1,4 +1,4 @@
-"""The arrival/processing event loop.
+"""The two-source join simulation, as an adapter on the event kernel.
 
 :func:`run_join` reproduces the measurement setup of the paper's
 Section 6: two sources deliver tuples at virtual instants drawn from
@@ -9,9 +9,14 @@ given the gap for background work (HMJ's and PMJ's merging, XJoin's
 reactive stage).  After both inputs end, ``finish`` runs the cleanup
 phase to completion.
 
-The loop is a single-server queue: if tuples arrive faster than the
-operator can process them, the clock is driven by processing time; if
-the network is the bottleneck, the clock synchronises to arrivals.
+The loop itself — arrival selection, blocked-window gating, timed
+events — lives in :class:`~repro.sim.scheduler.EventScheduler` and is
+shared with the multi-join :class:`~repro.pipeline.executor.PlanExecutor`;
+this module only wires one operator and two sources into it.  The
+resulting system is a single-server queue: if tuples arrive faster
+than the operator can process them, the clock is driven by processing
+time; if the network is the bottleneck, the clock synchronises to
+arrivals.
 """
 
 from __future__ import annotations
@@ -22,10 +27,11 @@ from repro.errors import ConfigurationError
 from repro.joins.base import JoinRuntime, StreamingJoinOperator
 from repro.metrics.recorder import MetricsRecorder
 from repro.net.source import NetworkSource
-from repro.sim.budget import WorkBudget
+from repro.sim.broker import ResourceBroker
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.journal import SimulationJournal
+from repro.sim.scheduler import EventScheduler
 from repro.storage.disk import SimulatedDisk
 
 
@@ -77,17 +83,12 @@ class JoinSimulation:
         stop_after: int | None = None,
         spill_dir: str | None = None,
         journal: bool = False,
+        broker: ResourceBroker | None = None,
     ) -> None:
-        if blocking_threshold <= 0:
-            raise ConfigurationError(
-                f"blocking_threshold must be > 0, got {blocking_threshold!r}"
-            )
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
-        self._sources = (source_a, source_b)
         self._operator = operator
         self._costs = costs or CostModel()
-        self._threshold = float(blocking_threshold)
         self._stop_after = stop_after
         self._keep_results = keep_results
 
@@ -111,66 +112,37 @@ class JoinSimulation:
                 journal=self.journal,
             )
         )
+        self.scheduler = EventScheduler(
+            clock=self.clock,
+            blocking_threshold=float(blocking_threshold),
+            stop_when=self._stop_reached,
+            journal=self.journal,
+        )
+        for src in (source_a, source_b):
+            self.scheduler.add_stream(src.peek_time, self._deliver_from(src))
+        self.scheduler.add_worker(operator.has_background_work, operator.on_blocked)
+        if broker is not None:
+            broker.bind(operator)
+            broker.install(self.scheduler)
+
+    def _deliver_from(self, src: NetworkSource):
+        def deliver() -> None:
+            _, t = src.pop()
+            self._operator.on_tuple(t)
+
+        return deliver
 
     def _stop_reached(self) -> bool:
         return self._stop_after is not None and self.recorder.count >= self._stop_after
 
-    def _next_source(self) -> NetworkSource | None:
-        """The source with the earliest pending arrival, or None."""
-        best: NetworkSource | None = None
-        best_time = float("inf")
-        for src in self._sources:
-            t = src.peek_time()
-            if t is not None and t < best_time:
-                best, best_time = src, t
-        return best
-
-    def _advance_once(self) -> bool:
-        """Process one arrival (with any preceding blocked window).
-
-        Returns False once both sources are exhausted or the early
-        stop fired; True while there is more streaming input to drive.
-        """
-        operator = self._operator
-        if self._stop_reached():
-            return False
-        src = self._next_source()
-        if src is None:
-            return False
-        next_arrival = src.peek_time()
-        assert next_arrival is not None
-        gap_end = next_arrival
-        blocked_from = self.clock.now + self._threshold
-        if gap_end > blocked_from and operator.has_background_work():
-            # Both sources are silent past the threshold: the operator
-            # gets the rest of the gap for background work.
-            self.clock.advance_to(blocked_from)
-            if self.journal is not None:
-                self.journal.record(
-                    "engine", "blocked-window", until=round(gap_end, 6)
-                )
-            budget = WorkBudget(
-                clock=self.clock, deadline=gap_end, stop_when=self._stop_reached
-            )
-            operator.on_blocked(budget)
-            if self._stop_reached():
-                return False
-        self.clock.advance_to(next_arrival)
-        _, t = src.pop()
-        operator.on_tuple(t)
-        return True
-
     def _finish(self) -> None:
         if self.journal is not None:
             self.journal.record("engine", "finish")
-        budget = WorkBudget.unbounded(self.clock, stop_when=self._stop_reached)
-        self._operator.finish(budget)
+        self._operator.finish(self.scheduler.unbounded_budget())
 
     def run(self) -> SimulationResult:
         """Drive the simulation to completion (or to the early stop)."""
-        while self._advance_once():
-            pass
-        if self._stop_reached():
+        if not self.scheduler.run():
             return self._result(completed=False)
         self._finish()
         return self._result(completed=not self._stop_reached())
@@ -181,23 +153,20 @@ class JoinSimulation:
         Yields ``(JoinResult, ResultEvent)`` pairs.  While the sources
         stream, results surface with single-arrival granularity; the
         cleanup phase's results are yielded together after it completes
-        (operators finish in one protocol call).  Requires
-        ``keep_results=True``.
+        (operators finish in one protocol call).  Works with
+        ``keep_results=False`` too: yielded results come from a tap on
+        the recorder, so streaming consumers do not force the full
+        output history to stay resident.
         """
-        if not self._keep_results:
-            raise ConfigurationError(
-                "stream() requires keep_results=True on this simulation"
-            )
-        emitted = 0
+        fresh: list = []
+        self.recorder.add_tap(lambda result, event: fresh.append((result, event)))
 
         def drain():
-            nonlocal emitted
-            fresh = self.recorder.results_since(emitted)
-            events = self.recorder.events[emitted : emitted + len(fresh)]
-            emitted += len(fresh)
-            yield from zip(fresh, events)
+            batch = fresh.copy()
+            fresh.clear()
+            yield from batch
 
-        while self._advance_once():
+        while self.scheduler.step():
             yield from drain()
         yield from drain()
         if not self._stop_reached():
@@ -215,6 +184,43 @@ class JoinSimulation:
         )
 
 
+class ResultStream:
+    """Iterator over a streaming run's ``(result, event)`` pairs.
+
+    What :func:`stream_join` (and the pipeline's ``stream_plan``)
+    return: iterate it like a plain generator, with the run's context
+    (journal, recorder, clock) attached so streaming consumers can
+    read the event timeline without holding on to the simulation
+    themselves.  ``sim`` is any driver exposing ``stream()``,
+    ``journal``, ``recorder``, and ``clock``.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._iter = sim.stream()
+
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self):
+        return next(self._iter)
+
+    @property
+    def journal(self) -> SimulationJournal | None:
+        """The structural-event timeline (when ``journal=True``)."""
+        return self._sim.journal
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """The run's metrics recorder."""
+        return self._sim.recorder
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The run's virtual clock."""
+        return self._sim.clock
+
+
 def run_join(
     source_a: NetworkSource,
     source_b: NetworkSource,
@@ -225,6 +231,7 @@ def run_join(
     stop_after: int | None = None,
     spill_dir: str | None = None,
     journal: bool = False,
+    broker: ResourceBroker | None = None,
 ) -> SimulationResult:
     """Run a two-source streaming join to completion.
 
@@ -243,7 +250,10 @@ def run_join(
             :class:`~repro.storage.filedisk.FileBackedDisk`) and reads
             round-trip through them; I/O accounting is unchanged.
         journal: Record a structural-event timeline (flushes, blocked
-            windows, merge passes) on ``result.journal``.
+            windows, blocked grants, merge passes) on ``result.journal``.
+        broker: Optional :class:`~repro.sim.broker.ResourceBroker`; the
+            operator is bound to it and the broker's grant schedule
+            fires as timed kernel events, resizing memory mid-run.
 
     Returns:
         A :class:`SimulationResult` with the recorder, clock, and disk.
@@ -258,6 +268,7 @@ def run_join(
         stop_after=stop_after,
         spill_dir=spill_dir,
         journal=journal,
+        broker=broker,
     )
     return sim.run()
 
@@ -268,20 +279,27 @@ def stream_join(
     operator: StreamingJoinOperator,
     costs: CostModel | None = None,
     blocking_threshold: float = 1.0,
+    keep_results: bool = True,
     stop_after: int | None = None,
     spill_dir: str | None = None,
-):
+    journal: bool = False,
+    broker: ResourceBroker | None = None,
+) -> ResultStream:
     """Iterate a streaming join's results as they are produced.
 
     The generator-of-results counterpart of :func:`run_join` — what a
     pipelined consumer (or an impatient user) actually sees::
 
-        for result, event in stream_join(src_a, src_b, operator):
+        stream = stream_join(src_a, src_b, operator, journal=True)
+        for result, event in stream:
             print(f"match {result.key} after {event.time:.3f}s")
             if event.k >= 10:
                 break   # early consumers can just stop iterating
+        print(stream.journal.render(limit=10))
 
     Yields ``(JoinResult, ResultEvent)`` pairs in production order.
+    With ``keep_results=False`` the recorder retains no output history
+    — results are only yielded, keeping long streams memory-bounded.
     """
     sim = JoinSimulation(
         source_a,
@@ -289,8 +307,10 @@ def stream_join(
         operator,
         costs=costs,
         blocking_threshold=blocking_threshold,
-        keep_results=True,
+        keep_results=keep_results,
         stop_after=stop_after,
         spill_dir=spill_dir,
+        journal=journal,
+        broker=broker,
     )
-    return sim.stream()
+    return ResultStream(sim)

@@ -27,9 +27,11 @@ class JournalEntry:
 
     Attributes:
         time: Virtual time of the event.
-        actor: Who recorded it ("engine" or an operator name).
+        actor: Who recorded it ("engine", "broker", or an operator
+            name).
         kind: Event kind (``flush``, ``blocked-window``, ``merge-pass``,
-            ``sort-flush``, ``stage2-pass``, ``finish``, ...).
+            ``sort-flush``, ``stage2-pass``, ``grant``, ``finish``,
+            ...).
         detail: Free-form key/value payload.
     """
 

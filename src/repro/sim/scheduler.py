@@ -1,0 +1,251 @@
+"""The event-driven simulation kernel.
+
+One heap-ordered loop drives every simulation in this repository:
+:class:`~repro.sim.engine.JoinSimulation` (one join, two sources) and
+:class:`~repro.pipeline.executor.PlanExecutor` (a join tree over any
+number of leaves) are thin adapters over the same
+:class:`EventScheduler`.  The kernel owns the three behaviours the two
+pre-kernel loops used to duplicate:
+
+* **arrival selection** — each registered stream keeps exactly one
+  pending-arrival event on a binary heap keyed by
+  ``(time, kind, index)``; picking the next event is O(log n) instead
+  of a linear scan per delivery, and ties break by registration order,
+  exactly like the old scans did;
+* **blocked-window gating** — when the gap to the next event exceeds
+  the blocking threshold ``T`` (Section 6.3) and some participant has
+  background work, the gap is handed out in threshold-sized
+  round-robin slices of :class:`~repro.sim.budget.WorkBudget` so no
+  participant can starve the others.  With a single registered worker
+  the slices tile the gap seamlessly, reproducing the single-budget
+  behaviour of the old two-source loop exactly (work steps run iff the
+  clock has not reached the gap end, under either formulation);
+* **timed callbacks** — :meth:`EventScheduler.call_at` schedules a
+  callback at an absolute virtual time, ordered *before* any arrival
+  at the same instant.  The :class:`~repro.sim.broker.ResourceBroker`
+  uses these to re-grant memory mid-run.  Timers pending after the
+  last stream is exhausted are dropped: the cleanup phase runs in one
+  protocol call, so there is nothing left to adapt.
+
+The kernel knows nothing about joins: streams are ``(peek, deliver)``
+callable pairs, workers are ``(has_work, run)`` pairs, and the
+adapters decide what delivering or working means.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.journal import SimulationJournal
+
+#: Heap-kind priorities: timers fire before arrivals at the same instant
+#: (a memory grant scheduled at ``t`` applies before the tuple due at
+#: ``t`` is processed).
+_KIND_TIMER = 0
+_KIND_ARRIVAL = 1
+
+PeekFn = Callable[[], "float | None"]
+DeliverFn = Callable[[], None]
+HasWorkFn = Callable[[], bool]
+WorkFn = Callable[[WorkBudget], None]
+StopFn = Callable[[], bool]
+TimerFn = Callable[[], None]
+
+
+@dataclass(slots=True)
+class _Stream:
+    """One registered arrival stream."""
+
+    index: int
+    peek: PeekFn
+    deliver: DeliverFn
+
+
+@dataclass(slots=True)
+class _Worker:
+    """One registered background-work participant."""
+
+    index: int
+    has_work: HasWorkFn
+    run: WorkFn
+
+
+@dataclass(slots=True)
+class EventScheduler:
+    """Heap-based event loop over typed simulation events.
+
+    Attributes:
+        clock: The shared virtual clock the loop synchronises.
+        blocking_threshold: Section 6.3's ``T`` — a gap longer than
+            this (to the next event) counts as a blocked window.
+        stop_when: Optional early-stop predicate, checked before every
+            event and woven into every budget handed to workers.
+        journal: Optional structural-event timeline; the kernel records
+            ``blocked-window`` entries under the ``engine`` actor, as
+            the pre-kernel loops did.
+    """
+
+    clock: VirtualClock
+    blocking_threshold: float
+    stop_when: StopFn | None = None
+    journal: SimulationJournal | None = None
+
+    _streams: list[_Stream] = field(default_factory=list)
+    _workers: list[_Worker] = field(default_factory=list)
+    # Heap entries: (time, kind, index, payload).  The (time, kind,
+    # index) prefix is unique, so payloads are never compared.
+    _heap: list[tuple] = field(default_factory=list)
+    _live_streams: int = 0
+    _timer_seq: int = 0
+    _dropped_timers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocking_threshold <= 0:
+            raise ConfigurationError(
+                f"blocking_threshold must be > 0, got {self.blocking_threshold!r}"
+            )
+
+    # -- registration -------------------------------------------------------
+
+    def add_stream(self, peek: PeekFn, deliver: DeliverFn) -> int:
+        """Register an arrival stream.
+
+        ``peek()`` returns the absolute time of the stream's next
+        pending arrival (``None`` when exhausted); ``deliver()``
+        consumes exactly one arrival.  Returns the stream's index;
+        at equal arrival times, lower indices deliver first.
+        """
+        stream = _Stream(index=len(self._streams), peek=peek, deliver=deliver)
+        self._streams.append(stream)
+        first = stream.peek()
+        if first is not None:
+            heapq.heappush(self._heap, (first, _KIND_ARRIVAL, stream.index, None))
+            self._live_streams += 1
+        return stream.index
+
+    def add_worker(self, has_work: HasWorkFn, run: WorkFn) -> int:
+        """Register a blocked-window participant.
+
+        ``has_work()`` must be a cost-free check; ``run(budget)`` does
+        background work until the budget expires.  Round-robin order
+        follows registration order.
+        """
+        worker = _Worker(index=len(self._workers), has_work=has_work, run=run)
+        self._workers.append(worker)
+        return worker.index
+
+    def call_at(self, time: float, callback: TimerFn) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        A timer due at the same instant as an arrival fires first.  A
+        timer in the past fires at the next dispatch without moving the
+        clock backwards.  Timers still pending once every stream is
+        exhausted are dropped (see :attr:`dropped_timers`).
+        """
+        if time < 0:
+            raise ConfigurationError(f"timer time must be >= 0, got {time!r}")
+        heapq.heappush(self._heap, (float(time), _KIND_TIMER, self._timer_seq, callback))
+        self._timer_seq += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the early-stop predicate currently holds."""
+        return self.stop_when is not None and self.stop_when()
+
+    @property
+    def dropped_timers(self) -> int:
+        """Timers discarded because every stream had already drained."""
+        return self._dropped_timers
+
+    def unbounded_budget(self) -> WorkBudget:
+        """A cleanup-phase budget: no deadline, the loop's stop predicate."""
+        return WorkBudget.unbounded(self.clock, stop_when=self.stop_when)
+
+    # -- the loop -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event, with any preceding blocked window.
+
+        Returns False when the streaming phase is over: the stop
+        predicate fired, or no arrival remains (pending timers are then
+        dropped — cleanup is the adapters' job).
+        """
+        if self.stopped:
+            return False
+        if self._live_streams == 0:
+            self._dropped_timers += len(self._heap)
+            self._heap.clear()
+            return False
+        time, kind, index, payload = self._heap[0]
+        gap_end = time
+        blocked_from = self.clock.now + self.blocking_threshold
+        if gap_end > blocked_from and self._any_background_work():
+            self.clock.advance_to(blocked_from)
+            if self.journal is not None:
+                self.journal.record(
+                    "engine", "blocked-window", until=round(gap_end, 6)
+                )
+            self._blocked_window(gap_end)
+            if self.stopped:
+                return False
+        heapq.heappop(self._heap)
+        self.clock.advance_to(time)
+        if kind == _KIND_TIMER:
+            payload()
+            return True
+        stream = self._streams[index]
+        stream.deliver()
+        nxt = stream.peek()
+        if nxt is None:
+            self._live_streams -= 1
+        else:
+            heapq.heappush(self._heap, (nxt, _KIND_ARRIVAL, index, None))
+        return True
+
+    def run(self) -> bool:
+        """Drain the whole streaming phase.
+
+        Returns True when every stream delivered every arrival; False
+        when the stop predicate ended the run early.
+        """
+        while self.step():
+            pass
+        return not self.stopped
+
+    # -- blocked windows ----------------------------------------------------
+
+    def _any_background_work(self) -> bool:
+        return any(worker.has_work() for worker in self._workers)
+
+    def _blocked_window(self, gap_end: float) -> None:
+        """Share a silent window between workers, round-robin slices.
+
+        Each worker with pending work gets a threshold-sized
+        :class:`WorkBudget` slice in turn until the window closes, the
+        stop predicate fires, or nobody has work left.  A full round
+        that fails to advance the clock ends the window early: identical
+        state would yield identical (non-)progress forever.
+        """
+        while self.clock.now < gap_end and not self.stopped:
+            active = [worker for worker in self._workers if worker.has_work()]
+            if not active:
+                return
+            round_start = self.clock.now
+            for worker in active:
+                if self.clock.now >= gap_end or self.stopped:
+                    return
+                deadline = min(gap_end, self.clock.now + self.blocking_threshold)
+                worker.run(
+                    WorkBudget(
+                        clock=self.clock, deadline=deadline, stop_when=self.stop_when
+                    )
+                )
+            if self.clock.now == round_start:
+                return

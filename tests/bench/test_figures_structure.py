@@ -34,6 +34,7 @@ def test_figure_registry_covers_every_evaluation_figure():
         "fig11",
         "fig12",
         "fig13",
+        "fig13d",
         "fig14",
     ]
 

@@ -460,3 +460,132 @@ def test_pipeline_journal_spans_all_nodes():
     assert "HMJ" in actors  # operator events from both join nodes
     assert journal.of_kind("blocked-window")
     assert journal.of_kind("flush")
+
+
+# -- streaming and broker-governed plans --------------------------------------
+
+
+def build_three_way(ka, kb, kc, factory=None):
+    """A fresh (A join B) join C plan (sources are single-use)."""
+    factory = factory or hmj_factory()
+    return join(
+        join(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+            factory,
+            label="ab",
+        ),
+        leaf(source_of(relation(kc, SOURCE_B, "C"), seed=3)),
+        factory,
+        label="root",
+    )
+
+
+def test_stream_plan_matches_run_plan():
+    from repro.pipeline import stream_plan
+
+    args = (random_keys(300, 90, 80), random_keys(300, 90, 81), random_keys(300, 90, 82))
+    batch = run_plan(build_three_way(*args))
+    stream = stream_plan(build_three_way(*args))
+    streamed = [(result, event) for result, event in stream]
+    assert result_multiset(r for r, _ in streamed) == result_multiset(batch.results)
+    times = [e.time for _, e in streamed]
+    assert times == sorted(times)
+    assert stream.clock.now == batch.clock.now
+    assert stream.recorder.count == batch.count
+
+
+def test_stream_plan_without_result_retention():
+    from repro.pipeline import stream_plan
+
+    args = (random_keys(200, 60, 83), random_keys(200, 60, 84), random_keys(200, 60, 85))
+    expected = expected_triples(*args)
+    stream = stream_plan(build_three_way(*args), keep_results=False)
+    streamed = [result for result, _ in stream]
+    assert len(streamed) == expected
+    # The recorder counted everything but retained nothing.
+    assert stream.recorder.count == expected
+    assert stream.recorder.results_since(0) == []
+
+
+def lineage_multiset(results):
+    """Count plan results by their *leaf* lineage.
+
+    Intermediate tuples are numbered in emission order, so two runs
+    that spill in different orders (e.g. under different memory
+    schedules) produce equal logical outputs with different
+    intermediate tids; unwrapping payloads down to the stable leaf
+    identities makes the comparison schedule-independent.
+    """
+    from repro.storage.tuples import JoinResult
+
+    def walk(t, parts):
+        if isinstance(t.payload, JoinResult):
+            walk(t.payload.left, parts)
+            walk(t.payload.right, parts)
+        else:
+            parts.append((t.key, t.tid))
+
+    counts = Counter()
+    for result in results:
+        parts: list = []
+        walk(result.left, parts)
+        walk(result.right, parts)
+        counts[tuple(parts)] += 1
+    return counts
+
+
+def test_plan_broker_shrink_grow_preserves_output():
+    from repro.sim.broker import ResourceBroker
+
+    args = (random_keys(300, 90, 86), random_keys(300, 90, 87), random_keys(300, 90, 88))
+    baseline = run_plan(build_three_way(*args))
+    broker = ResourceBroker([(0.2, 24), (0.45, 300)])
+    governed = run_plan(build_three_way(*args), broker=broker)
+    assert governed.completed
+    assert len(broker.applied) == 2
+    # Both join nodes sit under the one global grant.
+    assert len(broker.operators) == 2
+    governed_lineage = lineage_multiset(governed.results)
+    assert governed_lineage == lineage_multiset(baseline.results)
+    assert all(v == 1 for v in governed_lineage.values())
+
+
+def test_plan_broker_binds_only_resizable_nodes():
+    from repro.sim.broker import ResourceBroker
+
+    ka = random_keys(200, 60, 89)
+    kb = random_keys(200, 60, 90)
+    kc = random_keys(200, 60, 91)
+    plan = join(
+        join(
+            leaf(source_of(relation(ka, SOURCE_A, "A"), seed=1)),
+            leaf(source_of(relation(kb, SOURCE_B, "B"), seed=2)),
+            lambda: SymmetricHashJoin(),
+            label="in-memory",
+        ),
+        leaf(source_of(relation(kc, SOURCE_B, "C"), seed=3)),
+        hmj_factory(),
+        label="root",
+    )
+    broker = ResourceBroker([(0.2, 30)])
+    result = run_plan(plan, broker=broker)
+    assert result.count == expected_triples(ka, kb, kc)
+    # Only the HMJ node went under the grant; the whole total is its.
+    assert [op.name for op in broker.operators] == ["HMJ"]
+    assert broker.operators[0].memory.capacity == 30
+
+
+def test_stream_plan_with_broker_and_journal():
+    from repro.pipeline import stream_plan
+    from repro.sim.broker import ResourceBroker
+
+    args = (random_keys(200, 60, 92), random_keys(200, 60, 93), random_keys(200, 60, 94))
+    broker = ResourceBroker([(0.15, 20), (0.35, 200)])
+    stream = stream_plan(build_three_way(*args), broker=broker, journal=True)
+    streamed = [result for result, _ in stream]
+    assert len(streamed) == expected_triples(*args)
+    assert len(broker.applied) == 2
+    grants = stream.journal.of_kind("grant")
+    assert [g.detail["total"] for g in grants] == [20, 200]
+    assert set(grants[0].detail["shares"]) == {"ab", "root"}

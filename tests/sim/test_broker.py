@@ -1,0 +1,254 @@
+"""Tests for the resource broker: grant arithmetic and mid-run resizes.
+
+The unit tests pin the largest-remainder share split and the wiring
+rules; the integration tests drive every resizable operator (HMJ,
+XJoin, PMJ) through adversarial shrink/grow schedules *inside a live
+simulation* and assert the output multiset still matches the blocking
+oracle exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.errors import ConfigurationError
+from repro.joins.blocking import hash_join
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.broker import MIN_OPERATOR_SHARE, MemoryGrant, ResourceBroker
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import run_join, stream_join
+from repro.sim.scheduler import EventScheduler
+from repro.storage.tuples import result_multiset
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+SPEC = WorkloadSpec(n_a=400, n_b=400, key_range=600, seed=23)
+
+
+def sources(rate=400.0):
+    rel_a, rel_b = make_relation_pair(SPEC)
+    return (
+        NetworkSource(rel_a, ConstantRate(rate), seed=1),
+        NetworkSource(rel_b, ConstantRate(rate), seed=2),
+        rel_a,
+        rel_b,
+    )
+
+
+class _Resizable:
+    """Minimal stand-in recording resize calls."""
+
+    name = "stub"
+    supports_memory_resize = True
+
+    def __init__(self):
+        self.sizes: list[int] = []
+
+    def resize_memory(self, new_capacity: int) -> None:
+        self.sizes.append(new_capacity)
+
+
+# -- grant and schedule validation ------------------------------------------
+
+
+def test_grant_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryGrant(time=-0.1, total=10)
+    with pytest.raises(ConfigurationError):
+        MemoryGrant(time=0.0, total=MIN_OPERATOR_SHARE - 1)
+
+
+def test_schedule_accepts_tuples_and_sorts_by_time():
+    broker = ResourceBroker([(2.0, 50), (0.5, 100), MemoryGrant(1.0, 75)])
+    assert [g.time for g in broker.schedule] == [0.5, 1.0, 2.0]
+    assert [g.total for g in broker.schedule] == [100, 75, 50]
+
+
+def test_bind_rejects_non_resizable_operator():
+    broker = ResourceBroker()
+    with pytest.raises(ConfigurationError):
+        broker.bind(SymmetricHashJoin())
+
+
+def test_bind_rejects_non_positive_weight():
+    broker = ResourceBroker()
+    with pytest.raises(ConfigurationError):
+        broker.bind(_Resizable(), weight=0.0)
+
+
+def test_install_requires_bindings():
+    sched = EventScheduler(clock=VirtualClock(), blocking_threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        ResourceBroker([(0.5, 50)]).install(sched)
+
+
+def test_install_twice_rejected():
+    sched = EventScheduler(clock=VirtualClock(), blocking_threshold=1.0)
+    broker = ResourceBroker([(0.5, 50)])
+    broker.bind(_Resizable())
+    broker.install(sched)
+    with pytest.raises(ConfigurationError):
+        broker.install(sched)
+
+
+# -- share arithmetic --------------------------------------------------------
+
+
+def test_shares_sum_exactly_and_respect_weights():
+    broker = ResourceBroker()
+    ops = [_Resizable(), _Resizable(), _Resizable()]
+    for op, weight in zip(ops, (1.0, 2.0, 1.0)):
+        broker.bind(op, weight=weight)
+    shares = broker.shares(100)
+    assert sum(shares) == 100
+    assert shares[1] > max(shares[0], shares[2])
+    # Equal weights may differ by the one largest-remainder unit.
+    assert abs(shares[0] - shares[2]) <= 1
+    assert all(s >= MIN_OPERATOR_SHARE for s in shares)
+
+
+def test_shares_largest_remainder_is_deterministic():
+    broker = ResourceBroker()
+    for _ in range(3):
+        broker.bind(_Resizable())
+    # 7 spare over 3 equal weights: 3/2/2 with the extra unit going to
+    # the earliest binding (stable tie-break).
+    assert broker.shares(13) == [5, 4, 4]
+    assert broker.shares(13) == [5, 4, 4]
+
+
+def test_shares_reject_infeasible_total():
+    broker = ResourceBroker()
+    broker.bind(_Resizable())
+    broker.bind(_Resizable())
+    with pytest.raises(ConfigurationError):
+        broker.shares(2 * MIN_OPERATOR_SHARE - 1)
+
+
+def test_shares_without_bindings_rejected():
+    with pytest.raises(ConfigurationError):
+        ResourceBroker().shares(10)
+
+
+def test_apply_resizes_every_bound_operator():
+    broker = ResourceBroker()
+    ops = [_Resizable(), _Resizable()]
+    for op in ops:
+        broker.bind(op)
+    shares = broker.apply(21)
+    assert shares == [11, 10]
+    assert [op.sizes for op in ops] == [[11], [10]]
+
+
+# -- broker-driven simulations (satellite: mid-run shrink/grow vs oracle) ----
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=16)),
+        lambda: XJoin(memory_capacity=100, n_buckets=8),
+        lambda: ProgressiveMergeJoin(memory_capacity=100),
+    ],
+    ids=["hmj", "xjoin", "pmj"],
+)
+def test_mid_run_shrink_then_grow_preserves_output(factory):
+    # Sources stream for ~1 virtual second; shrink hard mid-stream,
+    # then grow past the original budget.  Output must be exactly the
+    # blocking oracle's multiset, with no duplicates.
+    src_a, src_b, rel_a, rel_b = sources()
+    broker = ResourceBroker([(0.3, 16), (0.7, 300)])
+    operator = factory()
+    result = run_join(src_a, src_b, operator, broker=broker)
+    assert result.completed
+    assert len(broker.applied) == 2
+    assert operator.memory.capacity == 300
+    actual = result_multiset(result.results)
+    assert actual == result_multiset(hash_join(rel_a, rel_b))
+    assert all(v == 1 for v in actual.values())
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=16)),
+        lambda: XJoin(memory_capacity=100, n_buckets=8),
+        lambda: ProgressiveMergeJoin(memory_capacity=100),
+    ],
+    ids=["hmj", "xjoin", "pmj"],
+)
+def test_repeated_shrink_grow_oscillation_preserves_output(factory):
+    src_a, src_b, rel_a, rel_b = sources()
+    schedule = [(0.2, 20), (0.4, 150), (0.6, 12), (0.8, 200)]
+    broker = ResourceBroker(schedule)
+    result = run_join(src_a, src_b, factory(), broker=broker)
+    assert len(broker.applied) == len(schedule)
+    assert result_multiset(result.results) == result_multiset(
+        hash_join(rel_a, rel_b)
+    )
+
+
+def test_shrink_forces_spill_activity():
+    src_a, src_b, _, _ = sources()
+    operator = HashMergeJoin(HMJConfig(memory_capacity=400, n_buckets=16))
+    broker = ResourceBroker([(0.5, 24)])
+    run_join(src_a, src_b, operator, broker=broker)
+    # A budget of 400 holds both inputs; the revocation to 24 must have
+    # forced flushes that would otherwise never happen.
+    assert operator.flush_count > 0
+
+
+def test_grants_after_end_of_input_never_fire():
+    src_a, src_b, _, _ = sources()
+    broker = ResourceBroker([(0.5, 50), (999.0, 10)])
+    operator = HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=16))
+    result = run_join(src_a, src_b, operator, broker=broker)
+    assert result.completed
+    assert [g.time for g in broker.applied] == [0.5]
+    assert operator.memory.capacity == 50
+
+
+def test_broker_grants_are_journaled():
+    src_a, src_b, _, _ = sources()
+    broker = ResourceBroker([(0.4, 60)])
+    result = run_join(
+        src_a,
+        src_b,
+        HashMergeJoin(HMJConfig(memory_capacity=100, n_buckets=16)),
+        broker=broker,
+        journal=True,
+    )
+    grants = result.journal.of_kind("grant")
+    assert len(grants) == 1
+    assert grants[0].actor == "broker"
+    assert grants[0].detail["total"] == 60
+    assert grants[0].detail["shares"] == {"HMJ": 60}
+    # The timer is due at 0.4 but fires at the current clock when
+    # processing backlog has already pushed time past it.
+    assert grants[0].time >= 0.4
+
+
+def test_broker_with_streaming_api():
+    src_a, src_b, rel_a, rel_b = sources()
+    broker = ResourceBroker([(0.3, 20), (0.7, 200)])
+    stream = stream_join(
+        src_a,
+        src_b,
+        XJoin(memory_capacity=100, n_buckets=8),
+        broker=broker,
+    )
+    streamed = [result for result, _ in stream]
+    assert result_multiset(streamed) == result_multiset(hash_join(rel_a, rel_b))
+    assert len(broker.applied) == 2
+
+
+def test_non_resizable_operator_rejected_by_run_join():
+    src_a, src_b, _, _ = sources()
+    broker = ResourceBroker([(0.5, 50)])
+    with pytest.raises(ConfigurationError):
+        run_join(src_a, src_b, SymmetricHashJoin(), broker=broker)

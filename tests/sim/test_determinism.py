@@ -1,0 +1,179 @@
+"""Kernel-swap determinism regression: the six figure benchmarks.
+
+The event kernel (``repro/sim/scheduler.py``) replaced the two
+hand-rolled loops that produced every number in EXPERIMENTS.md.  These
+tests pin the exact ``(result count, final clock, io_count)`` triple of
+one representative run per paper figure at small scale, captured from
+the pre-kernel seed loops.  Any future change to arrival selection,
+blocked-window slicing, or finish sequencing that drifts the
+calibration fails here immediately.
+
+The triples are exact: the simulation is deterministic down to float
+arithmetic, so equality is asserted without tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import BLOCKING_T, _bursty
+from repro.bench.runner import execute
+from repro.bench.scale import BenchScale
+from repro.core.config import HMJConfig
+from repro.core.flushing import FlushSmallestPolicy
+from repro.core.hmj import HashMergeJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import ConstantRate
+from repro.workloads.generator import make_relation_pair
+
+SCALE = BenchScale(n_per_source=400, seed=7)
+
+Triple = tuple[int, float, int]
+
+
+def _triple(result) -> Triple:
+    return (result.recorder.count, result.clock.now, result.disk.io_count)
+
+
+def _run(operator, arrival_a, arrival_b, **kwargs) -> Triple:
+    rel_a, rel_b = make_relation_pair(SCALE.spec)
+    return _triple(execute(rel_a, rel_b, operator, arrival_a, arrival_b, **kwargs))
+
+
+def _hmj(memory: int, **kwargs) -> HashMergeJoin:
+    return HashMergeJoin(HMJConfig(memory_capacity=memory, **kwargs))
+
+
+def _fast() -> ConstantRate:
+    return ConstantRate(SCALE.fast_rate)
+
+
+def scenario_fig09() -> dict[str, Triple]:
+    """Figure 9's p sweep, at its paper-default point (p=5%, f=16)."""
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj-p05": _run(
+            _hmj(memory, flush_fraction=0.05, fan_in=16), _fast(), _fast()
+        ),
+    }
+
+
+def scenario_fig10() -> dict[str, Triple]:
+    """Figure 10's policy comparison (adaptive vs flush-smallest)."""
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj-adaptive": _run(_hmj(memory), _fast(), _fast()),
+        "hmj-smallest": _run(
+            _hmj(memory, policy=FlushSmallestPolicy()), _fast(), _fast()
+        ),
+    }
+
+
+def scenario_fig11() -> dict[str, Triple]:
+    """Figure 11's three-way comparison under a fast network."""
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj": _run(_hmj(memory), _fast(), _fast()),
+        "xjoin": _run(XJoin(memory_capacity=memory), _fast(), _fast()),
+        "pmj": _run(ProgressiveMergeJoin(memory_capacity=memory), _fast(), _fast()),
+    }
+
+
+def _slow() -> ConstantRate:
+    return ConstantRate(SCALE.fast_rate / 5.0)
+
+
+def scenario_fig12() -> dict[str, Triple]:
+    """Figure 12's 5x rate skew."""
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj": _run(_hmj(memory), _fast(), _slow()),
+        "xjoin": _run(XJoin(memory_capacity=memory), _fast(), _slow()),
+        "pmj": _run(ProgressiveMergeJoin(memory_capacity=memory), _fast(), _slow()),
+    }
+
+
+def scenario_fig13() -> dict[str, Triple]:
+    """Figure 13's first-k early stop at the paper's 10% memory point."""
+    memory = SCALE.spec.memory_capacity(0.10)
+    first_k = SCALE.first_k(1000)
+    return {
+        "hmj-stop": _run(_hmj(memory), _fast(), _fast(), stop_after=first_k),
+        "pmj-stop": _run(
+            ProgressiveMergeJoin(memory_capacity=memory),
+            _fast(),
+            _fast(),
+            stop_after=first_k,
+        ),
+    }
+
+
+def scenario_fig14() -> dict[str, Triple]:
+    """Figure 14's bursty regime (Pareto silences, threshold T)."""
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj": _run(
+            _hmj(memory), _bursty(SCALE), _bursty(SCALE),
+            blocking_threshold=BLOCKING_T,
+        ),
+        "xjoin": _run(
+            XJoin(memory_capacity=memory), _bursty(SCALE), _bursty(SCALE),
+            blocking_threshold=BLOCKING_T,
+        ),
+        "pmj": _run(
+            ProgressiveMergeJoin(memory_capacity=memory),
+            _bursty(SCALE),
+            _bursty(SCALE),
+            blocking_threshold=BLOCKING_T,
+        ),
+    }
+
+
+SCENARIOS = {
+    "fig09": scenario_fig09,
+    "fig10": scenario_fig10,
+    "fig11": scenario_fig11,
+    "fig12": scenario_fig12,
+    "fig13": scenario_fig13,
+    "fig14": scenario_fig14,
+}
+
+#: (count, final clock, io_count) per run, captured from the seed's
+#: pre-kernel loops (commit 28c142c) at SCALE.  Exact equality required.
+EXPECTED: dict[str, dict[str, Triple]] = {
+    "fig09": {"hmj-p05": (189, 3.994769170021071, 398)},
+    "fig10": {
+        "hmj-adaptive": (189, 3.994769170021071, 398),
+        "hmj-smallest": (189, 12.654506643875338, 1264),
+    },
+    "fig11": {
+        "hmj": (189, 3.994769170021071, 398),
+        "xjoin": (189, 8.3631269999999, 835),
+        "pmj": (189, 0.6986735424759163, 68),
+    },
+    "fig12": {
+        "hmj": (189, 3.280438090555664, 326),
+        "xjoin": (189, 7.148418999999964, 713),
+        "pmj": (189, 0.9423877542476236, 78),
+    },
+    "fig13": {
+        "hmj-stop": (10, 0.26893310685239863, 26),
+        "pmj-stop": (10, 0.11235377123795567, 10),
+    },
+    "fig14": {
+        "hmj": (189, 9.779311450641007, 612),
+        "xjoin": (189, 13.70114254054461, 1216),
+        "pmj": (189, 8.952620131648274, 202),
+    },
+}
+
+
+@pytest.mark.parametrize("figure", sorted(SCENARIOS))
+def test_figure_triples_match_seed(figure):
+    assert SCENARIOS[figure]() == EXPECTED[figure]
+
+
+if __name__ == "__main__":
+    for name in sorted(SCENARIOS):
+        print(f'    "{name}": {SCENARIOS[name]()!r},')

@@ -106,10 +106,14 @@ def test_blocked_called_when_gap_exceeds_threshold():
     run_join(src_a, src_b, op, costs=CHEAP, blocking_threshold=0.5)
     assert len(op.blocked_calls) >= 1
     start, deadline = op.blocked_calls[0]
-    # Blocking declared one threshold after the last arrival (0.1+0.5),
-    # with the gap ending at the next arrival (5.1).
+    # Blocking declared one threshold after the last arrival (0.1+0.5).
+    # The kernel hands the gap out in threshold-sized budget slices, so
+    # the first deadline is one threshold later; an operator that does
+    # no work is not offered further slices (the window cannot make
+    # progress from an identical state).
     assert start == pytest.approx(0.6)
-    assert deadline == pytest.approx(5.1)
+    assert deadline == pytest.approx(1.1)
+    assert len(op.blocked_calls) == 1
 
 
 def test_no_blocked_call_when_gap_is_below_threshold():
@@ -145,9 +149,14 @@ def test_background_work_respects_deadline():
     src_a, src_b = sources_from_traces([0.1, 10.0], [0.1, 10.0])
     op = RecordingOperator(background_work=True, work_step=0.25)
     run_join(src_a, src_b, op, costs=CHEAP, blocking_threshold=1.0)
-    # Work stops at (or one step past) the gap end at t=10.1.
-    _, deadline = op.blocked_calls[0]
-    assert deadline == pytest.approx(10.1)
+    # The window opens at 1.1 and its budget slices tile the gap up to
+    # the next arrival at 10.1: successive starts one threshold apart,
+    # every deadline capped at the gap end, and no work past it.
+    starts = [start for start, _ in op.blocked_calls]
+    assert starts == pytest.approx([1.1 + i for i in range(9)])
+    assert all(deadline <= 10.1 + 1e-9 for _, deadline in op.blocked_calls)
+    assert op.blocked_calls[-1][1] == pytest.approx(10.1)
+    assert op.tuples[-1][0] == pytest.approx(10.1)
 
 
 class EmittingOperator(StreamingJoinOperator):

@@ -105,16 +105,32 @@ def test_stream_other_operators_match_oracle(factory):
     assert result_multiset(streamed) == result_multiset(hash_join(rel_a, rel_b))
 
 
-def test_stream_requires_keep_results():
-    from repro.errors import ConfigurationError
-    from repro.sim.engine import JoinSimulation
+def test_stream_without_keeping_results_is_memory_bounded():
+    # keep_results=False streams every result exactly once while the
+    # recorder retains no output history (results surface via a tap).
+    src_a, src_b, rel_a, rel_b = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    stream = stream_join(src_a, src_b, op, keep_results=False)
+    streamed = [result for result, _ in stream]
+    assert result_multiset(streamed) == result_multiset(hash_join(rel_a, rel_b))
+    assert stream.recorder.results == []
+    assert stream.recorder.count == len(streamed)
 
+
+def test_stream_exposes_journal_timeline():
     src_a, src_b, _, _ = sources()
-    sim = JoinSimulation(
-        src_a,
-        src_b,
-        HashMergeJoin(HMJConfig(memory_capacity=80)),
-        keep_results=False,
-    )
-    with pytest.raises(ConfigurationError):
-        next(sim.stream())
+    op = HashMergeJoin(HMJConfig(memory_capacity=40, n_buckets=16))
+    stream = stream_join(src_a, src_b, op, journal=True)
+    for _ in stream:
+        pass
+    assert stream.journal is not None
+    assert len(stream.journal) > 0
+    assert stream.journal.of_kind("flush")
+    assert stream.journal.of_kind("finish")
+
+
+def test_stream_journal_off_by_default():
+    src_a, src_b, _, _ = sources()
+    op = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+    stream = stream_join(src_a, src_b, op)
+    assert stream.journal is None
