@@ -1,9 +1,11 @@
 # Convenience targets; everything is plain pytest/python underneath.
 
+JOBS ?= 1
+
 .PHONY: install test bench figures ablations report examples all
 
 install:
-	pip install -e . --no-build-isolation || python setup.py develop
+	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
@@ -12,7 +14,7 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 figures:
-	python -m repro.bench.figures
+	python -m repro.bench.figures --jobs $(JOBS)
 
 ablations:
 	python -m repro.bench.ablations

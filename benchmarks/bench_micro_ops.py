@@ -103,3 +103,42 @@ def test_full_hmj_run_small(benchmark):
         return run_join(src_a, src_b, op, keep_results=False).count
 
     assert benchmark(run) > 0
+
+
+def test_fused_probe_insert_throughput(benchmark):
+    # The hot-path variant of test_probe_insert_throughput: one hash
+    # computation per tuple, no allocation on empty-bucket probes.
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 4000, size=4000)
+    tuples = [
+        Tuple(key=int(k), tid=i, source=SOURCE_A if i % 2 else SOURCE_B)
+        for i, k in enumerate(keys)
+    ]
+
+    def run():
+        table = DualHashTable(200, 20)
+        matches = 0
+        for t in tuples:
+            found, _, _ = table.probe_insert(t)
+            matches += len(found)
+        return matches
+
+    assert benchmark(run) > 0
+
+
+def test_summary_running_max_throughput(benchmark):
+    # Per-tuple victim bookkeeping: the O(1) running (max, argmax)
+    # queried after every add, as FlushLargestPolicy now does.
+    rng = np.random.default_rng(6)
+    groups = rng.integers(0, 50, size=8000)
+    sides = rng.integers(0, 2, size=8000)
+
+    def run():
+        table = BucketSummaryTable(50)
+        acc = 0
+        for g, s in zip(groups, sides):
+            table.add_one(bool(s), int(g))
+            acc += table.argmax_pair_total()
+        return acc
+
+    assert benchmark(run) >= 0

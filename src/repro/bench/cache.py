@@ -1,0 +1,135 @@
+"""Content-addressed on-disk cache for benchmark grid cells.
+
+Every grid cell (see :mod:`repro.bench.grid`) is a pure function of its
+declarative spec and of the simulator's source code.  The cache key is
+therefore ``sha256(source-tree digest + canonical spec JSON)``:
+
+* rerunning the same figure suite re-executes **zero** cells;
+* editing anything under ``src/repro/`` changes the digest and
+  invalidates every entry at once (stale results can never leak across
+  code changes);
+* the *presentation* fields of a spec (``figure_id``, ``cell_id``) are
+  excluded from the fingerprint, so two figures sharing a physical
+  experiment share one cache entry.
+
+Entries are pickled :class:`~repro.bench.grid.CellResult` payloads laid
+out as ``<root>/<key[:2]>/<key>.pkl``.  A corrupt or unreadable entry
+is treated as a miss and re-executed.  ``clear()`` (or ``rm -rf`` on
+the cache directory) resets everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any
+
+import repro
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".bench-cache"
+
+#: Spec fields that identify presentation, not the physical experiment.
+_PRESENTATION_FIELDS = ("figure_id", "cell_id")
+
+_SOURCE_DIGEST: str | None = None
+
+
+def source_digest() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` package.
+
+    Computed once per process; any source change — even a comment —
+    produces a new digest and thereby a cold cache.  Cheap relative to
+    a single simulation cell (a few ms for the whole tree).
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _SOURCE_DIGEST = h.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """Canonical JSON of a cell spec, minus its presentation fields."""
+    payload = dataclasses.asdict(spec)
+    for field in _PRESENTATION_FIELDS:
+        payload.pop(field, None)
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class ResultCache:
+    """On-disk result store keyed by (source digest, spec fingerprint).
+
+    Args:
+        root: Cache directory (created lazily on the first ``put``).
+        digest: Override the source-tree digest — tests use this to
+            exercise invalidation without editing files.
+    """
+
+    def __init__(self, root: str | Path, digest: str | None = None) -> None:
+        self.root = Path(root)
+        self.digest = digest if digest is not None else source_digest()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: Any) -> str:
+        """Full content-addressed key for one cell spec."""
+        material = f"{self.digest}\n{spec_fingerprint(spec)}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, spec: Any) -> Path:
+        """On-disk location of the entry for ``spec``."""
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, spec: Any) -> Any | None:
+        """Cached result for ``spec``, or ``None`` on a miss.
+
+        Any read or deserialization failure counts as a miss: the cell
+        is simply re-executed and the entry rewritten.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: Any, result: Any) -> None:
+        """Store ``result`` for ``spec`` (atomic rename, parallel-safe)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> None:
+        """Delete the whole cache directory."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

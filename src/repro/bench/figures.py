@@ -1,45 +1,65 @@
 """Reproductions of every figure in the paper's evaluation (Section 6).
 
-Each function regenerates one figure's data at the configured scale,
+Each figure regenerates one figure's data at the configured scale,
 prints the same rows/series the paper plots, and evaluates the shape
 claims listed in DESIGN.md.  Absolute numbers differ from the paper
 (2004 C++ testbed vs. deterministic simulation), but the orderings,
 ratios, and crossovers are asserted.
 
+Since PR 2 every figure is decomposed into declarative *grid cells*
+(:mod:`repro.bench.grid`): independent ``(workload, operator, config)``
+simulations that can execute across worker processes and hit the
+on-disk result cache, while the figure *builder* assembles the exact
+same report from the cell results — serial and parallel runs are
+byte-identical.
+
 Run directly::
 
-    python -m repro.bench.figures          # all figures
-    python -m repro.bench.figures fig13    # one figure
+    python -m repro.bench.figures                   # all figures
+    python -m repro.bench.figures fig13             # one figure
+    python -m repro.bench.figures --jobs 4          # parallel cells
+    python -m repro.bench.figures --no-cache        # force re-execution
+
+Every invocation writes a machine-readable ``BENCH_figures.json``
+(per-cell result count, final clock, page I/O, wall seconds) — see
+``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import time
+from typing import Mapping
 
-from repro.bench.runner import FigureReport, check, curve_ks, early_ks, execute
+from repro.bench.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.bench.grid import (
+    CellResult,
+    CellSpec,
+    FigureGrid,
+    GridRunner,
+    bench_manifest,
+    build_arrival,
+    bursty_arrival,
+    constant_arrival,
+    run_figure_grid,
+    write_bench_manifest,
+)
+from repro.bench.runner import FigureReport, check, curve_ks, early_ks
 from repro.bench.scale import BenchScale, bench_scale
 from repro.core.config import HMJConfig
-from repro.core.flushing import (
-    AdaptiveFlushingPolicy,
-    FlushAllPolicy,
-    FlushSmallestPolicy,
-)
 from repro.core.hmj import HashMergeJoin
-from repro.joins.pmj import ProgressiveMergeJoin
-from repro.joins.xjoin import XJoin
+from repro.errors import ConfigurationError
 from repro.metrics.ascii_plot import plot_series
-from repro.metrics.recorder import MetricsRecorder
 from repro.metrics.report import format_comparison, format_table
-from repro.metrics.series import Series, series_from_recorder
-from repro.net.arrival import BurstyArrival, ConstantRate
-from repro.sim.broker import ResourceBroker
-from repro.workloads.generator import make_relation_pair
+from repro.metrics.series import Series
+from repro.net.arrival import BurstyArrival
 
 #: Blocking threshold T (Section 6.3) used by the bursty experiments.
 BLOCKING_T = 0.05
 
 
-def _bursty(scale: BenchScale) -> BurstyArrival:
+def _bursty_spec(scale: BenchScale) -> tuple:
     """The slow-and-bursty regime: Pareto-distributed silences.
 
     The paper models burstiness with a Pareto distribution [5]
@@ -50,59 +70,97 @@ def _bursty(scale: BenchScale) -> BurstyArrival:
     that grew with the workload would eventually out-run the silences
     and the blocked windows would vanish at scale.
     """
-    return BurstyArrival(
+    return bursty_arrival(
         burst_size=min(500, max(1, scale.n_per_source // 20)),
         intra_gap=1.0 / scale.fast_rate,
         mean_silence=0.5,
     )
 
 
-def _hmj(memory: int, **kwargs) -> HashMergeJoin:
-    return HashMergeJoin(HMJConfig(memory_capacity=memory, **kwargs))
+def _bursty(scale: BenchScale) -> BurstyArrival:
+    """The bursty arrival process itself (determinism tests use this)."""
+    return build_arrival(_bursty_spec(scale))
 
 
-def _time_series(rec: MetricsRecorder, name: str, ks: list[int]) -> Series:
-    return series_from_recorder(rec, name, metric="time", ks=ks)
+def _fast(scale: BenchScale) -> tuple:
+    return constant_arrival(scale.fast_rate)
 
 
-def _io_series(rec: MetricsRecorder, name: str, ks: list[int]) -> Series:
-    return series_from_recorder(rec, name, metric="io", ks=ks)
+def _hmj_cell(
+    figure_id: str,
+    cell_id: str,
+    scale: BenchScale,
+    memory: int,
+    arrival_a: tuple | None = None,
+    arrival_b: tuple | None = None,
+    **extra,
+) -> CellSpec:
+    params = {"memory_capacity": memory, **extra.pop("operator_extra", {})}
+    return CellSpec(
+        figure_id=figure_id,
+        cell_id=cell_id,
+        workload=scale.spec,
+        operator="hmj",
+        operator_params=tuple(sorted(params.items())),
+        arrival_a=arrival_a or _fast(scale),
+        arrival_b=arrival_b or _fast(scale),
+        **extra,
+    )
+
+
+def _series(rec, name: str, metric: str, ks: list[int]) -> Series:
+    """``series_from_recorder`` for recorder snapshots (same output)."""
+    getter = rec.time_to_kth if metric == "time" else rec.io_to_kth
+    points = [(k, float(getter(k))) for k in ks if 1 <= k <= rec.count]
+    return Series(name=name, metric=metric, points=points)
+
+
+def _named_series(recs: Mapping, metric: str, ks: list[int]) -> list[Series]:
+    return [_series(rec, name, metric, ks) for name, rec in recs.items()]
 
 
 # ---------------------------------------------------------------------------
 # Figure 9 — impact of the flush fraction p (Section 6.1.1)
 # ---------------------------------------------------------------------------
 
+_FIG09_FRACTIONS = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00]
 
-def fig09_flush_fraction(scale: BenchScale | None = None) -> FigureReport:
+
+def _fig09_cells(scale: BenchScale) -> list[CellSpec]:
+    memory = scale.spec.memory_capacity()
+    return [
+        _hmj_cell(
+            "fig09",
+            f"p={p:.0%}",
+            scale,
+            memory,
+            operator_extra={"flush_fraction": p, "fan_in": 16},
+        )
+        for p in _FIG09_FRACTIONS
+    ]
+
+
+def _fig09_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
     """Figure 9: hashing-phase results and total I/O vs p (1%..100%).
 
     Fan-in is raised to 16 so every bucket group merges in one pass,
     isolating the flush-granularity effect the figure studies (with a
     small fan-in, large p adds merge passes that mask it).
     """
-    scale = scale or bench_scale()
-    rel_a, rel_b = make_relation_pair(scale.spec)
     memory = scale.spec.memory_capacity()
-    fractions = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00]
-
     rows = []
     hashing_counts: list[int] = []
     total_ios: list[int] = []
-    for p in fractions:
-        op = _hmj(memory, flush_fraction=p, fan_in=16)
-        result = execute(
-            rel_a,
-            rel_b,
-            op,
-            ConstantRate(scale.fast_rate),
-            ConstantRate(scale.fast_rate),
-        )
-        hashing = result.recorder.count_in_phase(HashMergeJoin.PHASE_HASHING)
-        io = result.recorder.total_io()
+    for p in _FIG09_FRACTIONS:
+        rec = results[f"p={p:.0%}"].recorder
+        config = HMJConfig(memory_capacity=memory, flush_fraction=p, fan_in=16)
+        hashing = rec.count_in_phase(HashMergeJoin.PHASE_HASHING)
+        io = rec.total_io()
         hashing_counts.append(hashing)
         total_ios.append(io)
-        rows.append([f"{p:.0%}", op.config.n_groups, hashing, io])
+        rows.append([f"{p:.0%}", config.n_groups, hashing, io])
 
     body = format_table(
         ["p (flushed fraction)", "disk groups", "hashing-phase results", "total I/O (pages)"],
@@ -141,48 +199,47 @@ def fig09_flush_fraction(scale: BenchScale | None = None) -> FigureReport:
 # Figure 10 — flushing policies (Section 6.1.2)
 # ---------------------------------------------------------------------------
 
+_FIG10_POLICIES = [
+    ("Flush All", "all"),
+    ("Flush Smallest", "smallest"),
+    ("Adaptive", "adaptive"),
+]
 
-def fig10_policies(scale: BenchScale | None = None) -> FigureReport:
-    """Figure 10: time and I/O to the k-th result per flushing policy."""
-    scale = scale or bench_scale()
-    rel_a, rel_b = make_relation_pair(scale.spec)
+
+def _fig10_cells(scale: BenchScale) -> list[CellSpec]:
     memory = scale.spec.memory_capacity()
-
-    policies = [
-        ("Flush All", FlushAllPolicy()),
-        ("Flush Smallest", FlushSmallestPolicy()),
-        ("Adaptive", AdaptiveFlushingPolicy()),
+    return [
+        _hmj_cell(
+            "fig10", key, scale, memory, operator_extra={"policy": key}
+        )
+        for _, key in _FIG10_POLICIES
     ]
-    recs: dict[str, MetricsRecorder] = {}
-    hashing_counts: dict[str, int] = {}
-    for name, policy in policies:
-        op = _hmj(memory, policy=policy)
-        result = execute(
-            rel_a,
-            rel_b,
-            op,
-            ConstantRate(scale.fast_rate),
-            ConstantRate(scale.fast_rate),
-        )
-        recs[name] = result.recorder
-        hashing_counts[name] = result.recorder.count_in_phase(
-            HashMergeJoin.PHASE_HASHING
-        )
+
+
+def _fig10_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
+    """Figure 10: time and I/O to the k-th result per flushing policy."""
+    recs = {name: results[key].recorder for name, key in _FIG10_POLICIES}
+    hashing_counts = {
+        name: rec.count_in_phase(HashMergeJoin.PHASE_HASHING)
+        for name, rec in recs.items()
+    }
 
     count = min(r.count for r in recs.values())
     ks = curve_ks(count)
     time_table = format_comparison(
-        [_time_series(recs[n], n, ks) for n, _ in policies],
+        _named_series(recs, "time", ks),
         title="(a) time to produce the k-th result [virtual s]",
     )
     io_table = format_comparison(
-        [_io_series(recs[n], n, ks) for n, _ in policies],
+        _named_series(recs, "io", ks),
         title="(b) page I/Os to produce the k-th result",
     )
-    hash_rows = [[n, hashing_counts[n]] for n, _ in policies]
+    hash_rows = [[n, hashing_counts[n]] for n in recs]
     hash_table = format_table(["policy", "hashing-phase results"], hash_rows)
     plot = plot_series(
-        [_time_series(recs[n], n, ks) for n, _ in policies],
+        _named_series(recs, "time", ks),
         title="time-to-kth curves (x: k, y: virtual s)",
     )
 
@@ -232,43 +289,45 @@ def fig10_policies(scale: BenchScale | None = None) -> FigureReport:
 # Figure 11 — fast and reliable networks (Section 6.2)
 # ---------------------------------------------------------------------------
 
+_THREE_WAY = [("HMJ", "hmj"), ("XJoin", "xjoin"), ("PMJ", "pmj")]
 
-def _three_way(
+
+def _three_way_cells(
+    figure_id: str,
     scale: BenchScale,
-    arrival_a,
-    arrival_b,
+    arrival_a: tuple,
+    arrival_b: tuple,
     blocking_threshold: float = 1.0,
-) -> dict[str, MetricsRecorder]:
-    rel_a, rel_b = make_relation_pair(scale.spec)
+) -> list[CellSpec]:
     memory = scale.spec.memory_capacity()
-    operators = {
-        "HMJ": _hmj(memory),
-        "XJoin": XJoin(memory_capacity=memory),
-        "PMJ": ProgressiveMergeJoin(memory_capacity=memory),
-    }
-    recs: dict[str, MetricsRecorder] = {}
-    for name, op in operators.items():
-        result = execute(
-            rel_a,
-            rel_b,
-            op,
-            arrival_a,
-            arrival_b,
+    return [
+        CellSpec(
+            figure_id=figure_id,
+            cell_id=name,
+            workload=scale.spec,
+            operator=operator,
+            operator_params=(("memory_capacity", memory),),
+            arrival_a=arrival_a,
+            arrival_b=arrival_b,
             blocking_threshold=blocking_threshold,
         )
-        recs[name] = result.recorder
-    return recs
+        for name, operator in _THREE_WAY
+    ]
 
 
-def _three_way_tables(recs: dict[str, MetricsRecorder]) -> str:
+def _three_way_recs(results: Mapping[str, CellResult]):
+    return {name: results[name].recorder for name, _ in _THREE_WAY}
+
+
+def _three_way_tables(recs) -> str:
     count = min(r.count for r in recs.values())
     ks = curve_ks(count)
     time_table = format_comparison(
-        [_time_series(rec, name, ks) for name, rec in recs.items()],
+        _named_series(recs, "time", ks),
         title="(a) time to produce the k-th result [virtual s]",
     )
     io_table = format_comparison(
-        [_io_series(rec, name, ks) for name, rec in recs.items()],
+        _named_series(recs, "io", ks),
         title="(b) page I/Os to produce the k-th result",
     )
     first_phase = {
@@ -284,17 +343,21 @@ def _three_way_tables(recs: dict[str, MetricsRecorder]) -> str:
         ],
     )
     plot = plot_series(
-        [_time_series(rec, name, ks) for name, rec in recs.items()],
+        _named_series(recs, "time", ks),
         title="time-to-kth curves (x: k, y: virtual s)",
     )
     return "\n\n".join([time_table, io_table, phase_table, plot])
 
 
-def fig11_fast_network(scale: BenchScale | None = None) -> FigureReport:
+def _fig11_cells(scale: BenchScale) -> list[CellSpec]:
+    return _three_way_cells("fig11", scale, _fast(scale), _fast(scale))
+
+
+def _fig11_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
     """Figure 11: HMJ vs XJoin vs PMJ under a fast, reliable network."""
-    scale = scale or bench_scale()
-    rate = ConstantRate(scale.fast_rate)
-    recs = _three_way(scale, rate, ConstantRate(scale.fast_rate))
+    recs = _three_way_recs(results)
     hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
     count = min(r.count for r in recs.values())
     early = early_ks(count)
@@ -353,14 +416,20 @@ def fig11_fast_network(scale: BenchScale | None = None) -> FigureReport:
 # ---------------------------------------------------------------------------
 
 
-def fig12_rate_skew(scale: BenchScale | None = None) -> FigureReport:
-    """Figure 12: source A arrives five times faster than source B."""
-    scale = scale or bench_scale()
-    recs = _three_way(
+def _fig12_cells(scale: BenchScale) -> list[CellSpec]:
+    return _three_way_cells(
+        "fig12",
         scale,
-        ConstantRate(scale.fast_rate),
-        ConstantRate(scale.fast_rate / 5.0),
+        _fast(scale),
+        constant_arrival(scale.fast_rate / 5.0),
     )
+
+
+def _fig12_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
+    """Figure 12: source A arrives five times faster than source B."""
+    recs = _three_way_recs(results)
     hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
     count = min(r.count for r in recs.values())
     early = early_ks(count)
@@ -404,8 +473,33 @@ def fig12_rate_skew(scale: BenchScale | None = None) -> FigureReport:
 # Figure 13 — producing the first results vs memory size (Section 6.2)
 # ---------------------------------------------------------------------------
 
+_FIG13_FRACTIONS = [0.02, 0.05, 0.10, 0.20, 0.35, 0.50]
 
-def fig13_memory_size(scale: BenchScale | None = None) -> FigureReport:
+
+def _fig13_cells(scale: BenchScale) -> list[CellSpec]:
+    first_k = scale.first_k(1000)
+    cells = []
+    for fraction in _FIG13_FRACTIONS:
+        memory = scale.spec.memory_capacity(fraction)
+        for name, operator in [("HMJ", "hmj"), ("PMJ", "pmj")]:
+            cells.append(
+                CellSpec(
+                    figure_id="fig13",
+                    cell_id=f"{name}@{fraction:.0%}",
+                    workload=scale.spec,
+                    operator=operator,
+                    operator_params=(("memory_capacity", memory),),
+                    arrival_a=_fast(scale),
+                    arrival_b=_fast(scale),
+                    stop_after=first_k,
+                )
+            )
+    return cells
+
+
+def _fig13_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
     """Figure 13: time to the first results as memory grows 2%..50%.
 
     The paper measures the first 1000 results of a ~550K output
@@ -413,30 +507,16 @@ def fig13_memory_size(scale: BenchScale | None = None) -> FigureReport:
     PMJ waits for its first memory fill, HMJ does not — is preserved
     (see EXPERIMENTS.md).
     """
-    scale = scale or bench_scale()
-    rel_a, rel_b = make_relation_pair(scale.spec)
     first_k = scale.first_k(1000)
-    fractions = [0.02, 0.05, 0.10, 0.20, 0.35, 0.50]
-
     rows = []
     hmj_times: dict[float, float] = {}
     pmj_times: dict[float, float] = {}
-    for fraction in fractions:
+    for fraction in _FIG13_FRACTIONS:
         memory = scale.spec.memory_capacity(fraction)
-        times = {}
-        for name, op in [
-            ("HMJ", _hmj(memory)),
-            ("PMJ", ProgressiveMergeJoin(memory_capacity=memory)),
-        ]:
-            result = execute(
-                rel_a,
-                rel_b,
-                op,
-                ConstantRate(scale.fast_rate),
-                ConstantRate(scale.fast_rate),
-                stop_after=first_k,
-            )
-            times[name] = result.recorder.time_to_kth(first_k)
+        times = {
+            name: results[f"{name}@{fraction:.0%}"].recorder.time_to_kth(first_k)
+            for name in ("HMJ", "PMJ")
+        }
         hmj_times[fraction] = times["HMJ"]
         pmj_times[fraction] = times["PMJ"]
         rows.append([f"{fraction:.0%}", memory, times["HMJ"], times["PMJ"]])
@@ -450,18 +530,18 @@ def fig13_memory_size(scale: BenchScale | None = None) -> FigureReport:
             Series(
                 name="HMJ",
                 metric="time",
-                points=[(round(f * 100), hmj_times[f]) for f in fractions],
+                points=[(round(f * 100), hmj_times[f]) for f in _FIG13_FRACTIONS],
             ),
             Series(
                 name="PMJ",
                 metric="time",
-                points=[(round(f * 100), pmj_times[f]) for f in fractions],
+                points=[(round(f * 100), pmj_times[f]) for f in _FIG13_FRACTIONS],
             ),
         ],
         title="time to the first results (x: memory % of input, y: virtual s)",
     )
     body = f"{body}\n\n{plot}"
-    big_fracs = [f for f in fractions if f >= 0.05]
+    big_fracs = [f for f in _FIG13_FRACTIONS if f >= 0.05]
     hmj_big = [hmj_times[f] for f in big_fracs]
     checks = [
         check(
@@ -494,7 +574,37 @@ def fig13_memory_size(scale: BenchScale | None = None) -> FigureReport:
 # ---------------------------------------------------------------------------
 
 
-def fig13_dynamic_memory(scale: BenchScale | None = None) -> FigureReport:
+def _fig13d_schedule(scale: BenchScale) -> tuple[int, int, tuple]:
+    high = scale.spec.memory_capacity(0.20)
+    low = max(4, scale.spec.memory_capacity(0.02))
+    duration = scale.n_per_source / scale.fast_rate
+    schedule = ((duration / 3.0, low), (2.0 * duration / 3.0, high))
+    return high, low, schedule
+
+
+def _fig13d_cells(scale: BenchScale) -> list[CellSpec]:
+    high, _, schedule = _fig13d_schedule(scale)
+    cells = []
+    for name, operator in _THREE_WAY:
+        for variant, memory_schedule in [("static", None), ("dynamic", schedule)]:
+            cells.append(
+                CellSpec(
+                    figure_id="fig13d",
+                    cell_id=f"{name}-{variant}",
+                    workload=scale.spec,
+                    operator=operator,
+                    operator_params=(("memory_capacity", high),),
+                    arrival_a=_fast(scale),
+                    arrival_b=_fast(scale),
+                    memory_schedule=memory_schedule,
+                )
+            )
+    return cells
+
+
+def _fig13d_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
     """Figure 13, made dynamic: one run lives through a shrink *and* a grow.
 
     Not in the paper: the static Figure 13 sweep reruns the join at
@@ -505,61 +615,36 @@ def fig13_dynamic_memory(scale: BenchScale | None = None) -> FigureReport:
     revocation only forces extra spill I/O — the joined result set is
     untouched for every resizable operator.
     """
-    scale = scale or bench_scale()
-    rel_a, rel_b = make_relation_pair(scale.spec)
-    high = scale.spec.memory_capacity(0.20)
-    low = max(4, scale.spec.memory_capacity(0.02))
-    duration = scale.n_per_source / scale.fast_rate
-    schedule = [(duration / 3.0, low), (2.0 * duration / 3.0, high)]
-
-    operators = [
-        ("HMJ", lambda m: _hmj(m)),
-        ("XJoin", lambda m: XJoin(memory_capacity=m)),
-        ("PMJ", lambda m: ProgressiveMergeJoin(memory_capacity=m)),
-    ]
+    high, low, _ = _fig13d_schedule(scale)
     rows = []
     checks = []
-    for name, factory in operators:
-        static = execute(
-            rel_a,
-            rel_b,
-            factory(high),
-            ConstantRate(scale.fast_rate),
-            ConstantRate(scale.fast_rate),
-        )
-        broker = ResourceBroker(schedule)
-        dynamic = execute(
-            rel_a,
-            rel_b,
-            factory(high),
-            ConstantRate(scale.fast_rate),
-            ConstantRate(scale.fast_rate),
-            broker=broker,
-        )
+    for name, _ in _THREE_WAY:
+        static = results[f"{name}-static"]
+        dynamic = results[f"{name}-dynamic"]
         rows.append(
             [
                 name,
-                static.recorder.count,
-                dynamic.recorder.count,
-                static.disk.io_count,
-                dynamic.disk.io_count,
-                len(broker.applied),
+                static.count,
+                dynamic.count,
+                static.final_io,
+                dynamic.final_io,
+                dynamic.broker_applied,
             ]
         )
         checks.extend(
             [
                 check(
                     f"{name}: result count unchanged by the shrink/grow cycle",
-                    dynamic.recorder.count == static.recorder.count,
+                    dynamic.count == static.count,
                 ),
                 check(
                     f"{name}: both grants fired mid-run",
-                    len(broker.applied) == 2,
+                    dynamic.broker_applied == 2,
                 ),
                 check(
                     f"{name}: the revocation costs extra spill I/O, "
                     "nothing else",
-                    dynamic.disk.io_count > static.disk.io_count,
+                    dynamic.final_io > static.final_io,
                 ),
             ]
         )
@@ -591,11 +676,21 @@ def fig13_dynamic_memory(scale: BenchScale | None = None) -> FigureReport:
 # ---------------------------------------------------------------------------
 
 
-def fig14_bursty(scale: BenchScale | None = None) -> FigureReport:
+def _fig14_cells(scale: BenchScale) -> list[CellSpec]:
+    return _three_way_cells(
+        "fig14",
+        scale,
+        _bursty_spec(scale),
+        _bursty_spec(scale),
+        blocking_threshold=BLOCKING_T,
+    )
+
+
+def _fig14_build(
+    scale: BenchScale, results: Mapping[str, CellResult]
+) -> FigureReport:
     """Figure 14: HMJ vs XJoin vs PMJ under Pareto-bursty arrivals."""
-    scale = scale or bench_scale()
-    arrival = _bursty(scale)
-    recs = _three_way(scale, arrival, _bursty(scale), blocking_threshold=BLOCKING_T)
+    recs = _three_way_recs(results)
     hmj, xjoin, pmj = recs["HMJ"], recs["XJoin"], recs["PMJ"]
     count = min(r.count for r in recs.values())
     early = early_ks(count)
@@ -650,6 +745,64 @@ def fig14_bursty(scale: BenchScale | None = None) -> FigureReport:
     )
 
 
+# ---------------------------------------------------------------------------
+# Registry and entry points
+# ---------------------------------------------------------------------------
+
+FIGURE_GRIDS: dict[str, FigureGrid] = {
+    "fig09": FigureGrid("fig09", _fig09_cells, _fig09_build),
+    "fig10": FigureGrid("fig10", _fig10_cells, _fig10_build),
+    "fig11": FigureGrid("fig11", _fig11_cells, _fig11_build),
+    "fig12": FigureGrid("fig12", _fig12_cells, _fig12_build),
+    "fig13": FigureGrid("fig13", _fig13_cells, _fig13_build),
+    "fig13d": FigureGrid("fig13d", _fig13d_cells, _fig13d_build),
+    "fig14": FigureGrid("fig14", _fig14_cells, _fig14_build),
+}
+
+
+def _run_figure(
+    name: str, scale: BenchScale | None, runner: GridRunner | None
+) -> FigureReport:
+    scale = scale or bench_scale()
+    runner = runner or GridRunner()
+    return run_figure_grid(FIGURE_GRIDS[name], scale, runner)
+
+
+def fig09_flush_fraction(scale=None, runner=None) -> FigureReport:
+    """Figure 9: hashing-phase results and total I/O vs p (1%..100%)."""
+    return _run_figure("fig09", scale, runner)
+
+
+def fig10_policies(scale=None, runner=None) -> FigureReport:
+    """Figure 10: time and I/O to the k-th result per flushing policy."""
+    return _run_figure("fig10", scale, runner)
+
+
+def fig11_fast_network(scale=None, runner=None) -> FigureReport:
+    """Figure 11: HMJ vs XJoin vs PMJ under a fast, reliable network."""
+    return _run_figure("fig11", scale, runner)
+
+
+def fig12_rate_skew(scale=None, runner=None) -> FigureReport:
+    """Figure 12: source A arrives five times faster than source B."""
+    return _run_figure("fig12", scale, runner)
+
+
+def fig13_memory_size(scale=None, runner=None) -> FigureReport:
+    """Figure 13: time to the first results as memory grows 2%..50%."""
+    return _run_figure("fig13", scale, runner)
+
+
+def fig13_dynamic_memory(scale=None, runner=None) -> FigureReport:
+    """Figure 13, made dynamic: a mid-run shrink and grow via the broker."""
+    return _run_figure("fig13d", scale, runner)
+
+
+def fig14_bursty(scale=None, runner=None) -> FigureReport:
+    """Figure 14: HMJ vs XJoin vs PMJ under Pareto-bursty arrivals."""
+    return _run_figure("fig14", scale, runner)
+
+
 ALL_FIGURES = {
     "fig09": fig09_flush_fraction,
     "fig10": fig10_policies,
@@ -661,22 +814,107 @@ ALL_FIGURES = {
 }
 
 
-def main(argv: list[str]) -> int:
-    """CLI entry point: run all figures (or the ones named in argv)."""
-    names = argv or sorted(ALL_FIGURES)
-    unknown = [n for n in names if n not in ALL_FIGURES]
+def run_figure_suite(
+    names: list[str] | None,
+    scale: BenchScale,
+    jobs: int = 1,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    bench_out: str | None = "BENCH_figures.json",
+    out=print,
+) -> int:
+    """Run figures through the grid executor; shared by both CLIs.
+
+    Args:
+        names: Figure ids to run (``None``/empty = all).
+        scale: Benchmark scale.
+        jobs: Worker processes for cell execution.
+        cache_dir: Result-cache directory; ``None`` disables caching.
+        bench_out: Path for ``BENCH_figures.json``; ``None`` skips it.
+        out: Print function (tests capture through this).
+
+    Returns:
+        Process exit code (1 if any shape check failed).
+    """
+    names = names or sorted(FIGURE_GRIDS)
+    unknown = [n for n in names if n not in FIGURE_GRIDS]
     if unknown:
-        print(f"unknown figures: {unknown}; choose from {sorted(ALL_FIGURES)}")
+        out(f"unknown figures: {unknown}; choose from {sorted(FIGURE_GRIDS)}")
         return 2
-    scale = bench_scale()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    try:
+        runner = GridRunner(jobs=jobs, cache=cache)
+    except ConfigurationError as exc:
+        out(f"error: {exc}")
+        return 2
+    started = time.perf_counter()
+    reports = []
     failures = 0
     for name in names:
-        report = ALL_FIGURES[name](scale)
-        print(report.render())
-        print()
+        report = run_figure_grid(FIGURE_GRIDS[name], scale, runner)
+        reports.append(report)
+        out(report.render())
+        out("")
         if not report.all_passed:
             failures += 1
+    wall = time.perf_counter() - started
+    digest = cache.digest if cache else ""
+    out(
+        f"grid: {runner.cells_total} cells "
+        f"({runner.executed} executed, {runner.cache_hits} cached) "
+        f"with jobs={jobs} in {wall:.2f}s"
+    )
+    if bench_out:
+        manifest = bench_manifest(runner, scale, reports, wall, digest)
+        path = write_bench_manifest(bench_out, manifest)
+        out(f"wrote {path}")
     return 1 if failures else 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.figures",
+        description="Reproduce the paper's evaluation figures via the benchmark grid.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"figures to run (default: all of {sorted(FIGURE_GRIDS)})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_figures.json",
+        help="machine-readable per-cell metrics output "
+        "(default: BENCH_figures.json; empty string to skip)",
+    )
+    return parser
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: run all figures (or the ones named in argv)."""
+    args = build_arg_parser().parse_args(argv)
+    return run_figure_suite(
+        args.names,
+        bench_scale(),
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        bench_out=args.bench_out or None,
+    )
 
 
 if __name__ == "__main__":

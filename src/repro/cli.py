@@ -115,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig_p.add_argument("--n", type=int, default=10_000, help="tuples per source")
     fig_p.add_argument("--seed", type=int, default=7)
+    fig_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid cells (default: 1, serial)",
+    )
+    fig_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: no caching; "
+        "python -m repro.bench.figures caches by default)",
+    )
+    fig_p.add_argument(
+        "--bench-out",
+        default=None,
+        help="write the per-cell BENCH_figures.json manifest here",
+    )
 
     abl_p = sub.add_parser("ablations", help="run ablation studies")
     abl_p.add_argument(
@@ -417,7 +434,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "compare":
         return cmd_compare(args)
     if args.command == "figures":
-        return _cmd_harness(args, _figures.ALL_FIGURES, "figures")
+        return _figures.run_figure_suite(
+            args.names,
+            BenchScale(n_per_source=args.n, seed=args.seed),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            bench_out=args.bench_out,
+        )
     if args.command == "report":
         return _cmd_report(args)
     return _cmd_harness(args, _ablations.ALL_ABLATIONS, "ablations")

@@ -84,8 +84,11 @@ class FlushLargestPolicy(FlushingPolicy):
     name = "flush-largest"
 
     def select_victims(self, summary: BucketSummaryTable) -> list[int]:
-        candidates = self._require_nonempty(summary)
-        return [_argmax_total(candidates, summary)]
+        self._require_nonempty(summary)
+        # The summary maintains the (max, argmax) pair incrementally
+        # with the same lowest-index tie-break as _argmax_total, so no
+        # candidate scan is needed: the global argmax is non-empty.
+        return [summary.argmax_pair_total()]
 
 
 class AdaptiveFlushingPolicy(FlushingPolicy):

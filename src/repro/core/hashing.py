@@ -14,6 +14,8 @@ group's tuples so HMJ can sort and flush them as one disk block.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import ConfigurationError
 from repro.core.summary import BucketSummaryTable
 from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
@@ -23,6 +25,10 @@ from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
 # per process and would break reproducibility).
 _HASH_MULTIPLIER = 2654435761
 _HASH_MASK = (1 << 32) - 1
+
+#: Shared no-match result: probing an empty bucket (the common case at
+#: paper selectivity) must not allocate.  Read-only by convention.
+_NO_MATCHES: tuple[Tuple, ...] = ()
 
 
 class DualHashTable:
@@ -44,10 +50,18 @@ class DualHashTable:
         # Consecutive buckets share a group; the last group may be
         # slightly larger when h is not divisible by g.
         self._group_size = n_buckets // n_groups
+        self._buckets_a: list[list[Tuple]] = [[] for _ in range(n_buckets)]
+        self._buckets_b: list[list[Tuple]] = [[] for _ in range(n_buckets)]
         self._buckets: dict[str, list[list[Tuple]]] = {
-            SOURCE_A: [[] for _ in range(n_buckets)],
-            SOURCE_B: [[] for _ in range(n_buckets)],
+            SOURCE_A: self._buckets_a,
+            SOURCE_B: self._buckets_b,
         }
+        # bucket -> group, resolved once so the per-tuple path is a
+        # list index instead of a division + min.
+        self._group_of: list[int] = [
+            min(bucket // self._group_size, n_groups - 1)
+            for bucket in range(n_buckets)
+        ]
         self._summary = BucketSummaryTable(n_groups)
 
     @property
@@ -75,7 +89,7 @@ class DualHashTable:
             raise ConfigurationError(
                 f"bucket {bucket} out of range [0, {self._n_buckets})"
             )
-        return min(bucket // self._group_size, self._n_groups - 1)
+        return self._group_of[bucket]
 
     def group_of_key(self, key: int) -> int:
         """Group index a key hashes into."""
@@ -110,6 +124,32 @@ class DualHashTable:
         bucket = self._buckets[other][self.bucket_of(t.key)]
         matches = [cand for cand in bucket if cand.key == t.key]
         return matches, len(bucket)
+
+    def probe_insert(self, t: Tuple) -> tuple[Sequence[Tuple], int, int]:
+        """Fused probe + insert for the hashing hot path.
+
+        Behaviourally identical to :meth:`probe` followed by
+        :meth:`insert`, but the bucket hash is computed once, the
+        bucket/group resolution is a list lookup, the summary update
+        skips per-call validation, and an empty opposite bucket costs
+        no allocation at all.  Returns ``(matches, candidates, bucket)``
+        — the extra bucket index saves callers that key per-bucket
+        bookkeeping (XJoin's insert counts) a second hash.
+        """
+        key = t.key
+        bucket = ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+        if t.source == SOURCE_A:
+            own, opposite, is_a = self._buckets_a, self._buckets_b, True
+        else:
+            own, opposite, is_a = self._buckets_b, self._buckets_a, False
+        candidates = opposite[bucket]
+        if candidates:
+            matches: Sequence[Tuple] = [c for c in candidates if c.key == key]
+        else:
+            matches = _NO_MATCHES
+        own[bucket].append(t)
+        self._summary.add_one(is_a, self._group_of[bucket])
+        return matches, len(candidates), bucket
 
     def extract_group(self, source: str, group: int) -> list[Tuple]:
         """Remove and return every tuple of ``source`` in ``group``.

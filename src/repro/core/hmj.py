@@ -83,17 +83,27 @@ class HashMergeJoin(StreamingJoinOperator):
     # -- protocol ---------------------------------------------------------
 
     def on_tuple(self, t: Tuple) -> None:
-        """Hashing phase, Figure 3: flush if needed, probe, store."""
+        """Hashing phase, Figure 3: flush if needed, probe, store.
+
+        This is the per-tuple hot path: it uses the fused
+        :meth:`~repro.core.hashing.DualHashTable.probe_insert` (one
+        hash computation, no allocation on empty probes) and the O(1)
+        running-totals imbalance — the clock charges and emission order
+        are identical to the naive probe/emit/insert sequence, so the
+        pinned determinism triples are unaffected.
+        """
         self.charge_tuple()
-        while not self.memory.has_room(1):
+        memory = self._memory
+        assert memory is not None and self._table is not None
+        while not memory.has_room(1):
             self._flush_victims()
-        matches, candidates = self.table.probe(t)
+        matches, candidates, _ = self._table.probe_insert(t)
         self.charge_probe(candidates)
-        for match in matches:
-            self.emit(t, match, self.PHASE_HASHING)
-        self.table.insert(t)
-        self.memory.allocate(1)
-        imbalance = self.table.summary.imbalance()
+        if matches:
+            for match in matches:
+                self.emit(t, match, self.PHASE_HASHING)
+        memory.allocate(1)
+        imbalance = self._table.summary.imbalance()
         if imbalance > self.peak_imbalance:
             self.peak_imbalance = imbalance
 

@@ -8,6 +8,13 @@ tuples."
 The table works at the granularity the flushing policy sees: the
 ``g = h / p`` *bucket groups* of Section 3.3, each pairing the same
 hash range from source A and source B.
+
+Every per-tuple query is O(1): the source totals (and with them
+``imbalance()``) are maintained incrementally, and so is the largest
+pair total — ``add`` bumps a running ``(max, argmax)`` pair, while
+``remove`` (which only happens on the rare flush path) marks it stale
+for a lazy O(g) rescan on the next query.  The exhaustive scan survives
+as a debug oracle in the test suite.
 """
 
 from __future__ import annotations
@@ -19,7 +26,16 @@ from repro.storage.tuples import SOURCE_A, SOURCE_B
 class BucketSummaryTable:
     """Per-group tuple counts for both sources, with running totals."""
 
-    __slots__ = ("_n_groups", "_counts_a", "_counts_b", "_total_a", "_total_b")
+    __slots__ = (
+        "_n_groups",
+        "_counts_a",
+        "_counts_b",
+        "_total_a",
+        "_total_b",
+        "_max_total",
+        "_max_group",
+        "_max_stale",
+    )
 
     def __init__(self, n_groups: int) -> None:
         if n_groups < 1:
@@ -29,6 +45,9 @@ class BucketSummaryTable:
         self._counts_b = [0] * n_groups
         self._total_a = 0
         self._total_b = 0
+        self._max_total = 0
+        self._max_group = 0
+        self._max_stale = False
 
     @property
     def n_groups(self) -> int:
@@ -65,6 +84,22 @@ class BucketSummaryTable:
             self._total_a += n
         else:
             self._total_b += n
+        self._note_growth(group)
+
+    def add_one(self, is_a: bool, group: int) -> None:
+        """Unchecked fast path: one tuple enters ``group``.
+
+        The hashing hot path calls this once per arriving tuple; the
+        group index comes from the hash table's own lookup so the
+        validation ``add`` performs would be pure overhead here.
+        """
+        if is_a:
+            self._counts_a[group] += 1
+            self._total_a += 1
+        else:
+            self._counts_b[group] += 1
+            self._total_b += 1
+        self._note_growth(group)
 
     def remove(self, source: str, group: int, n: int) -> None:
         """Record ``n`` tuples leaving ``group`` (flushed to disk)."""
@@ -82,6 +117,43 @@ class BucketSummaryTable:
             self._total_a -= n
         else:
             self._total_b -= n
+        if n and group == self._max_group:
+            # The running maximum may have shrunk; rescan lazily on the
+            # next query (removal only happens on the flush path).
+            self._max_stale = True
+
+    def max_pair_total(self) -> int:
+        """Largest ``|A_k| + |B_k|`` over all groups, O(1) amortised."""
+        if self._max_stale:
+            self._rescan_max()
+        return self._max_total
+
+    def argmax_pair_total(self) -> int:
+        """Group with the largest pair total (ties: lowest index)."""
+        if self._max_stale:
+            self._rescan_max()
+        return self._max_group
+
+    def _note_growth(self, group: int) -> None:
+        if self._max_stale:
+            return
+        total = self._counts_a[group] + self._counts_b[group]
+        if total > self._max_total or (
+            total == self._max_total and group < self._max_group
+        ):
+            self._max_total = total
+            self._max_group = group
+
+    def _rescan_max(self) -> None:
+        best_total, best_group = -1, 0
+        counts_a, counts_b = self._counts_a, self._counts_b
+        for g in range(self._n_groups):
+            total = counts_a[g] + counts_b[g]
+            if total > best_total:
+                best_total, best_group = total, g
+        self._max_total = best_total
+        self._max_group = best_group
+        self._max_stale = False
 
     def size(self, source: str, group: int) -> int:
         """Tuples of ``source`` currently in ``group``."""

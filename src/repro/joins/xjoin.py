@@ -125,13 +125,13 @@ class XJoin(StreamingJoinOperator):
         while not self.memory.has_room(1):
             self._flush_largest_bucket()
         self._ats[t.identity()] = self.clock.now
-        matches, candidates = self.table.probe(t)
+        # Fused probe/insert hot path: one hash computation per tuple,
+        # same charge and emission order as the naive sequence.
+        matches, candidates, bucket = self.table.probe_insert(t)
         self.charge_probe(candidates)
         for match in matches:
             self.emit(t, match, self.PHASE_STAGE1)
-        self.table.insert(t)
         self.memory.allocate(1)
-        bucket = self.table.bucket_of(t.key)
         key = (t.source, bucket)
         self._insert_counts[key] = self._insert_counts.get(key, 0) + 1
         imbalance = self.table.summary.imbalance()
@@ -401,14 +401,12 @@ class XJoinStaticMemory(XJoin):
         while self._side_used[t.source] >= self._side_capacity[t.source]:
             self._flush_largest_bucket_of(t.source)
         self._ats[t.identity()] = self.clock.now
-        matches, candidates = self.table.probe(t)
+        matches, candidates, bucket = self.table.probe_insert(t)
         self.charge_probe(candidates)
         for match in matches:
             self.emit(t, match, self.PHASE_STAGE1)
-        self.table.insert(t)
         self.memory.allocate(1)
         self._side_used[t.source] += 1
-        bucket = self.table.bucket_of(t.key)
         key = (t.source, bucket)
         self._insert_counts[key] = self._insert_counts.get(key, 0) + 1
         imbalance = self.table.summary.imbalance()

@@ -136,3 +136,28 @@ def test_repr_counts_tuples():
     table = DualHashTable(4, 2)
     table.insert(t(key=1))
     assert "held=1" in repr(table)
+
+
+def test_probe_insert_matches_probe_then_insert():
+    import random
+
+    rng = random.Random(7)
+    fused = DualHashTable(16, 4)
+    naive = DualHashTable(16, 4)
+    for i in range(600):
+        source = SOURCE_A if rng.random() < 0.5 else SOURCE_B
+        tup = t(rng.randrange(40), tid=i, source=source)
+        expected_matches, expected_candidates = naive.probe(tup)
+        naive.insert(tup)
+        matches, candidates, bucket = fused.probe_insert(tup)
+        assert list(matches) == expected_matches
+        assert candidates == expected_candidates
+        assert bucket == fused.bucket_of(tup.key)
+    assert fused.summary.rows() == naive.summary.rows()
+
+
+def test_probe_insert_empty_bucket_returns_shared_empty():
+    table = DualHashTable(8, 2)
+    matches, candidates, _ = table.probe_insert(t(5))
+    assert matches == ()
+    assert candidates == 0
