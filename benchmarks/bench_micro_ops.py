@@ -126,6 +126,32 @@ def test_fused_probe_insert_throughput(benchmark):
     assert benchmark(run) > 0
 
 
+def _delivery_run(rel_a, rel_b, batch_delivery: bool) -> int:
+    # Ample memory: nothing flushes, so the run isolates the delivery
+    # path itself (the flush path is identical code either way).
+    src_a = NetworkSource(rel_a, ConstantRate(5000.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(5000.0), seed=2)
+    op = HashMergeJoin(HMJConfig(memory_capacity=8000))
+    return run_join(
+        src_a, src_b, op, keep_results=False, batch_delivery=batch_delivery
+    ).count
+
+
+def test_kernel_batched_delivery_throughput(benchmark):
+    # Run-batch delivery: maximal arrival runs through on_tuple_batch.
+    spec = WorkloadSpec(n_a=4000, n_b=4000, key_range=8000, seed=9)
+    rel_a, rel_b = make_relation_pair(spec)
+    assert benchmark(lambda: _delivery_run(rel_a, rel_b, True)) > 0
+
+
+def test_kernel_per_tuple_delivery_throughput(benchmark):
+    # The per-event baseline batched delivery is measured against; the
+    # tracked ratio lives in BENCH_kernel.json (repro.bench.kernel).
+    spec = WorkloadSpec(n_a=4000, n_b=4000, key_range=8000, seed=9)
+    rel_a, rel_b = make_relation_pair(spec)
+    assert benchmark(lambda: _delivery_run(rel_a, rel_b, False)) > 0
+
+
 def test_summary_running_max_throughput(benchmark):
     # Per-tuple victim bookkeeping: the O(1) running (max, argmax)
     # queried after every add, as FlushLargestPolicy now does.

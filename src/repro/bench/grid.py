@@ -41,7 +41,7 @@ from repro.errors import ConfigurationError
 from repro.joins.base import StreamingJoinOperator
 from repro.joins.pmj import ProgressiveMergeJoin
 from repro.joins.xjoin import XJoin
-from repro.metrics.recorder import ResultEvent
+from repro.metrics.recorder import ReadOnlyView, ResultEvent
 from repro.net.arrival import ArrivalProcess, BurstyArrival, ConstantRate
 from repro.sim.broker import ResourceBroker
 from repro.storage.tuples import Relation
@@ -139,10 +139,11 @@ class RecorderSnapshot:
     ``events``) over a plain list of event rows.
     """
 
-    __slots__ = ("_events", "_final_io")
+    __slots__ = ("_events", "_events_view", "_final_io")
 
     def __init__(self, events: list[ResultEvent], final_io: int) -> None:
         self._events = events
+        self._events_view: ReadOnlyView[ResultEvent] = ReadOnlyView(events)
         self._final_io = final_io
 
     @property
@@ -151,9 +152,9 @@ class RecorderSnapshot:
         return len(self._events)
 
     @property
-    def events(self) -> list[ResultEvent]:
-        """All recorded events, in emission order."""
-        return list(self._events)
+    def events(self) -> ReadOnlyView[ResultEvent]:
+        """All recorded events, in emission order (zero-copy)."""
+        return self._events_view
 
     def time_to_kth(self, k: int) -> float:
         """Virtual time at which the k-th result appeared."""
@@ -278,7 +279,9 @@ def run_cell(spec: CellSpec) -> CellResult:
     )
     wall = time.perf_counter() - started
     return CellResult(
-        events=result.recorder.events,
+        # An explicit list snapshot: CellResult is pickled across the
+        # process pool and outlives the recorder backing the view.
+        events=list(result.recorder.iter_events()),
         final_clock=result.clock.now,
         final_io=result.disk.io_count,
         completed=result.completed,

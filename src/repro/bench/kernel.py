@@ -1,0 +1,245 @@
+"""Kernel delivery-path micro-benchmark (``BENCH_kernel.json``).
+
+Measures what the run-batch delivery path is worth: one 100k-tuple
+constant-rate HMJ run — ample memory, so nothing flushes and the wall
+clock is dominated by per-tuple dispatch, the thing batching amortises
+— executed through both kernel paths.  The two runs must produce the
+identical ``(count, final clock, page I/O)`` triple (batching is an
+amortisation, never a simulation change); the wall-clock ratio is the
+tracked speedup.
+
+Optionally (``--figure-check``) one full figure scenario is also run
+through both paths, cell by cell, and any triple mismatch fails the
+process — CI's cheap end-to-end equivalence gate.
+
+Usage::
+
+    python -m repro.bench.kernel                  # 100k tuples, 3 repeats
+    python -m repro.bench.kernel --tuples 20000 --repeats 1 \
+        --figure-check fig11 --out BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from typing import Callable
+
+from repro.bench.cache import source_digest
+from repro.bench.grid import write_bench_manifest
+from repro.bench.runner import execute
+from repro.bench.scale import BenchScale
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join
+from repro.storage.tuples import Relation
+from repro.workloads.generator import make_relation_pair
+
+#: The fast-and-reliable arrival rate every figure uses (tuples/s).
+RATE = 5000.0
+
+#: Scale of the --figure-check scenario: the same small scale the
+#: pinned determinism triples are captured at.
+CHECK_SCALE = BenchScale(n_per_source=400, seed=7)
+
+Triple = tuple[int, float, int]
+
+
+def _triple(result) -> Triple:
+    return (result.recorder.count, result.clock.now, result.disk.io_count)
+
+
+def kernel_run(
+    rel_a: Relation,
+    rel_b: Relation,
+    memory_capacity: int,
+    batch_delivery: bool,
+) -> tuple[Triple, float]:
+    """One timed constant-rate HMJ run through the chosen path.
+
+    Collection is disabled during the timed region (and forced right
+    before it): a cycle-collection pause landing inside one run but not
+    its counterpart is the dominant noise source at this scale.
+    """
+    operator = HashMergeJoin(HMJConfig(memory_capacity=memory_capacity))
+    src_a = NetworkSource(rel_a, ConstantRate(RATE), seed=11)
+    src_b = NetworkSource(rel_b, ConstantRate(RATE), seed=22)
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run_join(
+            src_a,
+            src_b,
+            operator,
+            keep_results=False,
+            batch_delivery=batch_delivery,
+        )
+        wall = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    return _triple(result), wall
+
+
+def _check_operators(memory: int) -> dict[str, Callable]:
+    return {
+        "hmj": lambda: HashMergeJoin(HMJConfig(memory_capacity=memory)),
+        "xjoin": lambda: XJoin(memory_capacity=memory),
+        "pmj": lambda: ProgressiveMergeJoin(memory_capacity=memory),
+    }
+
+
+def figure_check(figure_id: str) -> dict:
+    """Run one figure scenario's cells through both delivery paths.
+
+    Returns the per-cell triples and whether every pair matched; the
+    CLI fails the process on any mismatch.  Currently supports
+    ``fig11`` (the three-way constant-rate comparison — the cell CI's
+    bench-smoke job already exercises).
+    """
+    if figure_id != "fig11":
+        raise ValueError(f"unsupported figure check {figure_id!r} (only fig11)")
+    scale = CHECK_SCALE
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    memory = scale.spec.memory_capacity()
+    cells: dict[str, dict] = {}
+    all_match = True
+    for cell_id, make_operator in _check_operators(memory).items():
+        triples: dict[str, Triple] = {}
+        for label, batched in (("batched", True), ("per_tuple", False)):
+            result = execute(
+                rel_a,
+                rel_b,
+                make_operator(),
+                ConstantRate(RATE),
+                ConstantRate(RATE),
+                batch_delivery=batched,
+            )
+            triples[label] = _triple(result)
+        match = triples["batched"] == triples["per_tuple"]
+        all_match = all_match and match
+        cells[cell_id] = {
+            "batched": list(triples["batched"]),
+            "per_tuple": list(triples["per_tuple"]),
+            "match": match,
+        }
+    return {
+        "figure": figure_id,
+        "scale": {"n_per_source": scale.n_per_source, "seed": scale.seed},
+        "cells": cells,
+        "all_match": all_match,
+    }
+
+
+def kernel_manifest(tuples_total: int, repeats: int, seed: int) -> dict:
+    """Benchmark both delivery paths; the ``BENCH_kernel.json`` payload.
+
+    Schema v1, mirroring ``BENCH_figures.json``: wall seconds are the
+    best of ``repeats`` (the usual micro-benchmark noise floor), and
+    the identical-triple invariant is part of the payload so any
+    divergence is visible in the tracked artifact, not just in tests.
+    """
+    n_per_source = tuples_total // 2
+    scale = BenchScale(n_per_source=n_per_source, seed=seed)
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    # Memory holds both relations: nothing flushes, so the run measures
+    # the delivery path itself rather than (path-identical) flush work.
+    memory = 2 * n_per_source
+    walls: dict[str, list[float]] = {"batched": [], "per_tuple": []}
+    triples: dict[str, Triple] = {}
+    for _ in range(repeats):
+        for label, batched in (("batched", True), ("per_tuple", False)):
+            triple, wall = kernel_run(rel_a, rel_b, memory, batched)
+            walls[label].append(wall)
+            previous = triples.setdefault(label, triple)
+            assert previous == triple, f"non-deterministic {label} run"
+    best = {label: min(times) for label, times in walls.items()}
+    return {
+        "schema": 1,
+        "benchmark": "kernel-batch-delivery",
+        "source_digest": source_digest(),
+        "workload": {
+            "arrival": "constant-rate",
+            "rate": RATE,
+            "tuples_total": 2 * n_per_source,
+            "n_per_source": n_per_source,
+            "memory_capacity": memory,
+            "seed": seed,
+        },
+        "repeats": repeats,
+        "batched": {
+            "wall_seconds": round(best["batched"], 6),
+            "walls": [round(w, 6) for w in walls["batched"]],
+        },
+        "per_tuple": {
+            "wall_seconds": round(best["per_tuple"], 6),
+            "walls": [round(w, 6) for w in walls["per_tuple"]],
+        },
+        "speedup": round(best["per_tuple"] / best["batched"], 4),
+        "triple": {
+            "count": triples["batched"][0],
+            "final_clock": triples["batched"][1],
+            "io": triples["batched"][2],
+        },
+        "triples_match": triples["batched"] == triples["per_tuple"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark batched vs per-tuple kernel delivery."
+    )
+    parser.add_argument(
+        "--tuples",
+        type=int,
+        default=100_000,
+        help="total tuples across both sources (default 100000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats, best kept"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--out", default="BENCH_kernel.json", help="manifest output path"
+    )
+    parser.add_argument(
+        "--figure-check",
+        metavar="FIGURE",
+        default=None,
+        help="also run this figure's cells through both paths (fig11)",
+    )
+    args = parser.parse_args(argv)
+
+    manifest = kernel_manifest(args.tuples, max(1, args.repeats), args.seed)
+    failed = not manifest["triples_match"]
+    if args.figure_check:
+        check = figure_check(args.figure_check)
+        manifest["figure_check"] = check
+        failed = failed or not check["all_match"]
+    path = write_bench_manifest(args.out, manifest)
+    print(
+        f"kernel bench: batched {manifest['batched']['wall_seconds']:.3f}s, "
+        f"per-tuple {manifest['per_tuple']['wall_seconds']:.3f}s, "
+        f"speedup {manifest['speedup']:.2f}x "
+        f"(triples {'match' if manifest['triples_match'] else 'MISMATCH'})"
+    )
+    if args.figure_check:
+        verdict = "match" if manifest["figure_check"]["all_match"] else "MISMATCH"
+        print(f"figure check {args.figure_check}: cells {verdict}")
+    print(f"wrote {path}")
+    if failed:
+        print("ERROR: batched and per-tuple paths disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

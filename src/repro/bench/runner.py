@@ -81,6 +81,7 @@ def execute(
     blocking_threshold: float = 1.0,
     stop_after: int | None = None,
     broker: ResourceBroker | None = None,
+    batch_delivery: bool = True,
 ) -> SimulationResult:
     """Run one operator over one workload (results not retained)."""
     src_a = NetworkSource(rel_a, arrival_a, seed=seed_a)
@@ -94,6 +95,7 @@ def execute(
         keep_results=False,
         stop_after=stop_after,
         broker=broker,
+        batch_delivery=batch_delivery,
     )
 
 

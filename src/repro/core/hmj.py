@@ -22,10 +22,12 @@ from repro.errors import SimulationError
 from repro.core.config import HMJConfig
 from repro.core.hashing import DualHashTable
 from repro.core.merging import MergeScheduler
+from typing import Sequence
+
 from repro.joins.base import StreamingJoinOperator
 from repro.sim.budget import WorkBudget
 from repro.storage.memory import MemoryPool
-from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
 
 
 class HashMergeJoin(StreamingJoinOperator):
@@ -106,6 +108,81 @@ class HashMergeJoin(StreamingJoinOperator):
         imbalance = self._table.summary.imbalance()
         if imbalance > self.peak_imbalance:
             self.peak_imbalance = imbalance
+
+    def on_tuple_batch(
+        self, tuples: Sequence[Tuple], times: Sequence[float]
+    ) -> None:
+        """Fused hashing loop over one delivery batch.
+
+        A transcription of :meth:`on_tuple` with the runtime attribute
+        lookups hoisted out of the loop and the clock and memory pool
+        mirrored in local variables (``now += delta`` is ``advance``'s
+        ``self._now += delta``; ``used >= capacity`` is
+        ``not has_room(1)``, ``used += 1`` is ``allocate(1)``).  Both
+        are written back before the only calls that observe shared
+        state mid-batch — the flush path — and at batch end, so the
+        clock charges, flush decisions, and emission order per tuple
+        are identical and the virtual clock, I/O counts, and result
+        sequence match the per-tuple path exactly (the equivalence
+        suite pins this).
+        """
+        if type(self).on_tuple is not HashMergeJoin.on_tuple:
+            # A subclass customised the per-tuple path; replaying it
+            # tuple-by-tuple keeps the override authoritative.
+            super().on_tuple_batch(tuples, times)
+            return
+        runtime = self.runtime
+        clock = runtime.clock
+        costs = runtime.costs
+        tuple_cost = costs.cpu_tuple_cost
+        # Same expressions as charge_probe/emit: probe_time(n) is
+        # n * cpu_compare_cost and result_time(1) is 1 * cpu_result_cost,
+        # so the inlined arithmetic is bit-identical.
+        compare_cost = costs.cpu_compare_cost
+        result_cost = costs.result_time(1)
+        memory = self._memory
+        table = self._table
+        assert memory is not None and table is not None
+        probe_insert = table.probe_insert
+        imbalance_of = table.summary.imbalance
+        append_result = self.recorder.batch_appender(self.PHASE_HASHING)
+        emit_guard = self._emit_guard
+        disk = self.disk
+        peak = self.peak_imbalance
+        now = clock.now
+        used, capacity = memory.fill_level()
+        # I/O only moves during flushes, so the count is constant
+        # between them and can be mirrored like the clock.
+        io = disk.io_count
+        for t, at in zip(tuples, times):
+            if at > now:
+                now = at
+            now += tuple_cost
+            if used >= capacity:
+                # Flushing reads the clock (sort/I-O charges) and the
+                # pool (release): sync both, flush, re-mirror.
+                clock.resync(now)
+                memory.set_used(used)
+                while not memory.has_room(1):
+                    self._flush_victims()
+                now = clock.now
+                used, capacity = memory.fill_level()
+                io = disk.io_count
+            matches, candidates, _ = probe_insert(t)
+            if candidates:
+                now += candidates * compare_cost
+            if matches:
+                emit_guard()
+                for match in matches:
+                    now += result_cost
+                    append_result(make_result(t, match), now, io)
+            used += 1
+            imbalance = imbalance_of()
+            if imbalance > peak:
+                peak = imbalance
+        clock.resync(now)
+        memory.set_used(used)
+        self.peak_imbalance = peak
 
     def has_background_work(self) -> bool:
         """Merging work exists while different-numbered block pairs remain."""

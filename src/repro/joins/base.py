@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ProtocolError
 from repro.storage.tuples import Tuple, make_result
@@ -123,6 +123,27 @@ class StreamingJoinOperator(abc.ABC):
     def on_tuple(self, t: Tuple) -> None:
         """Process one arrived tuple, emitting any matches it produces."""
 
+    def on_tuple_batch(
+        self, tuples: Sequence[Tuple], times: Sequence[float]
+    ) -> None:
+        """Process a run of arrivals, each at its own arrival instant.
+
+        Batching amortises Python dispatch only — it never changes the
+        simulation: implementations must advance the clock to each
+        tuple's arrival time before processing it and must preserve the
+        exact per-tuple clock charges and emission order of
+        :meth:`on_tuple`.  The engine only calls this when no early
+        stop is armed (``stop_after`` runs fall back to per-tuple
+        delivery, which checks the predicate between arrivals).  This
+        default replays the per-tuple protocol verbatim, so operators
+        without a fused loop are automatically correct.
+        """
+        advance_to = self.clock.advance_to
+        on_tuple = self.on_tuple
+        for t, at in zip(tuples, times):
+            advance_to(at)
+            on_tuple(t)
+
     @abc.abstractmethod
     def has_background_work(self) -> bool:
         """Whether blocked-time work could currently produce results."""
@@ -155,6 +176,16 @@ class StreamingJoinOperator(abc.ABC):
         runtime = self.runtime
         runtime.clock.advance(runtime.costs.result_time(1))
         runtime.recorder.record(make_result(first, second), phase)
+
+    def _emit_guard(self) -> None:
+        """The finished-check of :meth:`emit`, for fused batch loops.
+
+        Fused ``on_tuple_batch`` implementations inline the emission
+        path; calling this once per emitting tuple keeps the
+        no-results-after-finish protocol error intact.
+        """
+        if self._finished:
+            raise ProtocolError(f"{self.name} emitted a result after finish()")
 
     def charge_probe(self, n_candidates: int) -> None:
         """Charge the CPU cost of comparing against ``n_candidates``."""

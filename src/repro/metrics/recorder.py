@@ -10,7 +10,7 @@ regenerate every curve in the paper's evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.storage.tuples import JoinResult
@@ -18,6 +18,55 @@ from repro.storage.tuples import JoinResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.clock import VirtualClock
     from repro.storage.disk import SimulatedDisk
+
+T = TypeVar("T")
+
+
+class ReadOnlyView(Sequence[T]):
+    """Zero-copy immutable view over a live internal list.
+
+    The recorder's ``events``/``results`` accessors used to copy the
+    whole history on *every* property hit — O(n) per access, and figure
+    code hits them repeatedly.  The view indexes and iterates the
+    backing list directly, forbids mutation, and is *live*: results
+    recorded after the view was obtained are visible through it.
+
+    Pickles as a plain-list snapshot (the bench cache stores recorder
+    payloads), and compares equal to lists/tuples with equal contents
+    so existing assertions keep working.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[T]) -> None:
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __reversed__(self) -> Iterator[T]:
+        return reversed(self._items)
+
+    def __eq__(self, other: object):
+        if isinstance(other, ReadOnlyView):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        if isinstance(other, tuple):
+            return self._items == list(other)
+        return NotImplemented
+
+    def __reduce__(self):
+        return (list, (list(self._items),))
+
+    def __repr__(self) -> str:
+        return f"ReadOnlyView({self._items!r})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +106,8 @@ class MetricsRecorder:
         self._keep_results = keep_results
         self._events: list[ResultEvent] = []
         self._results: list[JoinResult] = []
+        self._events_view: ReadOnlyView[ResultEvent] = ReadOnlyView(self._events)
+        self._results_view: ReadOnlyView[JoinResult] = ReadOnlyView(self._results)
         self._taps: list[Callable[[JoinResult, ResultEvent], None]] = []
         self._last_time = 0.0
 
@@ -66,14 +117,18 @@ class MetricsRecorder:
         return len(self._events)
 
     @property
-    def events(self) -> list[ResultEvent]:
-        """All recorded events, in emission order."""
-        return list(self._events)
+    def events(self) -> ReadOnlyView[ResultEvent]:
+        """All recorded events, in emission order (zero-copy, live)."""
+        return self._events_view
 
     @property
-    def results(self) -> list[JoinResult]:
+    def results(self) -> ReadOnlyView[JoinResult]:
         """Retained result tuples (empty when ``keep_results=False``)."""
-        return list(self._results)
+        return self._results_view
+
+    def iter_events(self) -> Iterator[ResultEvent]:
+        """Non-copying iteration over the recorded events."""
+        return iter(self._events)
 
     def results_since(self, start: int) -> list[JoinResult]:
         """Retained results from index ``start`` on (no full copy).
@@ -110,6 +165,37 @@ class MetricsRecorder:
         for tap in self._taps:
             tap(result, event)
         return event
+
+    def batch_appender(
+        self, phase: str
+    ) -> Callable[[JoinResult, float, int], None]:
+        """A fused append path for one operator delivery batch.
+
+        Returns an ``append(result, time, io)`` callable equivalent to
+        :meth:`record` under a fixed ``phase``, except the caller
+        supplies the timestamp and I/O count: batch loops already track
+        the virtual clock in a local float and the I/O total is
+        constant across one tuple's emissions, so re-reading both
+        properties per result would be pure overhead.  The per-call
+        monotonicity re-check is also skipped — the virtual clock can
+        only move forward (``advance`` rejects negative deltas,
+        ``advance_to`` never rewinds), so inside one batch it can never
+        fire.  Events, retained results, and taps behave identically;
+        the return value is dropped because batch loops never use it.
+        """
+        events = self._events
+        results = self._results if self._keep_results else None
+        taps = self._taps
+
+        def append(result: JoinResult, time: float, io: int) -> None:
+            event = ResultEvent(k=len(events) + 1, time=time, io=io, phase=phase)
+            events.append(event)
+            if results is not None:
+                results.append(result)
+            for tap in taps:
+                tap(result, event)
+
+        return append
 
     def record_batch(self, results: Iterable[JoinResult], phase: str) -> int:
         """Record several results emitted at the current instant."""

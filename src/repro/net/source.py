@@ -38,7 +38,12 @@ class NetworkSource:
         if rng is None:
             rng = np.random.default_rng(seed)
         self._relation = relation
-        self._times = arrivals.arrival_times(len(relation), rng, start=start)
+        # Materialised once as plain Python floats: the kernel peeks or
+        # pops every entry at least once, and numpy scalar boxing on
+        # that path costs more than the whole conversion.
+        self._times: list[float] = arrivals.arrival_times(
+            len(relation), rng, start=start
+        ).tolist()
         self._index = 0
 
     @property
@@ -73,20 +78,45 @@ class NetworkSource:
         """Arrival time of the next tuple, or ``None`` when exhausted."""
         if self.exhausted:
             return None
-        return float(self._times[self._index])
+        return self._times[self._index]
 
     def pop(self) -> tuple[float, Tuple]:
         """Deliver the next (arrival_time, tuple) pair."""
         if self.exhausted:
             raise SimulationError(f"source {self.name!r} is exhausted")
         t = self._relation[self._index]
-        time = float(self._times[self._index])
+        time = self._times[self._index]
         self._index += 1
         return time, t
 
+    def pop_batch(self, n: int) -> tuple[list[float], list[Tuple]]:
+        """Deliver the next ``n`` (times, tuples) as two parallel slices.
+
+        The batched counterpart of :meth:`pop`: two list slices instead
+        of ``n`` per-tuple calls.  The delivery order and content are
+        identical.
+        """
+        start = self._index
+        end = start + n
+        if n < 1 or end > len(self._relation):
+            raise SimulationError(
+                f"source {self.name!r} cannot deliver {n} tuples "
+                f"({self.remaining} remaining)"
+            )
+        self._index = end
+        return self._times[start:end], self._relation.tuples[start:end]
+
+    def pending_times(self) -> tuple[list[float], int]:
+        """The full arrival-time list and the next-delivery cursor.
+
+        The kernel's run-batch extraction reads (never consumes) this
+        to find maximal deliverable runs without per-tuple peek calls.
+        """
+        return self._times, self._index
+
     def arrival_schedule(self) -> np.ndarray:
         """Copy of the full arrival-time vector (for tests and plots)."""
-        return self._times.copy()
+        return np.asarray(self._times, dtype=float)
 
     def __repr__(self) -> str:
         return (

@@ -117,6 +117,7 @@ class PlanExecutor:
         stop_after: int | None = None,
         journal: bool = False,
         broker: ResourceBroker | None = None,
+        batch_delivery: bool = True,
     ) -> None:
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
@@ -169,10 +170,22 @@ class PlanExecutor:
             stop_when=self._stop_reached,
             journal=self.journal,
         )
+        # All leaves share one batch group: a merged run of leaf
+        # arrivals is replayed per tuple (results must cascade upward
+        # immediately), but the kernel's heap round-trips are amortised.
+        group = self.scheduler.add_batch_group(self._deliver_batch)
+        self._leaf_deliverers: list = []
         for leaf, node, side, chain in self._leaves:
-            self.scheduler.add_stream(
-                leaf.source.peek_time, self._deliver_from(leaf, node, side, chain)
+            deliver = self._deliver_from(leaf, node, side, chain)
+            index = self.scheduler.add_stream(
+                leaf.source.peek_time,
+                deliver,
+                times=leaf.source.pending_times,
+                group=group,
             )
+            assert index == len(self._leaf_deliverers)
+            self._leaf_deliverers.append(deliver)
+        self.scheduler.batching = bool(batch_delivery)
         for node in self._joins:
             state = self._states[id(node)]
             self.scheduler.add_worker(
@@ -208,6 +221,9 @@ class PlanExecutor:
         with ``keep_results=False``: results come from a tap on the
         root recorder, so the output history need not stay resident.
         """
+        # Streaming promises single-arrival granularity; stay on the
+        # per-event path (same numbers, finer interleaving).
+        self.scheduler.batching = False
         fresh: list = []
         self.recorder.add_tap(lambda result, event: fresh.append((result, event)))
 
@@ -233,6 +249,27 @@ class PlanExecutor:
                 self._deliver(node, wrapped)
 
         return deliver
+
+    def _deliver_batch(self, order: list[int], times: list[float]) -> None:
+        """Replay one merged arrival run through the per-leaf deliverers.
+
+        Full pipelining means every tuple's results cascade upward
+        before the next tuple, so the batch unrolls per tuple here;
+        the win is the amortised kernel dispatch.  The stop predicate
+        is checked between consecutive arrivals, exactly where the
+        per-event loop checks it.
+        """
+        deliverers = self._leaf_deliverers
+        advance_to = self.clock.advance_to
+        stop = self._stop_reached
+        first = True
+        for index, at in zip(order, times):
+            if first:
+                first = False
+            elif stop():
+                return
+            advance_to(at)
+            deliverers[index]()
 
     def _worker_for(self, state: _NodeState):
         def run_blocked(budget) -> None:
@@ -355,6 +392,7 @@ def run_plan(
     stop_after: int | None = None,
     journal: bool = False,
     broker: ResourceBroker | None = None,
+    batch_delivery: bool = True,
 ) -> PipelineResult:
     """Execute a plan tree and return the root's output metrics.
 
@@ -362,6 +400,8 @@ def run_plan(
     timeline (each entry's ``actor`` tells the nodes apart).  With a
     ``broker``, every resizable join node is bound under the broker's
     global memory grant and its schedule fires mid-run.
+    ``batch_delivery=False`` forces per-event kernel dispatch; the
+    observable results are identical either way.
     """
     executor = PlanExecutor(
         root,
@@ -371,6 +411,7 @@ def run_plan(
         stop_after=stop_after,
         journal=journal,
         broker=broker,
+        batch_delivery=batch_delivery,
     )
     return executor.run()
 
@@ -383,6 +424,7 @@ def stream_plan(
     stop_after: int | None = None,
     journal: bool = False,
     broker: ResourceBroker | None = None,
+    batch_delivery: bool = True,
 ) -> ResultStream:
     """Iterate a plan's root results as they are produced.
 
@@ -399,5 +441,6 @@ def stream_plan(
         stop_after=stop_after,
         journal=journal,
         broker=broker,
+        batch_delivery=batch_delivery,
     )
     return ResultStream(executor)

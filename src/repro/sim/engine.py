@@ -84,6 +84,7 @@ class JoinSimulation:
         spill_dir: str | None = None,
         journal: bool = False,
         broker: ResourceBroker | None = None,
+        batch_delivery: bool = True,
     ) -> None:
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
@@ -118,8 +119,22 @@ class JoinSimulation:
             stop_when=self._stop_reached,
             journal=self.journal,
         )
-        for src in (source_a, source_b):
-            self.scheduler.add_stream(src.peek_time, self._deliver_from(src))
+        self._source_a = source_a
+        self._source_b = source_b
+        group = self.scheduler.add_batch_group(self._deliver_batch)
+        self._stream_a = self.scheduler.add_stream(
+            source_a.peek_time,
+            self._deliver_from(source_a),
+            times=source_a.pending_times,
+            group=group,
+        )
+        self._stream_b = self.scheduler.add_stream(
+            source_b.peek_time,
+            self._deliver_from(source_b),
+            times=source_b.pending_times,
+            group=group,
+        )
+        self.scheduler.batching = bool(batch_delivery)
         self.scheduler.add_worker(operator.has_background_work, operator.on_blocked)
         if broker is not None:
             broker.bind(operator)
@@ -131,6 +146,51 @@ class JoinSimulation:
             self._operator.on_tuple(t)
 
         return deliver
+
+    def _deliver_batch(self, order: list[int], times: list[float]) -> None:
+        """Deliver one merged arrival run (see the kernel's batch docs).
+
+        Observably identical to per-event delivery: every tuple still
+        advances the clock to its own arrival instant before being
+        processed, and with an early stop armed the predicate is
+        checked between consecutive arrivals — exactly where the
+        per-event loop checks it — so ``stop_after`` keeps
+        single-result granularity.
+        """
+        src_a = self._source_a
+        src_b = self._source_b
+        stream_a = self._stream_a
+        if self._stop_after is not None:
+            operator = self._operator
+            advance_to = self.clock.advance_to
+            stop = self._stop_reached
+            first = True
+            for index, at in zip(order, times):
+                if first:
+                    first = False
+                elif stop():
+                    return
+                advance_to(at)
+                _, t = (src_a if index == stream_a else src_b).pop()
+                operator.on_tuple(t)
+            return
+        # No stop predicate can fire mid-run: pop both sources in two
+        # slices and hand the operator the whole run in one call.
+        n = len(order)
+        count_a = order.count(stream_a)
+        if count_a == n:
+            _, tuples = src_a.pop_batch(n)
+        elif count_a == 0:
+            _, tuples = src_b.pop_batch(n)
+        else:
+            _, batch_a = src_a.pop_batch(count_a)
+            _, batch_b = src_b.pop_batch(n - count_a)
+            next_a = iter(batch_a).__next__
+            next_b = iter(batch_b).__next__
+            tuples = [
+                next_a() if index == stream_a else next_b() for index in order
+            ]
+        self._operator.on_tuple_batch(tuples, times)
 
     def _stop_reached(self) -> bool:
         return self._stop_after is not None and self.recorder.count >= self._stop_after
@@ -158,6 +218,10 @@ class JoinSimulation:
         the recorder, so streaming consumers do not force the full
         output history to stay resident.
         """
+        # Batch delivery would surface a whole run's results per step;
+        # streaming promises single-arrival granularity, so it stays on
+        # the per-event path (same numbers, finer interleaving).
+        self.scheduler.batching = False
         fresh: list = []
         self.recorder.add_tap(lambda result, event: fresh.append((result, event)))
 
@@ -232,6 +296,7 @@ def run_join(
     spill_dir: str | None = None,
     journal: bool = False,
     broker: ResourceBroker | None = None,
+    batch_delivery: bool = True,
 ) -> SimulationResult:
     """Run a two-source streaming join to completion.
 
@@ -254,6 +319,11 @@ def run_join(
         broker: Optional :class:`~repro.sim.broker.ResourceBroker`; the
             operator is bound to it and the broker's grant schedule
             fires as timed kernel events, resizing memory mid-run.
+        batch_delivery: Deliver maximal runs of consecutive arrivals
+            in one kernel dispatch (the default).  Observable results
+            — every count, virtual-clock, and I/O number — are
+            identical either way; False forces the per-event path
+            (used by the equivalence tests).
 
     Returns:
         A :class:`SimulationResult` with the recorder, clock, and disk.
@@ -269,6 +339,7 @@ def run_join(
         spill_dir=spill_dir,
         journal=journal,
         broker=broker,
+        batch_delivery=batch_delivery,
     )
     return sim.run()
 
@@ -284,6 +355,7 @@ def stream_join(
     spill_dir: str | None = None,
     journal: bool = False,
     broker: ResourceBroker | None = None,
+    batch_delivery: bool = True,
 ) -> ResultStream:
     """Iterate a streaming join's results as they are produced.
 
@@ -312,5 +384,6 @@ def stream_join(
         spill_dir=spill_dir,
         journal=journal,
         broker=broker,
+        batch_delivery=batch_delivery,
     )
     return ResultStream(sim)

@@ -27,6 +27,29 @@ pre-kernel loops used to duplicate:
   last stream is exhausted are dropped: the cleanup phase runs in one
   protocol call, so there is nothing left to adapt.
 
+On top of the per-event loop sits **run-batch delivery**: streams that
+join a *batch group* (and expose their pending arrival times) have
+maximal runs of consecutive arrivals extracted in exact heap order and
+handed to the group's ``deliver_batch`` callback in one call, instead
+of one heap pop/push round-trip per tuple.  A run is broken exactly
+where the per-event loop would have done something other than deliver
+the next group arrival:
+
+* at an inter-arrival gap exceeding ``blocking_threshold`` (the next
+  event *might* open a blocked window — only the live clock, after the
+  batch's processing costs, can tell);
+* at any pending timer due at or before the next arrival (timers fire
+  before arrivals at the same instant);
+* at any arrival of a stream outside the group (stream interleaving
+  *within* the group is preserved inside the batch, in ``(time,
+  registration-index)`` heap order);
+* and batch deliverers must honour the ``stop_when`` predicate between
+  consecutive arrivals, so early stops keep single-result granularity.
+
+Batch boundaries carry no simulation state — breaking a run early is
+always safe, merely slower — so the batched and per-event paths are
+observably identical (the equivalence suite pins this).
+
 The kernel knows nothing about joins: streams are ``(peek, deliver)``
 callable pairs, workers are ``(has_work, run)`` pairs, and the
 adapters decide what delivering or working means.
@@ -36,7 +59,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.budget import WorkBudget
@@ -51,6 +74,12 @@ _KIND_ARRIVAL = 1
 
 PeekFn = Callable[[], "float | None"]
 DeliverFn = Callable[[], None]
+#: Full pending arrival times of a stream plus the cursor of the next
+#: delivery; the kernel reads (never consumes) this to extract runs.
+TimesFn = Callable[[], "tuple[Sequence[float], int]"]
+#: Batch delivery: parallel lists of stream indices and arrival times,
+#: one entry per arrival, in exact heap dispatch order.
+BatchDeliverFn = Callable[[list[int], list[float]], None]
 HasWorkFn = Callable[[], bool]
 WorkFn = Callable[[WorkBudget], None]
 StopFn = Callable[[], bool]
@@ -64,6 +93,18 @@ class _Stream:
     index: int
     peek: PeekFn
     deliver: DeliverFn
+    times: TimesFn | None = None
+    group: "_BatchGroup | None" = None
+    live: bool = False
+
+
+@dataclass(slots=True)
+class _BatchGroup:
+    """Streams whose arrival runs may be delivered as merged batches."""
+
+    deliver: BatchDeliverFn
+    members: list[_Stream] = field(default_factory=list)
+    member_ids: set[int] = field(default_factory=set)
 
 
 @dataclass(slots=True)
@@ -88,14 +129,21 @@ class EventScheduler:
         journal: Optional structural-event timeline; the kernel records
             ``blocked-window`` entries under the ``engine`` actor, as
             the pre-kernel loops did.
+        batching: Whether batch groups actually batch.  When False,
+            grouped streams fall back to per-event delivery — the
+            streaming APIs use this to keep single-arrival yield
+            granularity, and the equivalence suite uses it to compare
+            the two paths.
     """
 
     clock: VirtualClock
     blocking_threshold: float
     stop_when: StopFn | None = None
     journal: SimulationJournal | None = None
+    batching: bool = True
 
     _streams: list[_Stream] = field(default_factory=list)
+    _groups: list[_BatchGroup] = field(default_factory=list)
     _workers: list[_Worker] = field(default_factory=list)
     # Heap entries: (time, kind, index, payload).  The (time, kind,
     # index) prefix is unique, so payloads are never compared.
@@ -112,19 +160,59 @@ class EventScheduler:
 
     # -- registration -------------------------------------------------------
 
-    def add_stream(self, peek: PeekFn, deliver: DeliverFn) -> int:
+    def add_batch_group(self, deliver: BatchDeliverFn) -> int:
+        """Register a batch-delivery group; returns its id.
+
+        ``deliver(order, times)`` receives one maximal run of arrivals
+        from the group's member streams: parallel lists of the source
+        stream index and the arrival time of each tuple, in exact heap
+        dispatch order.  The deliverer must consume each arrival from
+        its stream in that order, advance the clock to each arrival
+        time before processing, and honour the scheduler's ``stop_when``
+        predicate between consecutive arrivals (it may deliver fewer
+        than offered; the kernel re-reads the streams afterwards).
+        """
+        self._groups.append(_BatchGroup(deliver=deliver))
+        return len(self._groups) - 1
+
+    def add_stream(
+        self,
+        peek: PeekFn,
+        deliver: DeliverFn,
+        *,
+        times: TimesFn | None = None,
+        group: int | None = None,
+    ) -> int:
         """Register an arrival stream.
 
         ``peek()`` returns the absolute time of the stream's next
         pending arrival (``None`` when exhausted); ``deliver()``
         consumes exactly one arrival.  Returns the stream's index;
         at equal arrival times, lower indices deliver first.
+
+        A stream may additionally join a batch group (see
+        :meth:`add_batch_group`) by passing the group id and a
+        ``times`` hook exposing its full pending arrival times; its
+        arrivals are then dispatched in merged runs whenever
+        :attr:`batching` is enabled.
         """
+        if (group is None) != (times is None):
+            raise ConfigurationError(
+                "batched streams need both `group` and `times` (got one)"
+            )
         stream = _Stream(index=len(self._streams), peek=peek, deliver=deliver)
+        if group is not None:
+            if not 0 <= group < len(self._groups):
+                raise ConfigurationError(f"unknown batch group id {group!r}")
+            stream.times = times
+            stream.group = self._groups[group]
+            stream.group.members.append(stream)
+            stream.group.member_ids.add(stream.index)
         self._streams.append(stream)
         first = stream.peek()
         if first is not None:
             heapq.heappush(self._heap, (first, _KIND_ARRIVAL, stream.index, None))
+            stream.live = True
             self._live_streams += 1
         return stream.index
 
@@ -173,6 +261,11 @@ class EventScheduler:
     def step(self) -> bool:
         """Dispatch the next event, with any preceding blocked window.
 
+        With batching enabled, one step may deliver a whole run of
+        grouped arrivals (see module docstring); the run is exactly the
+        sequence of events consecutive per-event steps would have
+        dispatched, so observable behaviour is unchanged.
+
         Returns False when the streaming phase is over: the stop
         predicate fired, or no arrival remains (pending timers are then
         dropped — cleanup is the adapters' job).
@@ -201,9 +294,13 @@ class EventScheduler:
             payload()
             return True
         stream = self._streams[index]
+        if self.batching and stream.group is not None:
+            self._dispatch_batch(stream)
+            return True
         stream.deliver()
         nxt = stream.peek()
         if nxt is None:
+            stream.live = False
             self._live_streams -= 1
         else:
             heapq.heappush(self._heap, (nxt, _KIND_ARRIVAL, index, None))
@@ -218,6 +315,163 @@ class EventScheduler:
         while self.step():
             pass
         return not self.stopped
+
+    # -- batch delivery -----------------------------------------------------
+
+    def _dispatch_batch(self, stream: _Stream) -> None:
+        """Deliver the maximal run starting at ``stream``'s popped head.
+
+        The head entry is already popped and the clock already sits at
+        its arrival time; this extracts how far the run extends, hands
+        it to the group deliverer in one call, then re-reads every
+        member stream to restore the one-pending-entry-per-live-stream
+        heap invariant.
+        """
+        group = stream.group
+        assert group is not None
+        members = group.members
+        heap = self._heap
+        if len(members) > 1 and heap:
+            # Other members' pending entries are superseded by the run
+            # extraction; purge them so the heap top is the true bound.
+            member_ids = group.member_ids
+            kept = [e for e in heap if e[1] != _KIND_ARRIVAL or e[2] not in member_ids]
+            if len(kept) != len(heap):
+                heap[:] = kept
+                heapq.heapify(heap)
+        if heap:
+            # The run may not reach the next non-group event: a timer
+            # (or outside arrival) due inside it must fire in order.
+            # At equal times a timer always wins; a competing arrival
+            # wins unless the member's registration index is lower.
+            bound = heap[0]
+            bound_time = bound[0]
+            bound_index = bound[2] if bound[1] == _KIND_ARRIVAL else -1
+        else:
+            bound_time = float("inf")
+            bound_index = -1
+        order, times = self._extract_run(members, bound_time, bound_index)
+        group.deliver(order, times)
+        for member in members:
+            nxt = member.peek()
+            if nxt is None:
+                if member.live:
+                    member.live = False
+                    self._live_streams -= 1
+            else:
+                if not member.live:
+                    member.live = True
+                    self._live_streams += 1
+                heapq.heappush(heap, (nxt, _KIND_ARRIVAL, member.index, None))
+
+    def _extract_run(
+        self, members: list[_Stream], bound_time: float, bound_index: int
+    ) -> tuple[list[int], list[float]]:
+        """Merge members' pending times into one maximal deliverable run.
+
+        Events are taken in exact heap order — ``(time, registration
+        index)`` — starting from the already-popped head.  The run ends
+        at the first inter-arrival gap wider than the blocking
+        threshold, or at the first event that would lose a heap race
+        against ``(bound_time, bound_index)`` (the post-purge heap top;
+        ``bound_index`` is -1 for timers, which win every tie).
+        """
+        threshold = self.blocking_threshold
+        cursors: list[list] = []
+        for member in members:
+            times_fn = member.times
+            assert times_fn is not None
+            times, pos = times_fn()
+            if pos < len(times):
+                # [times, cursor, end, stream index]
+                cursors.append([times, pos, len(times), member.index])
+        if len(cursors) == 1:
+            # Common tail case: one member left — a straight slice scan.
+            times, pos, end, index = cursors[0]
+            tie_ok = index < bound_index
+            prev = times[pos]
+            j = pos + 1
+            while j < end:
+                t = times[j]
+                if (
+                    t > prev + threshold
+                    or t > bound_time
+                    or (t == bound_time and not tie_ok)
+                ):
+                    break
+                prev = t
+                j += 1
+            return [index] * (j - pos), list(times[pos:j])
+        if len(cursors) == 2:
+            # The dominant case (one two-source engine group): a direct
+            # two-list merge.  Cursor 0 has the lower registration
+            # index, so it wins every exact tie, matching heap order.
+            inf = float("inf")
+            times_a, i, end_a, index_a = cursors[0]
+            times_b, j, end_b, index_b = cursors[1]
+            tie_a = index_a < bound_index
+            tie_b = index_b < bound_index
+            order2: list[int] = []
+            out2: list[float] = []
+            push_order = order2.append
+            push_time = out2.append
+            t_a = times_a[i]
+            t_b = times_b[j]
+            first2 = True
+            prev2 = 0.0
+            while True:
+                if t_a <= t_b:
+                    t, index, tie_ok = t_a, index_a, tie_a
+                else:
+                    t, index, tie_ok = t_b, index_b, tie_b
+                if t is inf or (
+                    not first2
+                    and (
+                        t > prev2 + threshold
+                        or t > bound_time
+                        or (t == bound_time and not tie_ok)
+                    )
+                ):
+                    break
+                first2 = False
+                push_order(index)
+                push_time(t)
+                prev2 = t
+                if index == index_a:
+                    i += 1
+                    t_a = times_a[i] if i < end_a else inf
+                else:
+                    j += 1
+                    t_b = times_b[j] if j < end_b else inf
+            return order2, out2
+        order: list[int] = []
+        out: list[float] = []
+        first = True
+        prev = 0.0
+        while cursors:
+            # k-way min by (time, index); cursors stay in registration
+            # order, so the strict < keeps the lower index on ties.
+            best = cursors[0]
+            best_t = best[0][best[1]]
+            for cursor in cursors[1:]:
+                t = cursor[0][cursor[1]]
+                if t < best_t:
+                    best = cursor
+                    best_t = t
+            if not first and (
+                best_t > prev + threshold
+                or best_t > bound_time
+                or (best_t == bound_time and best[3] >= bound_index)
+            ):
+                break
+            first = False
+            order.append(best[3])
+            out.append(best_t)
+            prev = best_t
+            best[1] += 1
+            if best[1] == best[2]:
+                cursors.remove(best)
+        return order, out
 
     # -- blocked windows ----------------------------------------------------
 

@@ -78,6 +78,34 @@ class MemoryPool:
             )
         self._used -= n
 
+    def fill_level(self) -> tuple[int, int]:
+        """Snapshot ``(used, capacity)`` for a fused allocation loop.
+
+        Batch delivery loops track occupancy in a local counter —
+        ``used >= capacity`` is exactly ``not has_room(1)`` and
+        ``used += 1`` is ``allocate(1)`` — and write it back through
+        :meth:`set_used` before any call that touches the pool and at
+        batch end.
+        """
+        return self._used, self._capacity
+
+    def set_used(self, used: int) -> None:
+        """Write back a fused loop's locally tracked occupancy.
+
+        Validates like :meth:`allocate` (the budget still raises loudly
+        on violations) and updates the peak.  Within one batch the
+        local counter only ever grows between write-backs, so the
+        high-water mark observed here equals the one per-slot
+        ``allocate`` calls would have recorded.
+        """
+        if used < 0 or used > self._capacity:
+            raise MemoryBudgetError(
+                f"write-back of {used} outside budget 0..{self._capacity}"
+            )
+        self._used = used
+        if used > self._peak:
+            self._peak = used
+
     def resize(self, new_capacity: int) -> None:
         """Change the budget (memory pressure / grants at runtime).
 

@@ -109,8 +109,22 @@ def test_record_batch():
     assert rec.count == 2
 
 
-def test_events_are_copies():
+def test_events_are_immutable_zero_copy_views():
     _, _, rec = setup()
     rec.record(pair(), "hashing")
-    rec.events.clear()
+    events = rec.events
+    # No mutation surface: the view exposes no list mutators and
+    # rejects item assignment, so the history cannot be corrupted.
+    with pytest.raises(AttributeError):
+        events.clear()
+    with pytest.raises(TypeError):
+        events[0] = None
     assert rec.count == 1
+    # Live view, not a snapshot: later records are visible through it,
+    # and repeated accessor hits return the same object (no O(n) copy).
+    rec.record(pair(tid_a=1), "hashing")
+    assert len(events) == 2
+    assert rec.events is events
+    # Equality against plain sequences keeps existing assertions alive.
+    assert rec.events == list(rec.iter_events())
+    assert rec.events[:1] == [events[0]]

@@ -1,0 +1,216 @@
+"""Batched vs per-tuple delivery equivalence.
+
+Run-batch delivery (``EventScheduler`` batch groups plus the operators'
+``on_tuple_batch`` fast paths) is an amortisation, never a simulation
+change: for any workload the batched and per-event kernels must produce
+the identical ``(count, final clock, io)`` triple *and* the identical
+result-event sequence.  This suite pins that equivalence three ways:
+
+* every cell of the six pinned figure benchmarks (the exact scenarios
+  ``test_determinism.py`` captures) through both paths;
+* a randomized property test over arrival models (constant / Poisson /
+  Pareto), tiny memory budgets that force flushing mid-run, and early
+  stops that land mid-batch;
+* an explicit ``stop_after`` granularity check: the batched path must
+  halt after the same number of delivered tuples as the per-tuple path,
+  not at the end of the batch the stop fired in.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.figures import BLOCKING_T, _bursty
+from repro.bench.runner import execute
+from repro.bench.scale import BenchScale
+from repro.core.config import HMJConfig
+from repro.core.flushing import FlushSmallestPolicy
+from repro.core.hmj import HashMergeJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import ConstantRate, ParetoArrival, PoissonArrival
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+SCALE = BenchScale(n_per_source=400, seed=7)
+
+
+def _signature(result):
+    """Everything observable about a run: the triple plus every event."""
+    return (
+        result.recorder.count,
+        result.clock.now,
+        result.disk.io_count,
+        list(result.recorder.iter_events()),
+    )
+
+
+def _both_paths(make_operator, make_arrival_a, make_arrival_b, **kwargs):
+    signatures = {}
+    for label, batched in (("batched", True), ("per_tuple", False)):
+        rel_a, rel_b = make_relation_pair(SCALE.spec)
+        result = execute(
+            rel_a,
+            rel_b,
+            make_operator(),
+            make_arrival_a(),
+            make_arrival_b(),
+            batch_delivery=batched,
+            **kwargs,
+        )
+        signatures[label] = _signature(result)
+    return signatures
+
+
+def _hmj(**kwargs):
+    memory = kwargs.pop("memory", SCALE.spec.memory_capacity())
+    return HashMergeJoin(HMJConfig(memory_capacity=memory, **kwargs))
+
+
+def _fast():
+    return ConstantRate(SCALE.fast_rate)
+
+
+def _slow():
+    return ConstantRate(SCALE.fast_rate / 5.0)
+
+
+def _burst():
+    return _bursty(SCALE)
+
+
+def _figure_cells():
+    memory = SCALE.spec.memory_capacity()
+    tight = SCALE.spec.memory_capacity(0.10)
+    first_k = SCALE.first_k(1000)
+    return {
+        "fig09-hmj-p05": (
+            lambda: _hmj(flush_fraction=0.05, fan_in=16), _fast, _fast, {},
+        ),
+        "fig10-hmj-adaptive": (_hmj, _fast, _fast, {}),
+        "fig10-hmj-smallest": (
+            lambda: _hmj(policy=FlushSmallestPolicy()), _fast, _fast, {},
+        ),
+        "fig11-hmj": (_hmj, _fast, _fast, {}),
+        "fig11-xjoin": (lambda: XJoin(memory_capacity=memory), _fast, _fast, {}),
+        "fig11-pmj": (
+            lambda: ProgressiveMergeJoin(memory_capacity=memory), _fast, _fast, {},
+        ),
+        "fig12-hmj": (_hmj, _fast, _slow, {}),
+        "fig12-xjoin": (lambda: XJoin(memory_capacity=memory), _fast, _slow, {}),
+        "fig12-pmj": (
+            lambda: ProgressiveMergeJoin(memory_capacity=memory), _fast, _slow, {},
+        ),
+        "fig13-hmj-stop": (
+            lambda: _hmj(memory=tight), _fast, _fast, {"stop_after": first_k},
+        ),
+        "fig13-pmj-stop": (
+            lambda: ProgressiveMergeJoin(memory_capacity=tight),
+            _fast, _fast, {"stop_after": first_k},
+        ),
+        "fig14-hmj": (_hmj, _burst, _burst, {"blocking_threshold": BLOCKING_T}),
+        "fig14-xjoin": (
+            lambda: XJoin(memory_capacity=memory), _burst, _burst,
+            {"blocking_threshold": BLOCKING_T},
+        ),
+        "fig14-pmj": (
+            lambda: ProgressiveMergeJoin(memory_capacity=memory), _burst, _burst,
+            {"blocking_threshold": BLOCKING_T},
+        ),
+    }
+
+
+@pytest.mark.parametrize("cell", sorted(_figure_cells()))
+def test_figure_cells_identical_through_both_paths(cell):
+    make_operator, arr_a, arr_b, kwargs = _figure_cells()[cell]
+    signatures = _both_paths(make_operator, arr_a, arr_b, **kwargs)
+    assert signatures["batched"] == signatures["per_tuple"]
+
+
+# -- randomized equivalence --------------------------------------------------
+
+_ARRIVALS = {
+    "constant": lambda: ConstantRate(800.0),
+    "poisson": lambda: PoissonArrival(800.0),
+    "pareto": lambda: ParetoArrival(800.0, shape=1.5),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=20, max_value=120),
+    key_range=st.integers(min_value=4, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**16),
+    kind_a=st.sampled_from(sorted(_ARRIVALS)),
+    kind_b=st.sampled_from(sorted(_ARRIVALS)),
+    memory=st.integers(min_value=4, max_value=16),
+    stop_after=st.none() | st.integers(min_value=1, max_value=40),
+    op_kind=st.sampled_from(["hmj", "xjoin"]),
+)
+def test_batched_path_equivalent_on_random_workloads(
+    n, key_range, seed, kind_a, kind_b, memory, stop_after, op_kind
+):
+    spec = WorkloadSpec(n_a=n, n_b=n, key_range=key_range, seed=seed)
+    signatures = {}
+    for label, batched in (("batched", True), ("per_tuple", False)):
+        rel_a, rel_b = make_relation_pair(spec)
+        if op_kind == "hmj":
+            operator = HashMergeJoin(HMJConfig(memory_capacity=memory))
+        else:
+            operator = XJoin(memory_capacity=memory)
+        result = execute(
+            rel_a,
+            rel_b,
+            operator,
+            _ARRIVALS[kind_a](),
+            _ARRIVALS[kind_b](),
+            blocking_threshold=0.01,
+            stop_after=stop_after,
+            batch_delivery=batched,
+        )
+        signatures[label] = _signature(result)
+    assert signatures["batched"] == signatures["per_tuple"]
+
+
+# -- early-stop granularity --------------------------------------------------
+
+
+def test_stop_after_halts_with_single_result_granularity():
+    """An early stop lands mid-run, not at the end of a delivery batch.
+
+    At constant equal rates every batch spans many arrivals, so a
+    batch-granular stop would overshoot the per-tuple path on both the
+    result count and the number of source tuples consumed.  The batched
+    path must check the stop predicate between consecutive arrivals.
+    """
+    spec = SCALE.spec
+    stop_after = 25
+    outcomes = {}
+    for label, batched in (("batched", True), ("per_tuple", False)):
+        rel_a, rel_b = make_relation_pair(spec)
+        src_a = NetworkSource(rel_a, ConstantRate(SCALE.fast_rate), seed=11)
+        src_b = NetworkSource(rel_b, ConstantRate(SCALE.fast_rate), seed=22)
+        operator = HashMergeJoin(
+            HMJConfig(memory_capacity=spec.memory_capacity(0.10))
+        )
+        result = run_join(
+            src_a,
+            src_b,
+            operator,
+            keep_results=False,
+            stop_after=stop_after,
+            batch_delivery=batched,
+        )
+        outcomes[label] = (
+            _signature(result),
+            src_a.delivered,
+            src_b.delivered,
+        )
+    assert outcomes["batched"] == outcomes["per_tuple"]
+    signature, delivered_a, delivered_b = outcomes["batched"]
+    assert signature[0] >= stop_after
+    # The stop fired strictly inside the input, not at stream end.
+    assert delivered_a + delivered_b < 2 * SCALE.n_per_source

@@ -239,6 +239,170 @@ def test_journal_records_blocked_windows():
     assert windows[0].detail["until"] == pytest.approx(4.0)
 
 
+def make_batched_streams(sched, times_by_tag: dict[str, list[float]], log: list):
+    """Register the given streams in one batch group.
+
+    The batch deliverer consumes each offered arrival from its queue
+    (asserting the offered time matches the queue head) and appends
+    ``(tag, time)`` to ``log``; returns the list of delivered batches.
+    """
+    queues = {tag: list(times) for tag, times in times_by_tag.items()}
+    index_to_tag: dict[int, str] = {}
+    batches: list[list[tuple[str, float]]] = []
+
+    def deliver_batch(order, times):
+        batch = []
+        for index, at in zip(order, times):
+            tag = index_to_tag[index]
+            assert queues[tag][0] == at
+            queues[tag].pop(0)
+            log.append((tag, at))
+            batch.append((tag, at))
+        batches.append(batch)
+
+    group = sched.add_batch_group(deliver_batch)
+    for tag, schedule in times_by_tag.items():
+        queue = queues[tag]
+        index = sched.add_stream(
+            lambda queue=queue: queue[0] if queue else None,
+            lambda: pytest.fail("grouped stream delivered per-event"),
+            times=lambda queue=queue, schedule=schedule: (
+                schedule,
+                len(schedule) - len(queue),
+            ),
+            group=group,
+        )
+        index_to_tag[index] = tag
+    return batches
+
+
+def test_batch_group_merges_streams_in_heap_order():
+    sched, _ = make_scheduler()
+    log: list = []
+    # Exact ties alternate by registration order, like the plain heap.
+    batches = make_batched_streams(
+        sched, {"a": [0.1, 0.2, 0.3], "b": [0.1, 0.25]}, log
+    )
+    assert sched.run()
+    assert log == [
+        ("a", 0.1), ("b", 0.1), ("a", 0.2), ("b", 0.25), ("a", 0.3),
+    ]
+    # No breaks apply, so the whole run arrives as one batch.
+    assert len(batches) == 1
+
+
+def test_batch_breaks_at_blocking_gap():
+    sched, _ = make_scheduler(threshold=1.0)
+    log: list = []
+    batches = make_batched_streams(sched, {"a": [0.1, 0.2, 5.0, 5.1]}, log)
+    assert sched.run()
+    assert [len(b) for b in batches] == [2, 2]
+    assert log == [("a", 0.1), ("a", 0.2), ("a", 5.0), ("a", 5.1)]
+
+
+def test_batch_breaks_at_pending_timer():
+    sched, _ = make_scheduler()
+    log: list = []
+    batches = make_batched_streams(sched, {"a": [0.1, 0.2, 0.3]}, log)
+    sched.call_at(0.25, lambda: log.append(("timer", 0.25)))
+    assert sched.run()
+    # The timer due inside the run must fire in order, splitting it.
+    assert log == [("a", 0.1), ("a", 0.2), ("timer", 0.25), ("a", 0.3)]
+    assert [len(b) for b in batches] == [2, 1]
+
+
+def test_timer_at_same_instant_breaks_batch_and_fires_first():
+    sched, _ = make_scheduler()
+    log: list = []
+    batches = make_batched_streams(sched, {"a": [0.1, 0.3]}, log)
+    sched.call_at(0.3, lambda: log.append(("timer", 0.3)))
+    assert sched.run()
+    assert log == [("a", 0.1), ("timer", 0.3), ("a", 0.3)]
+    assert [len(b) for b in batches] == [1, 1]
+
+
+def test_outside_stream_breaks_batch():
+    sched, _ = make_scheduler()
+    log: list = []
+    batches = make_batched_streams(sched, {"a": [0.1, 0.3]}, log)
+    queue = [0.2]
+    sched.add_stream(
+        lambda: queue[0] if queue else None,
+        lambda: log.append(("outside", queue.pop(0))),
+    )
+    assert sched.run()
+    assert log == [("a", 0.1), ("outside", 0.2), ("a", 0.3)]
+    assert [len(b) for b in batches] == [1, 1]
+
+
+def test_batching_disabled_delivers_per_event():
+    sched, _ = make_scheduler()
+    sched.batching = False
+    log: list = []
+    queue = [0.1, 0.2]
+
+    group = sched.add_batch_group(
+        lambda order, times: pytest.fail("batching disabled")
+    )
+    sched.add_stream(
+        lambda: queue[0] if queue else None,
+        lambda: log.append(queue.pop(0)),
+        times=lambda: ([0.1, 0.2], 2 - len(queue)),
+        group=group,
+    )
+    assert sched.run()
+    assert log == [0.1, 0.2]
+
+
+def test_grouped_stream_requires_both_group_and_times():
+    sched, _ = make_scheduler()
+    with pytest.raises(ConfigurationError):
+        sched.add_stream(lambda: None, lambda: None, group=0)
+    with pytest.raises(ConfigurationError):
+        sched.add_stream(lambda: None, lambda: None, times=lambda: ([], 0))
+
+
+def test_unknown_batch_group_rejected():
+    sched, _ = make_scheduler()
+    with pytest.raises(ConfigurationError):
+        sched.add_stream(
+            lambda: None, lambda: None, times=lambda: ([], 0), group=3
+        )
+
+
+def test_batch_deliverer_may_stop_short():
+    # A deliverer honouring stop_when consumes only part of the offered
+    # run; the kernel re-reads the streams and ends the run cleanly.
+    delivered: list[float] = []
+    schedule = [0.1, 0.2, 0.3, 0.4]
+    queue = list(schedule)
+    clock = VirtualClock()
+    sched = EventScheduler(
+        clock=clock,
+        blocking_threshold=1.0,
+        stop_when=lambda: len(delivered) >= 2,
+    )
+
+    def deliver_batch(order, times):
+        for at in times:
+            if len(delivered) >= 2:
+                return
+            assert queue[0] == at
+            delivered.append(queue.pop(0))
+
+    group = sched.add_batch_group(deliver_batch)
+    sched.add_stream(
+        lambda: queue[0] if queue else None,
+        lambda: pytest.fail("grouped stream delivered per-event"),
+        times=lambda: (schedule, len(schedule) - len(queue)),
+        group=group,
+    )
+    assert not sched.run()
+    assert sched.stopped
+    assert delivered == [0.1, 0.2]
+    assert queue == [0.3, 0.4]
+
+
 def test_unbounded_budget_carries_stop_predicate():
     stopped = [False]
     sched, _ = make_scheduler(stop_when=lambda: stopped[0])
