@@ -192,6 +192,15 @@ class HashMergeJoin(StreamingJoinOperator):
         """Both sources blocked: run the merging phase until one wakes."""
         self.scheduler.work(budget, self._emit_merge)
 
+    def memory_usage(self) -> tuple[int, int] | None:
+        if self._memory is None:
+            return None
+        return (self._memory.used, self._memory.capacity)
+
+    def spilled_unmerged(self) -> bool:
+        """Flushed block pairs remain until the merge scheduler drains."""
+        return self._scheduler is not None and self._scheduler.has_result_work()
+
     def finish(self, budget: WorkBudget) -> None:
         """End of input: flush the whole memory, then merge to completion."""
         self.log_event("final-flush", resident=self.memory.used)

@@ -45,6 +45,15 @@ class SimulationError(ReproError):
     """
 
 
+class ConformanceViolationError(ReproError):
+    """An invariant checker observed a violated run-time invariant.
+
+    Raised by :class:`repro.testing.checks.InvariantChecks` in
+    ``raise`` mode; in ``collect`` mode violations accumulate on the
+    checker instead (the conformance CLI reports them all at once).
+    """
+
+
 class ProtocolError(ReproError):
     """A streaming-join operator was driven out of protocol order.
 

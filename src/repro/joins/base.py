@@ -167,6 +167,31 @@ class StreamingJoinOperator(abc.ABC):
             f"{self.name} does not support runtime memory adaptation"
         )
 
+    # -- conformance taps ----------------------------------------------
+    #
+    # Pure observers for :mod:`repro.testing.checks`: they must never
+    # advance the clock, touch the disk, or mutate operator state, so
+    # probing them mid-run cannot change a simulation's numbers.
+
+    def memory_usage(self) -> tuple[int, int] | None:
+        """Current ``(used, capacity)`` of the operator's memory budget.
+
+        ``None`` when the operator runs without a budget (or before
+        ``bind``).  The conformance probe polls this after every kernel
+        step to check the pool never exceeds its grant.
+        """
+        return None
+
+    def spilled_unmerged(self) -> bool:
+        """Whether flushed (spilled) state still awaits disk-side work.
+
+        Checked *after* ``finish`` completes: a finished operator
+        reporting True has left flushed pages unmerged — results from
+        disk-resident matches would be missing.  Operators that never
+        spill keep the default False.
+        """
+        return False
+
     # -- shared services ----------------------------------------------
 
     def emit(self, first: Tuple, second: Tuple, phase: str) -> None:

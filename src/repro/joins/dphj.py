@@ -35,6 +35,16 @@ class DoublePipelinedHashJoin(XJoin):
     def on_blocked(self, budget: WorkBudget) -> None:
         """No-op — disk-resident pairs wait for the final stage."""
 
+    def spilled_unmerged(self) -> bool:
+        """Before ``finish``, every flushed bucket is deferred work.
+
+        DPHJ reports no background work (its disk stage only runs at
+        end of input), so the base signal would hide a run that ended
+        without the final stage; flushed-but-unfinished is the honest
+        answer.
+        """
+        return not self.finished and self.flush_count > 0
+
     def _flush_largest_bucket(self) -> None:
         """Flush the largest bucket of the *more loaded* source.
 

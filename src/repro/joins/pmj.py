@@ -102,6 +102,15 @@ class ProgressiveMergeJoin(StreamingJoinOperator):
         if self._merge_on_block:
             self.scheduler.work(budget, self._emit_merge)
 
+    def memory_usage(self) -> tuple[int, int] | None:
+        if self._memory is None:
+            return None
+        return (self._memory.used, self._memory.capacity)
+
+    def spilled_unmerged(self) -> bool:
+        """Sorted runs remain on disk until the merge scheduler drains."""
+        return self._scheduler is not None and self._scheduler.has_result_work()
+
     def finish(self, budget: WorkBudget) -> None:
         """Final fill is sorted/joined/flushed, then merge everything."""
         if self._pending_a or self._pending_b:

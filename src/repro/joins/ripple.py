@@ -87,6 +87,11 @@ class RippleJoin(StreamingJoinOperator):
     def on_blocked(self, budget: WorkBudget) -> None:
         """Everything seen is already joined; blocked time is idle."""
 
+    def memory_usage(self) -> tuple[int, int] | None:
+        if self._capacity is None:
+            return None
+        return (len(self._stored_a) + len(self._stored_b), self._capacity)
+
     def finish(self, budget: WorkBudget) -> None:
         self.mark_finished()
 

@@ -71,6 +71,11 @@ class SymmetricHashJoin(StreamingJoinOperator):
     def on_blocked(self, budget: WorkBudget) -> None:
         """No disk-resident state: blocked time produces nothing."""
 
+    def memory_usage(self) -> tuple[int, int] | None:
+        if self._memory is None:
+            return None
+        return (self._memory.used, self._memory.capacity)
+
     def finish(self, budget: WorkBudget) -> None:
         """Everything was already produced in memory."""
         self.mark_finished()

@@ -245,6 +245,20 @@ class XJoin(StreamingJoinOperator):
             return True
         return self._pick_stage2() is not None
 
+    def memory_usage(self) -> tuple[int, int] | None:
+        if self._memory is None:
+            return None
+        return (self._memory.used, self._memory.capacity)
+
+    def spilled_unmerged(self) -> bool:
+        """A suspended stage-2 pass holds disk pairs mid-emission.
+
+        Stage 3 sweeps every flushed partition during ``finish``, so
+        after a completed run only an un-drained reactive pass could
+        still hide disk-resident matches.
+        """
+        return self._stage2_active is not None
+
     def on_blocked(self, budget: WorkBudget) -> None:
         while not budget.expired():
             if self._stage2_active is None:

@@ -130,6 +130,16 @@ class MetricsRecorder:
         """Non-copying iteration over the recorded events."""
         return iter(self._events)
 
+    def triple(self) -> tuple[int, float, int]:
+        """The ``(count, clock now, io count)`` determinism triple.
+
+        The exact snapshot the pinned regressions in
+        ``tests/sim/test_determinism.py`` compare, read from the live
+        clock and disk — so two runs with equal triples agree on output
+        cardinality, final virtual time, and total page I/O.
+        """
+        return (len(self._events), self._clock.now, self._disk.io_count)
+
     def results_since(self, start: int) -> list[JoinResult]:
         """Retained results from index ``start`` on (no full copy).
 

@@ -56,6 +56,17 @@ class NetworkSource:
         """The source tag ("A" or "B") carried by this stream's tuples."""
         return self._relation.source
 
+    @property
+    def relation(self) -> Relation:
+        """The relation this source delivers (read-only).
+
+        Tuple ``i`` of the relation arrives at entry ``i`` of the
+        materialised schedule; the conformance layer zips the two to
+        check that no result is emitted before both constituents
+        arrived.
+        """
+        return self._relation
+
     def __len__(self) -> int:
         return len(self._relation)
 

@@ -118,6 +118,7 @@ class PlanExecutor:
         journal: bool = False,
         broker: ResourceBroker | None = None,
         batch_delivery: bool = True,
+        checks=None,
     ) -> None:
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
@@ -197,6 +198,22 @@ class PlanExecutor:
                 if state.operator.supports_memory_resize:
                     broker.bind(state.operator, label=node.label)
             broker.install(self.scheduler)
+        self._checks = None
+        if checks:
+            # Imported lazily: unchecked runs never touch the
+            # conformance layer.  Plan nodes join manufactured tuples
+            # (relabelled sides, synthetic tids), so the arrival-based
+            # causality check only applies at the two-source engine;
+            # every other invariant is watched per node.
+            from repro.testing.checks import coerce_checks
+
+            self._checks = coerce_checks(checks)
+            watched = []
+            for node in self._joins:
+                state = self._states[id(node)]
+                self._checks.watch_recorder(state.recorder, node.label)
+                watched.append((node.label, state.operator))
+            self._checks.watch_kernel(self.scheduler, self.clock, watched)
 
     # -- public API ---------------------------------------------------------
 
@@ -205,12 +222,25 @@ class PlanExecutor:
         """The root join's recorder (the plan's output stream)."""
         return self._root_state.recorder
 
+    def _finalize_checks(self, completed: bool) -> None:
+        if self._checks is not None:
+            self._checks.finalize(
+                [
+                    (node.label, self._states[id(node)].operator)
+                    for node in self._joins
+                ],
+                self.clock,
+                completed,
+            )
+
     def run(self) -> PipelineResult:
         """Execute the plan."""
         if not self.scheduler.run():
             return self._result(completed=False)
         self._finish_all()
-        return self._result(completed=not self._stop_reached())
+        completed = not self._stop_reached()
+        self._finalize_checks(completed)
+        return self._result(completed=completed)
 
     def stream(self):
         """Execute the plan, yielding root results as they surface.
@@ -237,6 +267,7 @@ class PlanExecutor:
         yield from drain()
         if not self._stop_reached():
             self._finish_all()
+            self._finalize_checks(completed=not self._stop_reached())
             yield from drain()
 
     # -- kernel participants ------------------------------------------------
@@ -393,6 +424,7 @@ def run_plan(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    checks=None,
 ) -> PipelineResult:
     """Execute a plan tree and return the root's output metrics.
 
@@ -401,7 +433,9 @@ def run_plan(
     ``broker``, every resizable join node is bound under the broker's
     global memory grant and its schedule fires mid-run.
     ``batch_delivery=False`` forces per-event kernel dispatch; the
-    observable results are identical either way.
+    observable results are identical either way.  ``checks=`` attaches
+    per-node invariant checkers (:mod:`repro.testing.checks`) — pure
+    observers, so the run's numbers are unchanged.
     """
     executor = PlanExecutor(
         root,
@@ -412,6 +446,7 @@ def run_plan(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        checks=checks,
     )
     return executor.run()
 
@@ -425,6 +460,7 @@ def stream_plan(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    checks=None,
 ) -> ResultStream:
     """Iterate a plan's root results as they are produced.
 
@@ -442,5 +478,6 @@ def stream_plan(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        checks=checks,
     )
     return ResultStream(executor)

@@ -85,6 +85,7 @@ class JoinSimulation:
         journal: bool = False,
         broker: ResourceBroker | None = None,
         batch_delivery: bool = True,
+        checks=None,
     ) -> None:
         if stop_after is not None and stop_after < 1:
             raise ConfigurationError(f"stop_after must be >= 1, got {stop_after!r}")
@@ -139,6 +140,21 @@ class JoinSimulation:
         if broker is not None:
             broker.bind(operator)
             broker.install(self.scheduler)
+        self._checks = None
+        if checks:
+            # Imported lazily: unchecked runs never touch the
+            # conformance layer.
+            from repro.testing.checks import arrival_map, coerce_checks
+
+            self._checks = coerce_checks(checks)
+            self._checks.watch_recorder(
+                self.recorder,
+                operator.name,
+                arrivals=arrival_map(source_a, source_b),
+            )
+            self._checks.watch_kernel(
+                self.scheduler, self.clock, [(operator.name, operator)]
+            )
 
     def _deliver_from(self, src: NetworkSource):
         def deliver() -> None:
@@ -200,12 +216,20 @@ class JoinSimulation:
             self.journal.record("engine", "finish")
         self._operator.finish(self.scheduler.unbounded_budget())
 
+    def _finalize_checks(self, completed: bool) -> None:
+        if self._checks is not None:
+            self._checks.finalize(
+                [(self._operator.name, self._operator)], self.clock, completed
+            )
+
     def run(self) -> SimulationResult:
         """Drive the simulation to completion (or to the early stop)."""
         if not self.scheduler.run():
             return self._result(completed=False)
         self._finish()
-        return self._result(completed=not self._stop_reached())
+        completed = not self._stop_reached()
+        self._finalize_checks(completed)
+        return self._result(completed=completed)
 
     def stream(self):
         """Drive the simulation, yielding results as they are produced.
@@ -235,6 +259,7 @@ class JoinSimulation:
         yield from drain()
         if not self._stop_reached():
             self._finish()
+            self._finalize_checks(completed=not self._stop_reached())
             yield from drain()
 
     def _result(self, completed: bool) -> SimulationResult:
@@ -297,6 +322,7 @@ def run_join(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    checks=None,
 ) -> SimulationResult:
     """Run a two-source streaming join to completion.
 
@@ -324,6 +350,13 @@ def run_join(
             — every count, virtual-clock, and I/O number — are
             identical either way; False forces the per-event path
             (used by the equivalence tests).
+        checks: Attach in-engine invariant checkers
+            (:mod:`repro.testing.checks`).  ``True`` raises on the
+            first violation; an
+            :class:`~repro.testing.checks.InvariantChecks` instance
+            (e.g. in ``collect`` mode) is used as given.  Checkers are
+            pure observers — the run's numbers are identical with or
+            without them.
 
     Returns:
         A :class:`SimulationResult` with the recorder, clock, and disk.
@@ -340,6 +373,7 @@ def run_join(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        checks=checks,
     )
     return sim.run()
 
@@ -356,6 +390,7 @@ def stream_join(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    checks=None,
 ) -> ResultStream:
     """Iterate a streaming join's results as they are produced.
 
@@ -385,5 +420,6 @@ def stream_join(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        checks=checks,
     )
     return ResultStream(sim)

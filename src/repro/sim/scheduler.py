@@ -134,6 +134,14 @@ class EventScheduler:
             streaming APIs use this to keep single-arrival yield
             granularity, and the equivalence suite uses it to compare
             the two paths.
+        probe: Optional observer invoked after every dispatched event
+            (timer, arrival, or batch).  Probes must be pure observers
+            — they may read but never advance the clock, touch the
+            disk, or mutate operator state — so an installed probe
+            never changes a run's observable numbers.  The conformance
+            layer (:mod:`repro.testing.checks`) hangs its per-step
+            invariant checks here; ``None`` (the default) costs one
+            predicate test per step.
     """
 
     clock: VirtualClock
@@ -141,6 +149,7 @@ class EventScheduler:
     stop_when: StopFn | None = None
     journal: SimulationJournal | None = None
     batching: bool = True
+    probe: TimerFn | None = None
 
     _streams: list[_Stream] = field(default_factory=list)
     _groups: list[_BatchGroup] = field(default_factory=list)
@@ -292,10 +301,14 @@ class EventScheduler:
         self.clock.advance_to(time)
         if kind == _KIND_TIMER:
             payload()
+            if self.probe is not None:
+                self.probe()
             return True
         stream = self._streams[index]
         if self.batching and stream.group is not None:
             self._dispatch_batch(stream)
+            if self.probe is not None:
+                self.probe()
             return True
         stream.deliver()
         nxt = stream.peek()
@@ -304,6 +317,8 @@ class EventScheduler:
             self._live_streams -= 1
         else:
             heapq.heappush(self._heap, (nxt, _KIND_ARRIVAL, index, None))
+        if self.probe is not None:
+            self.probe()
         return True
 
     def run(self) -> bool:

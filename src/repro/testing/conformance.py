@@ -1,0 +1,319 @@
+"""The conformance matrix and its CLI.
+
+``python -m repro.testing.conformance`` runs every streaming operator
+(HMJ, XJoin, PMJ, DPHJ, ripple, symmetric hash) against the blocking
+:func:`~repro.joins.blocking.hash_join` oracle across the six figure
+workloads (Figures 9-14's arrival regimes, memory budgets, thresholds,
+and early stop), through both kernel delivery paths (per-event and
+batched), with the full in-engine invariant-checker suite attached in
+collect mode.  The default ("full") matrix additionally re-runs every
+resize-capable operator under a :class:`~repro.sim.broker.
+ResourceBroker` shrink/grow memory schedule; ``--quick`` skips the
+resize axis (the reduced matrix CI runs).
+
+The CLI prints one line per cell, writes a JSON violation report, and
+exits nonzero if any cell violated an invariant or diverged from the
+oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.figures import BLOCKING_T, _bursty
+from repro.bench.scale import BenchScale
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.ripple import RippleJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import ConstantRate
+from repro.net.source import NetworkSource
+from repro.sim.broker import ResourceBroker
+from repro.sim.engine import run_join
+from repro.testing.checks import InvariantChecks
+from repro.testing.oracle import compare_with_oracle
+from repro.workloads.generator import make_relation_pair
+
+#: operator name -> factory(memory_budget, scale) -> fresh unbound
+#: operator.  Ripple and SHJ have no spill path, so they run without a
+#: budget (a budget would abort the run instead of flushing); ripple
+#: additionally needs the relation sizes for its estimator.
+OPERATORS = {
+    "hmj": lambda memory, scale: HashMergeJoin(HMJConfig(memory_capacity=memory)),
+    "xjoin": lambda memory, scale: XJoin(memory_capacity=memory),
+    "pmj": lambda memory, scale: ProgressiveMergeJoin(memory_capacity=memory),
+    "dphj": lambda memory, scale: DoublePipelinedHashJoin(memory_capacity=memory),
+    "ripple": lambda memory, scale: RippleJoin(
+        n_a=scale.spec.n_a, n_b=scale.spec.n_b
+    ),
+    "shj": lambda memory, scale: SymmetricHashJoin(),
+}
+
+#: Operators that advertise ``supports_memory_resize`` (the broker
+#: refuses the others), i.e. the resize axis of the full matrix.
+RESIZABLE = ("hmj", "xjoin", "pmj", "dphj")
+
+#: Operators whose runs use the workload memory budget at all.
+BUDGETED = RESIZABLE
+
+
+def workload_cases(scale: BenchScale) -> dict[str, dict]:
+    """The six figure workloads, keyed by figure name.
+
+    Each value holds arrival-process factories plus the run kwargs
+    that distinguish the figure: Figures 9-11 join fast reliable
+    streams, Figure 12 slows one source 5x, Figure 13 stops at the
+    scaled first-k threshold on a tight budget, and Figure 14 runs
+    bursty sources under the small blocking threshold ``T``.
+    """
+    fast = lambda: ConstantRate(scale.fast_rate)  # noqa: E731
+    slow = lambda: ConstantRate(scale.fast_rate / 5.0)  # noqa: E731
+    burst = lambda: _bursty(scale)  # noqa: E731
+    memory = scale.spec.memory_capacity()
+    return {
+        "fig09": {"arrival_a": fast, "arrival_b": fast, "memory": memory},
+        "fig10": {"arrival_a": fast, "arrival_b": fast, "memory": memory},
+        "fig11": {"arrival_a": fast, "arrival_b": fast, "memory": memory},
+        "fig12": {"arrival_a": fast, "arrival_b": slow, "memory": memory},
+        "fig13": {
+            "arrival_a": fast,
+            "arrival_b": fast,
+            "memory": scale.spec.memory_capacity(0.10),
+            "stop_after": scale.first_k(1000),
+        },
+        "fig14": {
+            "arrival_a": burst,
+            "arrival_b": burst,
+            "memory": memory,
+            "blocking_threshold": BLOCKING_T,
+        },
+    }
+
+
+@dataclass(slots=True)
+class CellOutcome:
+    """One executed cell of the conformance matrix."""
+
+    workload: str
+    operator: str
+    delivery: str  # "batched" | "per-event"
+    resize: bool
+    count: int
+    clock: float
+    io: int
+    wall_s: float
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_cell(
+    scale: BenchScale,
+    workload: str,
+    case: dict,
+    operator: str,
+    batch_delivery: bool,
+    resize: bool,
+) -> CellOutcome:
+    """Execute one (workload, operator, delivery, resize) cell."""
+    rel_a, rel_b = make_relation_pair(scale.spec)
+    source_a = NetworkSource(rel_a, case["arrival_a"](), seed=11)
+    source_b = NetworkSource(rel_b, case["arrival_b"](), seed=22)
+    memory = case["memory"]
+    stop_after = case.get("stop_after")
+    broker = None
+    if resize:
+        # Shrink to a quarter of the grant a third of the way through
+        # the arrival window, restore near the end: both transitions
+        # land while tuples are still streaming.
+        last = max(source_a.pending_times()[0][-1], source_b.pending_times()[0][-1])
+        low = max(4, memory // 4)
+        broker = ResourceBroker([(0.3 * last, low), (0.7 * last, memory)])
+    checks = InvariantChecks(mode="collect")
+    start = time.perf_counter()
+    result = run_join(
+        source_a,
+        source_b,
+        OPERATORS[operator](memory, scale),
+        blocking_threshold=case.get("blocking_threshold", 1.0),
+        stop_after=stop_after,
+        broker=broker,
+        batch_delivery=batch_delivery,
+        checks=checks,
+    )
+    wall = time.perf_counter() - start
+    violations = [v.render() for v in checks.violations]
+    violations += compare_with_oracle(
+        result.results,
+        rel_a,
+        rel_b,
+        operator_name=operator,
+        partial=stop_after is not None,
+    )
+    if stop_after is not None and result.count < stop_after and result.completed:
+        # A completed early-stop run produced the whole join; it must
+        # then match the oracle exactly, which the partial check above
+        # does not enforce — re-diff without the partial waiver.
+        violations += compare_with_oracle(
+            result.results, rel_a, rel_b, operator_name=operator
+        )
+    count, clock, io = result.recorder.triple()
+    return CellOutcome(
+        workload=workload,
+        operator=operator,
+        delivery="batched" if batch_delivery else "per-event",
+        resize=resize,
+        count=count,
+        clock=clock,
+        io=io,
+        wall_s=wall,
+        violations=violations,
+    )
+
+
+def run_matrix(
+    scale: BenchScale,
+    quick: bool = False,
+    operators: list[str] | None = None,
+    workloads: list[str] | None = None,
+    progress=None,
+) -> list[CellOutcome]:
+    """Run the conformance matrix; returns every cell outcome.
+
+    ``quick`` drops the resize axis.  ``operators`` / ``workloads``
+    restrict the matrix (names validated).  ``progress`` is an optional
+    per-cell callback (the CLI prints from it).
+    """
+    cases = workload_cases(scale)
+    selected_ops = list(OPERATORS) if operators is None else operators
+    selected_wls = list(cases) if workloads is None else workloads
+    for name in selected_ops:
+        if name not in OPERATORS:
+            raise ValueError(f"unknown operator {name!r} (have {sorted(OPERATORS)})")
+    for name in selected_wls:
+        if name not in cases:
+            raise ValueError(f"unknown workload {name!r} (have {sorted(cases)})")
+    outcomes: list[CellOutcome] = []
+    for workload in selected_wls:
+        case = cases[workload]
+        for operator in selected_ops:
+            resize_axis = (False,)
+            if not quick and operator in RESIZABLE:
+                resize_axis = (False, True)
+            for resize in resize_axis:
+                for batched in (True, False):
+                    outcome = run_cell(
+                        scale, workload, case, operator, batched, resize
+                    )
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+    return outcomes
+
+
+def build_report(
+    scale: BenchScale, quick: bool, outcomes: list[CellOutcome]
+) -> dict:
+    """The JSON violation report (schema v1) the CI job uploads."""
+    return {
+        "schema": 1,
+        "kind": "conformance",
+        "mode": "quick" if quick else "full",
+        "n_per_source": scale.n_per_source,
+        "seed": scale.seed,
+        "cells_total": len(outcomes),
+        "cells_failed": sum(1 for o in outcomes if not o.ok),
+        "violations_total": sum(len(o.violations) for o in outcomes),
+        "cells": [asdict(o) for o in outcomes],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.conformance",
+        description=(
+            "Differential + invariant conformance matrix: every streaming "
+            "operator vs the blocking oracle across the six figure "
+            "workloads, both delivery paths, with in-engine checks."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the broker resize axis (the reduced CI matrix)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=400,
+        metavar="N",
+        help="tuples per source (default 400, the pinned-triple scale)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default 7)"
+    )
+    parser.add_argument(
+        "--operators",
+        metavar="NAMES",
+        help=f"comma-separated subset of {','.join(OPERATORS)}",
+    )
+    parser.add_argument(
+        "--workloads",
+        metavar="NAMES",
+        help="comma-separated subset of fig09..fig14",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default="conformance_report.json",
+        help="where to write the JSON violation report",
+    )
+    args = parser.parse_args(argv)
+    scale = BenchScale(n_per_source=args.scale, seed=args.seed)
+
+    def progress(outcome: CellOutcome) -> None:
+        status = "ok" if outcome.ok else f"FAIL ({len(outcome.violations)})"
+        flags = " resize" if outcome.resize else ""
+        print(
+            f"{outcome.workload} {outcome.operator:>6} "
+            f"{outcome.delivery:>9}{flags}: {status:<9} "
+            f"count={outcome.count} clock={outcome.clock:.4f} "
+            f"io={outcome.io} [{outcome.wall_s:.2f}s]"
+        )
+
+    outcomes = run_matrix(
+        scale,
+        quick=args.quick,
+        operators=args.operators.split(",") if args.operators else None,
+        workloads=args.workloads.split(",") if args.workloads else None,
+        progress=progress,
+    )
+    report = build_report(scale, args.quick, outcomes)
+    with open(args.report, "w") as fh:
+        json.dump(report, fh, indent=2)
+    failed = [o for o in outcomes if not o.ok]
+    print(
+        f"\n{report['cells_total']} cells, {len(failed)} failed, "
+        f"{report['violations_total']} violations -> {args.report}"
+    )
+    for outcome in failed:
+        header = (
+            f"{outcome.workload}/{outcome.operator}/{outcome.delivery}"
+            f"{'/resize' if outcome.resize else ''}"
+        )
+        for violation in outcome.violations:
+            print(f"  {header}: {violation}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

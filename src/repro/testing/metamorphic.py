@@ -1,0 +1,228 @@
+"""Metamorphic workload transforms.
+
+A metamorphic test never needs a ground-truth answer: it rewrites a
+workload in a way whose effect on the *correct* output is known, runs
+the operator on both versions, and checks the outputs relate as
+predicted.  For a streaming join the paper's theorems make that
+prediction trivial to state — the result multiset is a function of the
+two relations only, never of arrival order or timing — so:
+
+* **arrival-order permutation** (within bounded windows of one
+  stream's delivery order),
+* **key relabeling** (any bijection over the key space),
+* **rate rescale** (all inter-arrival gaps scaled by one factor)
+
+must leave the result-identity multiset *unchanged*, and
+
+* **stream swap** (relations trade sources) must produce exactly the
+  mirrored multiset (every ``((A, i), (B, j))`` becomes
+  ``((A, j), (B, i))``).
+
+Transforms are pure and seeded (:class:`random.Random`), so every
+rewrite replays exactly.  :func:`run_workload` executes a workload
+through the real engine (:func:`~repro.sim.engine.run_join`) with
+invariant checks attached; the hypothesis stateful machine in
+``tests/properties/test_metamorphic.py`` chains random transform
+sequences and re-checks the invariant after every step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.net.arrival import TraceArrival
+from repro.net.source import NetworkSource
+from repro.sim.engine import run_join
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, Schema, Tuple
+from repro.testing.checks import InvariantChecks
+
+
+@dataclass(frozen=True)
+class MetamorphicWorkload:
+    """One complete engine workload: relations plus arrival gaps.
+
+    ``gaps_a[i]`` is the inter-arrival gap *before* tuple ``i`` of
+    relation A (the :class:`~repro.net.arrival.TraceArrival`
+    convention), so transforms can rewrite timing and content
+    independently.
+    """
+
+    rel_a: Relation
+    rel_b: Relation
+    gaps_a: tuple[float, ...]
+    gaps_b: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        assert len(self.gaps_a) == len(self.rel_a)
+        assert len(self.gaps_b) == len(self.rel_b)
+
+
+def make_workload(
+    keys_a: list[int],
+    keys_b: list[int],
+    seed: int = 0,
+    mean_gap: float = 0.001,
+) -> MetamorphicWorkload:
+    """Build a seeded workload from explicit key lists."""
+    rng = random.Random(seed)
+    return MetamorphicWorkload(
+        rel_a=Relation.from_keys(keys_a, source=SOURCE_A),
+        rel_b=Relation.from_keys(keys_b, source=SOURCE_B),
+        gaps_a=tuple(rng.uniform(0.0, 2 * mean_gap) for _ in keys_a),
+        gaps_b=tuple(rng.uniform(0.0, 2 * mean_gap) for _ in keys_b),
+    )
+
+
+# -- transforms --------------------------------------------------------------
+
+
+def _permute(tuples: list[Tuple], window: int, rng: random.Random) -> list[Tuple]:
+    out: list[Tuple] = []
+    for start in range(0, len(tuples), window):
+        block = tuples[start : start + window]
+        rng.shuffle(block)
+        out.extend(block)
+    return out
+
+
+def permute_within_windows(
+    workload: MetamorphicWorkload, window: int, seed: int
+) -> MetamorphicWorkload:
+    """Shuffle each stream's delivery order within fixed-size windows.
+
+    Arrival *instants* stay where they were; which tuple occupies each
+    instant is permuted within every consecutive window, so the rewrite
+    reorders arrivals without changing the timing envelope.  The result
+    multiset must be identical.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    rng = random.Random(seed)
+    return replace(
+        workload,
+        rel_a=replace(
+            workload.rel_a, tuples=_permute(list(workload.rel_a.tuples), window, rng)
+        ),
+        rel_b=replace(
+            workload.rel_b, tuples=_permute(list(workload.rel_b.tuples), window, rng)
+        ),
+    )
+
+
+def relabel_keys(workload: MetamorphicWorkload, seed: int) -> MetamorphicWorkload:
+    """Apply one random bijection over the key space to both relations.
+
+    Tuples keep their identities, so the result-identity multiset must
+    be identical.
+    """
+    keys = sorted(
+        {t.key for t in workload.rel_a.tuples}
+        | {t.key for t in workload.rel_b.tuples}
+    )
+    rng = random.Random(seed)
+    # Map into a disjoint, shuffled range so no accidental collision
+    # can merge two key groups.
+    images = [k + 1_000_000 for k in range(len(keys))]
+    rng.shuffle(images)
+    mapping = dict(zip(keys, images))
+
+    def remap(rel: Relation) -> Relation:
+        return replace(
+            rel, tuples=[replace(t, key=mapping[t.key]) for t in rel.tuples]
+        )
+
+    return replace(workload, rel_a=remap(workload.rel_a), rel_b=remap(workload.rel_b))
+
+
+def swap_streams(workload: MetamorphicWorkload) -> MetamorphicWorkload:
+    """Trade the two streams: relation A becomes source B and vice versa.
+
+    The correct output mirrors: see :func:`mirror_multiset`.
+    """
+
+    def relabel(rel: Relation, source: str) -> Relation:
+        return Relation(
+            schema=Schema(
+                name=f"relation_{source}",
+                key_name=rel.schema.key_name,
+                key_range=rel.schema.key_range,
+            ),
+            tuples=[replace(t, source=source) for t in rel.tuples],
+        )
+
+    return MetamorphicWorkload(
+        rel_a=relabel(workload.rel_b, SOURCE_A),
+        rel_b=relabel(workload.rel_a, SOURCE_B),
+        gaps_a=workload.gaps_b,
+        gaps_b=workload.gaps_a,
+    )
+
+
+def rescale_rate(workload: MetamorphicWorkload, factor: float) -> MetamorphicWorkload:
+    """Scale every inter-arrival gap by one positive factor.
+
+    Timing changes; the result multiset must not.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    return replace(
+        workload,
+        gaps_a=tuple(g * factor for g in workload.gaps_a),
+        gaps_b=tuple(g * factor for g in workload.gaps_b),
+    )
+
+
+def mirror_multiset(multiset: dict[tuple, int]) -> dict[tuple, int]:
+    """The expected multiset after :func:`swap_streams`.
+
+    A baseline pair ``((A, i), (B, j))`` joins tuple ``i`` of the old
+    A-relation with tuple ``j`` of the old B-relation; after the swap
+    those same tuples carry identities ``(B, i)`` and ``(A, j)``, so
+    the pair reappears as ``((A, j), (B, i))``.
+    """
+    return {
+        ((a_source, b_tid), (b_source, a_tid)): count
+        for ((a_source, a_tid), (b_source, b_tid)), count in multiset.items()
+    }
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def run_workload(
+    workload: MetamorphicWorkload,
+    operator_factory,
+    blocking_threshold: float = 0.01,
+    checks: InvariantChecks | bool = True,
+) -> dict[tuple, int]:
+    """Run a workload through the engine; return the result multiset.
+
+    The operator comes from ``operator_factory()`` (operators bind
+    once, so each run needs a fresh one).  Invariant checks are
+    attached by default — a metamorphic run doubles as a checked run.
+    """
+    from repro.storage.tuples import result_multiset
+
+    source_a = NetworkSource(workload.rel_a, TraceArrival(workload.gaps_a))
+    source_b = NetworkSource(workload.rel_b, TraceArrival(workload.gaps_b))
+    result = run_join(
+        source_a,
+        source_b,
+        operator_factory(),
+        blocking_threshold=blocking_threshold,
+        checks=checks,
+    )
+    return result_multiset(result.results)
+
+
+__all__ = [
+    "MetamorphicWorkload",
+    "make_workload",
+    "mirror_multiset",
+    "permute_within_windows",
+    "relabel_keys",
+    "rescale_rate",
+    "run_workload",
+    "swap_streams",
+]

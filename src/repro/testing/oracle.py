@@ -1,0 +1,148 @@
+"""Differential oracles: streaming output vs the blocking hash join.
+
+The concrete form of the paper's Theorems 1 and 2: for any input pair,
+a non-blocking join's output *multiset* must equal the blocking
+:func:`~repro.joins.blocking.hash_join` oracle's, with every pair
+produced exactly once.  This module owns the comparison (previously a
+test-only helper in ``tests/conftest.py``) so tests, benchmarks, and
+the conformance CLI all share one implementation:
+
+* :func:`make_runtime` / :func:`interleave` / :func:`drive` — drive an
+  operator directly, bypassing the network/engine layer;
+* :func:`oracle_multiset` — the canonical expected multiset;
+* :func:`compare_with_oracle` — non-asserting comparison returning a
+  violation list (what the CLI reports);
+* :func:`assert_matches_oracle` — the assertion form tests use.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.joins.base import JoinRuntime, StreamingJoinOperator
+from repro.joins.blocking import hash_join
+from repro.metrics.recorder import MetricsRecorder
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import Relation, Tuple, result_multiset
+
+
+def make_runtime(costs: CostModel | None = None) -> JoinRuntime:
+    """A fresh runtime: clock at zero, empty disk, empty recorder."""
+    costs = costs or CostModel()
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, costs)
+    recorder = MetricsRecorder(clock, disk)
+    return JoinRuntime(clock=clock, disk=disk, costs=costs, recorder=recorder)
+
+
+def interleave(rel_a: Relation, rel_b: Relation) -> list[Tuple]:
+    """Alternate tuples from the two relations (simple arrival order)."""
+    out: list[Tuple] = []
+    for a, b in itertools.zip_longest(rel_a, rel_b):
+        if a is not None:
+            out.append(a)
+        if b is not None:
+            out.append(b)
+    return out
+
+
+def drive(
+    operator: StreamingJoinOperator,
+    tuples: list[Tuple],
+    runtime: JoinRuntime | None = None,
+) -> JoinRuntime:
+    """Feed tuples straight into an operator and finish it.
+
+    Bypasses the network/engine layer entirely: every tuple is
+    delivered back-to-back and the final cleanup runs unbounded.
+    """
+    runtime = runtime or make_runtime()
+    operator.bind(runtime)
+    for t in tuples:
+        operator.on_tuple(t)
+    operator.finish(WorkBudget.unbounded(runtime.clock))
+    return runtime
+
+
+def oracle_multiset(rel_a: Relation, rel_b: Relation) -> dict[tuple, int]:
+    """The expected result multiset: the blocking hash join's output."""
+    return result_multiset(hash_join(rel_a, rel_b))
+
+
+def compare_with_oracle(
+    results,
+    rel_a: Relation,
+    rel_b: Relation,
+    operator_name: str = "operator",
+    partial: bool = False,
+) -> list[str]:
+    """Diff a streaming run's output against the blocking oracle.
+
+    Returns human-readable violation strings (empty means conformant).
+    With ``partial=True`` (an early-stopped run) the output only has to
+    be a *sub*-multiset of the oracle with every count exactly one —
+    soundness and uniqueness without completeness; otherwise the
+    multisets must match exactly (Theorems 1 and 2).
+
+    ``results`` is any sequence of :class:`JoinResult` — a recorder's
+    retained results, or identities collected through a tap.
+    """
+    expected = oracle_multiset(rel_a, rel_b)
+    actual = result_multiset(results)
+    violations: list[str] = []
+    duplicates = {ident: n for ident, n in actual.items() if n != 1}
+    if duplicates:
+        sample = sorted(duplicates)[:3]
+        violations.append(
+            f"{operator_name}: {len(duplicates)} result pairs produced more "
+            f"than once (e.g. {sample})"
+        )
+    spurious = [ident for ident in actual if ident not in expected]
+    if spurious:
+        violations.append(
+            f"{operator_name}: {len(spurious)} result pairs not in the "
+            f"oracle output (e.g. {sorted(spurious)[:3]})"
+        )
+    if not partial:
+        missing = [ident for ident in expected if ident not in actual]
+        if missing:
+            violations.append(
+                f"{operator_name}: {len(missing)} oracle pairs missing from "
+                f"the output (e.g. {sorted(missing)[:3]})"
+            )
+    return violations
+
+
+def assert_matches_oracle(
+    operator: StreamingJoinOperator,
+    rel_a: Relation,
+    rel_b: Relation,
+    tuples: list[Tuple] | None = None,
+) -> JoinRuntime:
+    """Drive the operator and check Theorems 1 and 2 against hash_join."""
+    runtime = drive(
+        operator, tuples if tuples is not None else interleave(rel_a, rel_b)
+    )
+    expected = oracle_multiset(rel_a, rel_b)
+    actual = result_multiset(runtime.recorder.results)
+    assert actual == expected, (
+        f"{operator.name}: output multiset differs from oracle "
+        f"({len(actual)} vs {len(expected)} distinct pairs)"
+    )
+    assert all(count == 1 for count in actual.values()), (
+        f"{operator.name}: duplicate results produced"
+    )
+    return runtime
+
+
+__all__ = [
+    "assert_matches_oracle",
+    "compare_with_oracle",
+    "drive",
+    "interleave",
+    "make_runtime",
+    "oracle_multiset",
+]

@@ -1,91 +1,47 @@
 """Shared fixtures and helpers for the test suite.
 
-The helpers centralise two recurring patterns:
+The operator-driving and blocking-oracle helpers live in
+:mod:`repro.testing.oracle` (so benchmarks and the conformance CLI can
+use them too) and are re-exported here for the test modules that
+import them from ``conftest``.
 
-* building a bound operator runtime (clock + disk + recorder) without
-  going through the full simulation engine, for operator unit tests;
-* comparing a streaming operator's output against a blocking oracle as
-  a multiset — the concrete form of the paper's Theorems 1 and 2.
+This module also registers the shared hypothesis profiles:
+
+* ``dev`` — few examples, for fast local iteration;
+* ``ci`` — the default, what the test job runs;
+* ``nightly`` — deep example counts for scheduled runs.
+
+Select one with ``HYPOTHESIS_PROFILE=dev pytest ...``; property tests
+must not carry their own ``max_examples``/``deadline`` settings.
 """
 
 from __future__ import annotations
 
-import itertools
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
-from repro.joins.base import JoinRuntime, StreamingJoinOperator
-from repro.joins.blocking import hash_join
-from repro.metrics.recorder import MetricsRecorder
-from repro.sim.budget import WorkBudget
-from repro.sim.clock import VirtualClock
-from repro.sim.costs import CostModel
-from repro.storage.disk import SimulatedDisk
-from repro.storage.tuples import (
-    SOURCE_A,
-    SOURCE_B,
-    Relation,
-    Tuple,
-    result_multiset,
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation
+from repro.testing.oracle import (  # noqa: F401  (re-exported test helpers)
+    assert_matches_oracle,
+    compare_with_oracle,
+    drive,
+    interleave,
+    make_runtime,
+    oracle_multiset,
 )
 
-
-def make_runtime(costs: CostModel | None = None) -> JoinRuntime:
-    """A fresh runtime: clock at zero, empty disk, empty recorder."""
-    costs = costs or CostModel()
-    clock = VirtualClock()
-    disk = SimulatedDisk(clock, costs)
-    recorder = MetricsRecorder(clock, disk)
-    return JoinRuntime(clock=clock, disk=disk, costs=costs, recorder=recorder)
-
-
-def interleave(rel_a: Relation, rel_b: Relation) -> list[Tuple]:
-    """Alternate tuples from the two relations (simple arrival order)."""
-    out: list[Tuple] = []
-    for a, b in itertools.zip_longest(rel_a, rel_b):
-        if a is not None:
-            out.append(a)
-        if b is not None:
-            out.append(b)
-    return out
-
-
-def drive(
-    operator: StreamingJoinOperator,
-    tuples: list[Tuple],
-    runtime: JoinRuntime | None = None,
-) -> JoinRuntime:
-    """Feed tuples straight into an operator and finish it.
-
-    Bypasses the network/engine layer entirely: every tuple is
-    delivered back-to-back and the final cleanup runs unbounded.
-    """
-    runtime = runtime or make_runtime()
-    operator.bind(runtime)
-    for t in tuples:
-        operator.on_tuple(t)
-    operator.finish(WorkBudget.unbounded(runtime.clock))
-    return runtime
-
-
-def assert_matches_oracle(
-    operator: StreamingJoinOperator,
-    rel_a: Relation,
-    rel_b: Relation,
-    tuples: list[Tuple] | None = None,
-) -> JoinRuntime:
-    """Drive the operator and check Theorems 1 and 2 against hash_join."""
-    runtime = drive(operator, tuples if tuples is not None else interleave(rel_a, rel_b))
-    expected = result_multiset(hash_join(rel_a, rel_b))
-    actual = result_multiset(runtime.recorder.results)
-    assert actual == expected, (
-        f"{operator.name}: output multiset differs from oracle "
-        f"({len(actual)} vs {len(expected)} distinct pairs)"
-    )
-    assert all(count == 1 for count in actual.values()), (
-        f"{operator.name}: duplicate results produced"
-    )
-    return runtime
+# Deadlines are disabled everywhere: virtual-time simulations have
+# wildly varying wall-time per example (flush-heavy workloads), and a
+# deadline flake would fail an otherwise sound property.
+_COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", max_examples=10, stateful_step_count=5, **_COMMON)
+settings.register_profile("ci", max_examples=40, stateful_step_count=10, **_COMMON)
+settings.register_profile(
+    "nightly", max_examples=400, stateful_step_count=40, **_COMMON
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def keys_relation(keys: list[int], source: str = SOURCE_A) -> Relation:
@@ -94,7 +50,7 @@ def keys_relation(keys: list[int], source: str = SOURCE_A) -> Relation:
 
 
 @pytest.fixture
-def runtime() -> JoinRuntime:
+def runtime():
     """A fresh bound-able runtime per test."""
     return make_runtime()
 

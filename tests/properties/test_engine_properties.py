@@ -8,7 +8,7 @@ budget slicing of merge work must be exactly resumable.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.config import HMJConfig
 from repro.core.hmj import HashMergeJoin
@@ -44,7 +44,6 @@ OPERATORS = {
 }
 
 
-@settings(max_examples=50, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -77,7 +76,6 @@ def test_arrival_timing_never_changes_the_output(
     assert all(t1 <= t2 for t1, t2 in zip(times, times[1:]))
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     block_sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=8),
     fan_in=st.integers(min_value=2, max_value=4),

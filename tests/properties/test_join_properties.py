@@ -9,7 +9,7 @@ operator's output multiset must equal the blocking oracle's
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from conftest import drive
 from repro.core.config import HMJConfig
@@ -42,7 +42,6 @@ def check_theorems(operator, keys_a, keys_b, interleave_seed=0):
     assert all(v == 1 for v in actual.values())
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -58,7 +57,6 @@ def test_hmj_theorems(keys_a, keys_b, memory, n_buckets, fan_in, seed):
     check_theorems(HashMergeJoin(cfg), keys_a, keys_b, interleave_seed=seed)
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -83,7 +81,6 @@ def test_hmj_theorems_across_policies(keys_a, keys_b, memory, fraction, policy_i
     check_theorems(HashMergeJoin(cfg), keys_a, keys_b, interleave_seed=seed)
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -100,7 +97,6 @@ def test_xjoin_theorems(keys_a, keys_b, memory, n_buckets, seed):
     )
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -117,7 +113,6 @@ def test_pmj_theorems(keys_a, keys_b, memory, fan_in, seed):
     )
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,
@@ -133,7 +128,6 @@ def test_dphj_theorems(keys_a, keys_b, memory, seed):
     )
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,

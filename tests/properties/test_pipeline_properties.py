@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.config import HMJConfig
 from repro.core.hmj import HashMergeJoin
@@ -32,7 +32,6 @@ FACTORIES = {
 }
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys_a=keys_lists,
     keys_b=keys_lists,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.flushing import (
     AdaptiveFlushingPolicy,
@@ -21,7 +21,6 @@ from repro.storage.runs import SortedRun, merge_sorted_runs
 from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
 
 
-@settings(max_examples=100, deadline=None)
 @given(
     ops=st.lists(st.integers(min_value=-20, max_value=20), max_size=50),
     capacity=st.integers(min_value=1, max_value=50),
@@ -41,7 +40,6 @@ def test_memory_pool_usage_always_within_bounds(ops, capacity):
         assert pool.free == pool.capacity - pool.used
 
 
-@settings(max_examples=100, deadline=None)
 @given(
     n=st.integers(min_value=0, max_value=10_000),
     page_size=st.integers(min_value=1, max_value=512),
@@ -53,7 +51,6 @@ def test_pages_needed_is_exact_ceiling(n, page_size):
     assert 0.0 <= page_utilisation(n, page_size) <= 1.0
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     items=st.lists(st.integers(), max_size=200),
     page_size=st.integers(min_value=1, max_value=17),
@@ -64,7 +61,6 @@ def test_split_into_pages_partitions_exactly(items, page_size):
     assert all(1 <= len(p) <= page_size for p in pages)
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     runs_keys=st.lists(
         st.lists(st.integers(min_value=0, max_value=100), max_size=30),
@@ -91,7 +87,6 @@ def test_merge_iterator_yields_sorted_union(runs_keys):
     assert sorted(keys_out) == sorted(k for keys in runs_keys for k in keys)
 
 
-@settings(max_examples=100, deadline=None)
 @given(
     layout=st.lists(
         st.tuples(
@@ -117,7 +112,6 @@ def test_adaptive_policy_always_returns_a_nonempty_victim(layout, a, b):
     assert table.pair_total(victim) > 0
 
 
-@settings(max_examples=100, deadline=None)
 @given(
     layout=st.lists(
         st.tuples(
@@ -142,7 +136,6 @@ def test_smallest_and_largest_are_extremes(layout):
     assert table.pair_total(large) == max(nonempty_totals)
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     deltas=st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), max_size=30)
 )
@@ -155,7 +148,6 @@ def test_clock_is_monotone_under_any_advance_sequence(deltas):
         last = clock.now
 
 
-@settings(max_examples=60, deadline=None)
 @given(
     sizes=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20),
     page_size=st.integers(min_value=1, max_value=64),

@@ -19,7 +19,7 @@ result-event sequence.  This suite pins that equivalence three ways:
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bench.figures import BLOCKING_T, _bursty
@@ -139,7 +139,6 @@ _ARRIVALS = {
 }
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     n=st.integers(min_value=20, max_value=120),
     key_range=st.integers(min_value=4, max_value=200),

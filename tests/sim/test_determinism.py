@@ -130,6 +130,47 @@ def scenario_fig14() -> dict[str, Triple]:
     }
 
 
+def scenario_delivery() -> dict[str, Triple]:
+    """Both kernel delivery paths, pinned explicitly.
+
+    Batched and per-event dispatch promise identical observable
+    numbers; pinning each path separately makes a divergence point at
+    the guilty path instead of failing an equivalence test far away.
+    """
+    memory = SCALE.spec.memory_capacity()
+    return {
+        "hmj-batched": _run(_hmj(memory), _fast(), _fast(), batch_delivery=True),
+        "hmj-per-event": _run(_hmj(memory), _fast(), _fast(), batch_delivery=False),
+        "xjoin-per-event": _run(
+            XJoin(memory_capacity=memory), _fast(), _fast(), batch_delivery=False
+        ),
+    }
+
+
+def scenario_broker() -> dict[str, Triple]:
+    """A mid-run broker memory schedule (shrink, then restore).
+
+    The grant transitions land inside the arrival window, so the pins
+    cover the resize path: flush-on-shrink plus the re-grown phase.
+    """
+    from repro.sim.broker import ResourceBroker
+
+    memory = SCALE.spec.memory_capacity()
+    low = max(4, memory // 4)
+
+    def schedule() -> ResourceBroker:
+        # Arrivals at SCALE's fast rate span [0, 0.08]s, so the shrink
+        # and the restore both land while tuples are still streaming.
+        return ResourceBroker([(0.025, low), (0.06, memory)])
+
+    return {
+        "hmj-resize": _run(_hmj(memory), _fast(), _fast(), broker=schedule()),
+        "xjoin-resize": _run(
+            XJoin(memory_capacity=memory), _fast(), _fast(), broker=schedule()
+        ),
+    }
+
+
 SCENARIOS = {
     "fig09": scenario_fig09,
     "fig10": scenario_fig10,
@@ -137,6 +178,8 @@ SCENARIOS = {
     "fig12": scenario_fig12,
     "fig13": scenario_fig13,
     "fig14": scenario_fig14,
+    "delivery": scenario_delivery,
+    "broker": scenario_broker,
 }
 
 #: (count, final clock, io_count) per run, captured from the seed's
@@ -165,6 +208,18 @@ EXPECTED: dict[str, dict[str, Triple]] = {
         "hmj": (189, 9.779311450641007, 612),
         "xjoin": (189, 13.70114254054461, 1216),
         "pmj": (189, 8.952620131648274, 202),
+    },
+    # Captured at the kernel unification (both paths must stay equal
+    # to fig11's pins above — that equality is the point).
+    "delivery": {
+        "hmj-batched": (189, 3.994769170021071, 398),
+        "hmj-per-event": (189, 3.994769170021071, 398),
+        "xjoin-per-event": (189, 8.3631269999999, 835),
+    },
+    # Captured with the shrink/restore schedule in scenario_broker.
+    "broker": {
+        "hmj-resize": (189, 7.814577624860037, 780),
+        "xjoin-resize": (189, 11.26291199999959, 1125),
     },
 }
 

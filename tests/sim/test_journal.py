@@ -97,6 +97,82 @@ def test_xjoin_journal_records_stage2_passes():
         assert journal.of_kind("stage2-pass")
 
 
+def _timeline(journal):
+    return [(e.time, e.actor, e.kind, e.detail) for e in journal.entries]
+
+
+def test_checked_journaled_run_replays_identically():
+    """A journaled+checked run replays to the same triple and timeline.
+
+    The journal and the invariant checkers are both pure observers:
+    re-running the identical workload — through the batch path or the
+    streaming iterator — must reproduce the (count, clock, io) triple
+    and the structural-event timeline byte for byte.
+    """
+    from repro.sim.engine import stream_join
+    from repro.testing import InvariantChecks
+
+    def execute(streaming):
+        rel_a, rel_b = make_relation_pair(SPEC)
+        src_a = NetworkSource(rel_a, ConstantRate(400.0), seed=1)
+        src_b = NetworkSource(rel_b, ConstantRate(400.0), seed=2)
+        operator = HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16))
+        checks = InvariantChecks(mode="collect")
+        if streaming:
+            stream = stream_join(
+                src_a, src_b, operator,
+                blocking_threshold=0.05, journal=True, checks=checks,
+            )
+            for _ in stream:
+                pass
+            assert checks.ok, checks.report()
+            return stream.recorder.triple(), _timeline(stream.journal)
+        result = run_join(
+            src_a, src_b, operator,
+            blocking_threshold=0.05, journal=True, checks=checks,
+        )
+        assert checks.ok, checks.report()
+        return result.recorder.triple(), _timeline(result.journal)
+
+    first_triple, first_timeline = execute(streaming=False)
+    for streaming in (False, True):
+        triple, timeline = execute(streaming)
+        assert triple == first_triple
+        assert timeline == first_timeline
+
+
+def test_result_stream_taps_without_result_history():
+    """The streaming iterator yields through a recorder tap.
+
+    With ``keep_results=False`` the recorder retains nothing, so every
+    yielded pair proves the tap path works; the stream's context
+    properties (journal, recorder, clock) stay readable afterwards.
+    """
+    from repro.sim.engine import stream_join
+
+    rel_a, rel_b = make_relation_pair(SPEC)
+    src_a = NetworkSource(rel_a, ConstantRate(400.0), seed=1)
+    src_b = NetworkSource(rel_b, ConstantRate(400.0), seed=2)
+    stream = stream_join(
+        src_a, src_b,
+        HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16)),
+        blocking_threshold=0.05, journal=True, keep_results=False,
+    )
+    yielded = list(stream)
+    assert yielded
+    assert len(yielded) == stream.recorder.count
+    assert stream.recorder.results == []  # nothing retained
+    # Tap events arrive in production order with consecutive ordinals.
+    ks = [event.k for _, event in yielded]
+    assert ks == list(range(1, len(yielded) + 1))
+    times = [event.time for _, event in yielded]
+    assert times == sorted(times)
+    assert stream.journal is not None and len(stream.journal) > 0
+    assert stream.clock.now == pytest.approx(times[-1], abs=1e-9) or (
+        stream.clock.now >= times[-1]
+    )
+
+
 def test_journal_render_is_readable():
     result = run_with_journal(
         HashMergeJoin(HMJConfig(memory_capacity=80, n_buckets=16)), bursty=True

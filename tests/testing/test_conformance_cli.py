@@ -1,0 +1,114 @@
+"""The conformance matrix runner and its CLI entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.scale import BenchScale
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.testing import conformance
+from repro.testing.conformance import (
+    OPERATORS,
+    build_report,
+    main,
+    run_matrix,
+    workload_cases,
+)
+
+
+def test_workload_cases_cover_all_six_figures():
+    cases = workload_cases(BenchScale(n_per_source=100, seed=7))
+    assert sorted(cases) == [f"fig{n:02d}" for n in range(9, 15)]
+    assert "stop_after" in cases["fig13"]
+    assert "blocking_threshold" in cases["fig14"]
+
+
+def test_run_matrix_quick_subset_is_clean():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=True, operators=["hmj", "shj"], workloads=["fig11"]
+    )
+    # 2 operators x 1 workload x 2 delivery paths, no resize cells.
+    assert len(outcomes) == 4
+    assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+    assert all(not o.resize for o in outcomes)
+    deliveries = {(o.operator, o.delivery) for o in outcomes}
+    assert ("hmj", "batched") in deliveries
+    assert ("hmj", "per-event") in deliveries
+
+
+def test_run_matrix_full_mode_adds_resize_cells():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(scale, quick=False, operators=["hmj"], workloads=["fig11"])
+    assert len(outcomes) == 4  # {plain, resize} x {batched, per-event}
+    assert sum(o.resize for o in outcomes) == 2
+    assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+
+
+def test_run_matrix_rejects_unknown_names():
+    scale = BenchScale(n_per_source=100, seed=7)
+    with pytest.raises(ValueError, match="unknown operator"):
+        run_matrix(scale, operators=["nope"])
+    with pytest.raises(ValueError, match="unknown workload"):
+        run_matrix(scale, workloads=["fig99"])
+
+
+def test_build_report_schema():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=True, operators=["shj"], workloads=["fig11"]
+    )
+    report = build_report(scale, True, outcomes)
+    assert report["schema"] == 1
+    assert report["mode"] == "quick"
+    assert report["cells_total"] == len(outcomes)
+    assert report["cells_failed"] == 0
+    assert report["violations_total"] == 0
+    assert {c["workload"] for c in report["cells"]} == {"fig11"}
+
+
+def test_main_writes_report_and_exits_zero(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100",
+        "--operators", "shj", "--workloads", "fig11",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["cells_failed"] == 0
+    out = capsys.readouterr().out
+    assert "fig11" in out
+    assert "0 failed" in out
+
+
+class _DuplicatingSHJ(SymmetricHashJoin):
+    def on_tuple(self, t):
+        self.charge_tuple()
+        matches, candidates = self.table.probe(t)
+        self.charge_probe(candidates)
+        for match in matches:
+            self.emit(t, match, self.PHASE)
+            self.emit(t, match, self.PHASE)
+        self.table.insert(t)
+
+
+def test_main_exits_nonzero_on_violation(tmp_path, capsys, monkeypatch):
+    monkeypatch.setitem(
+        OPERATORS, "shj", lambda memory, scale: _DuplicatingSHJ()
+    )
+    assert isinstance(conformance.OPERATORS["shj"](None, None), _DuplicatingSHJ)
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100",
+        "--operators", "shj", "--workloads", "fig11",
+        "--report", str(report_path),
+    ])
+    assert code == 1
+    report = json.loads(report_path.read_text())
+    assert report["cells_failed"] == report["cells_total"] == 2
+    assert report["violations_total"] > 0
+    assert any("duplicate" in v for c in report["cells"] for v in c["violations"])
+    assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""The differential-oracle helpers promoted out of conftest.
+
+These used to live in ``tests/conftest.py``; they now ship in
+:mod:`repro.testing.oracle` so the conformance CLI and benchmarks share
+them.  The conftest re-export keeps old import sites working.
+"""
+
+from __future__ import annotations
+
+from repro.joins.blocking import hash_join
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, result_multiset
+from repro.testing.oracle import (
+    assert_matches_oracle,
+    compare_with_oracle,
+    drive,
+    interleave,
+    oracle_multiset,
+)
+
+
+def _relations():
+    rel_a = Relation.from_keys([1, 2, 2, 3, 5, 7], source=SOURCE_A)
+    rel_b = Relation.from_keys([2, 3, 3, 5, 9], source=SOURCE_B)
+    return rel_a, rel_b
+
+
+def test_conftest_reexports_match_library():
+    import conftest
+
+    from repro.testing import oracle
+
+    for name in ("assert_matches_oracle", "compare_with_oracle", "drive",
+                 "interleave", "make_runtime", "oracle_multiset"):
+        assert getattr(conftest, name) is getattr(oracle, name)
+
+
+def test_interleave_preserves_every_tuple():
+    rel_a, rel_b = _relations()
+    mixed = interleave(rel_a, rel_b)
+    assert len(mixed) == len(rel_a) + len(rel_b)
+    assert {t.identity() for t in mixed} == {
+        t.identity() for t in list(rel_a) + list(rel_b)
+    }
+
+
+def test_oracle_multiset_is_blocking_hash_join():
+    rel_a, rel_b = _relations()
+    assert oracle_multiset(rel_a, rel_b) == result_multiset(
+        hash_join(rel_a, rel_b)
+    )
+
+
+def test_compare_with_oracle_clean_run():
+    rel_a, rel_b = _relations()
+    results = hash_join(rel_a, rel_b)
+    assert compare_with_oracle(results, rel_a, rel_b) == []
+
+
+def test_compare_with_oracle_flags_duplicates_and_missing():
+    rel_a, rel_b = _relations()
+    results = hash_join(rel_a, rel_b)
+    doubled = results + results[:1]
+    violations = compare_with_oracle(doubled, rel_a, rel_b, operator_name="dup")
+    assert len(violations) == 1
+    assert "produced more than once" in violations[0]
+
+    truncated = results[:-2]
+    violations = compare_with_oracle(truncated, rel_a, rel_b)
+    assert len(violations) == 1
+    assert "missing" in violations[0]
+
+
+def test_compare_with_oracle_partial_waives_completeness():
+    rel_a, rel_b = _relations()
+    prefix = hash_join(rel_a, rel_b)[:3]
+    assert compare_with_oracle(prefix, rel_a, rel_b, partial=True) == []
+    # Soundness still enforced: a pair outside the oracle fails.
+    spurious = hash_join(rel_a, Relation.from_keys([1], source=SOURCE_B))
+    violations = compare_with_oracle(
+        prefix + spurious, rel_a, rel_b, partial=True
+    )
+    assert len(violations) == 1
+    assert "not in the oracle" in violations[0]
+
+
+def test_assert_matches_oracle_on_real_operator():
+    rel_a, rel_b = _relations()
+    runtime = assert_matches_oracle(SymmetricHashJoin(), rel_a, rel_b)
+    assert runtime.recorder.count == sum(oracle_multiset(rel_a, rel_b).values())
+
+
+def test_drive_runs_operator_to_completion():
+    rel_a, rel_b = _relations()
+    operator = SymmetricHashJoin()
+    runtime = drive(operator, interleave(rel_a, rel_b))
+    assert operator.finished
+    assert result_multiset(runtime.recorder.results) == oracle_multiset(
+        rel_a, rel_b
+    )
