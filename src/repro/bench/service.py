@@ -1,0 +1,222 @@
+"""Multi-tenant service benchmark (``BENCH_service.json``).
+
+Sweeps tenant count over {1, 4, 16, 64} concurrent HMJ queries on one
+:class:`~repro.service.session.QuerySession` with a *fixed* aggregate
+memory budget, and records how early results degrade as the machine
+fills up:
+
+* **aggregate time-to-first-k** — the session (wall-of-the-machine)
+  virtual time at which each tenant saw its k-th result, reported as
+  mean/max over tenants.  With few tenants everyone holds their full
+  request; as the count grows the fair-share split shrinks per-tenant
+  memory, flushes start earlier, and first-k latency rises — the
+  multi-tenant generalisation of the paper's Figure 13 memory sweep;
+* **graceful degradation under revocation** — the 16-tenant point is
+  re-run with a mid-run aggregate revocation to 10% and a later
+  restore (fig. 13(d) generalised from one operator to the whole
+  machine), reporting the first-k inflation it causes;
+* **isolation check** — the sufficient-memory tenant counts must
+  reproduce each tenant's solo triple exactly; the invariant is part
+  of the payload so any divergence shows up in the tracked artifact.
+
+Usage::
+
+    python -m repro.bench.service                    # defaults
+    python -m repro.bench.service --tenants 1,4,16 --n 300 --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from typing import Sequence
+
+from repro.bench.cache import source_digest
+from repro.bench.grid import write_bench_manifest
+from repro.service.session import QuerySession
+from repro.service.spec import QuerySpec
+
+#: Default tenant-count sweep (the ISSUE's axis).
+TENANT_COUNTS = (1, 4, 16, 64)
+
+#: The "first k results" each tenant is measured to.
+FIRST_K = 10
+
+
+def tenant_specs(tenants: int, n: int) -> list[QuerySpec]:
+    """One HMJ spec per tenant, independent workload seeds."""
+    return [
+        QuerySpec(
+            query_id=f"tenant-{i}",
+            algorithm="hmj",
+            n=n,
+            seed=7 + 101 * i,
+        )
+        for i in range(tenants)
+    ]
+
+
+def run_cohort(
+    tenants: int,
+    n: int,
+    aggregate: int,
+    first_k: int = FIRST_K,
+    memory_schedule: Sequence[tuple[float, int]] = (),
+) -> tuple[dict, list]:
+    """Run one tenant-count point; returns (manifest cell, queries)."""
+    specs = tenant_specs(tenants, n)
+    session = QuerySession(memory=aggregate)
+    if memory_schedule:
+        session.schedule_memory(memory_schedule)
+    started = time.perf_counter()
+    queries = [
+        session.submit(spec.build(), track_first_k=first_k) for spec in specs
+    ]
+    session.run()
+    wall = time.perf_counter() - started
+    first_k_times = []
+    incomplete = 0
+    for query in queries:
+        stats = session.stats(query.query_id)
+        if query.state.value != "done" or not query.completed:
+            incomplete += 1
+        if stats.first_k_at is not None:
+            first_k_times.append(stats.first_k_at)
+    span = max(
+        (s.concluded_at for s in session.all_stats if s.concluded_at is not None),
+        default=0.0,
+    )
+    cell = {
+        "tenants": tenants,
+        "aggregate_memory": aggregate,
+        "completed": tenants - incomplete,
+        "first_k": first_k,
+        "first_k_reached": len(first_k_times),
+        "time_to_first_k": {
+            "mean": round(statistics.fmean(first_k_times), 6)
+            if first_k_times
+            else None,
+            "max": round(max(first_k_times), 6) if first_k_times else None,
+        },
+        "session_span": round(span, 6),
+        "total_results": sum(q.triple()[0] for q in queries),
+        "total_io": sum(q.triple()[2] for q in queries),
+        "wall_seconds": round(wall, 4),
+    }
+    if memory_schedule:
+        cell["memory_schedule"] = [
+            [at, total] for at, total in memory_schedule
+        ]
+    return cell, queries
+
+
+def solo_triples(specs: Sequence[QuerySpec]) -> list[tuple[int, float, int]]:
+    """Each tenant's solo-run triple (the isolation reference)."""
+    out = []
+    for spec in specs:
+        query = spec.build()
+        query.run()
+        out.append(query.triple())
+    return out
+
+
+def service_manifest(
+    tenant_counts: Sequence[int], n: int, first_k: int
+) -> dict:
+    """The full sweep; the ``BENCH_service.json`` payload (schema v1)."""
+    # One tenant's request (10% of its input); the aggregate budget
+    # holds four full requests, so the 16- and 64-tenant points run
+    # under genuine memory pressure while 1 and 4 stay sufficient.
+    request = QuerySpec(n=n).memory_budget()
+    aggregate = 4 * request
+    cells = []
+    isolation_ok = True
+    for tenants in tenant_counts:
+        cell, queries = run_cohort(tenants, n, aggregate, first_k)
+        sufficient = tenants * request <= aggregate
+        cell["memory_sufficient"] = sufficient
+        if sufficient:
+            solos = solo_triples(tenant_specs(tenants, n))
+            match = [q.triple() for q in queries] == solos
+            cell["triples_match_solo"] = match
+            isolation_ok = isolation_ok and match
+        cells.append(cell)
+
+    # Revocation point: 16 tenants, aggregate cut to 10% mid-run and
+    # restored later (fig. 13(d) for the whole machine).
+    revoke_at = 1.0
+    restore_at = 2.5
+    revocation_cell, _ = run_cohort(
+        16,
+        n,
+        aggregate,
+        first_k,
+        memory_schedule=[
+            (revoke_at, max(1, aggregate // 10)),
+            (restore_at, aggregate),
+        ],
+    )
+    baseline_16 = next((c for c in cells if c["tenants"] == 16), None)
+
+    return {
+        "schema": 1,
+        "benchmark": "service-tenant-sweep",
+        "source_digest": source_digest(),
+        "workload": {
+            "algorithm": "hmj",
+            "n_per_source": n,
+            "arrival": "constant",
+            "per_tenant_request": request,
+            "aggregate_memory": aggregate,
+            "first_k": first_k,
+        },
+        "tenant_counts": list(tenant_counts),
+        "cells": cells,
+        "revocation": {
+            "tenants": 16,
+            "revoke_at": revoke_at,
+            "restore_at": restore_at,
+            "cell": revocation_cell,
+            "baseline_time_to_first_k": (
+                baseline_16["time_to_first_k"] if baseline_16 else None
+            ),
+        },
+        "isolation_triples_match": isolation_ok,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the multi-tenant query session."
+    )
+    parser.add_argument(
+        "--tenants",
+        default=",".join(str(t) for t in TENANT_COUNTS),
+        help="comma-separated tenant counts to sweep",
+    )
+    parser.add_argument("--n", type=int, default=400, help="tuples per source")
+    parser.add_argument("--first-k", type=int, default=FIRST_K)
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    counts = [int(part) for part in args.tenants.split(",") if part.strip()]
+    manifest = service_manifest(counts, args.n, args.first_k)
+    path = write_bench_manifest(args.out, manifest)
+    for cell in manifest["cells"]:
+        ttfk = cell["time_to_first_k"]["mean"]
+        print(
+            f"tenants={cell['tenants']:>3}  "
+            f"mean time-to-first-{cell['first_k']}={ttfk}  "
+            f"span={cell['session_span']}  "
+            f"sufficient={cell['memory_sufficient']}"
+        )
+    revoked = manifest["revocation"]["cell"]["time_to_first_k"]["mean"]
+    print(f"16-tenant revocation: mean time-to-first-k={revoked}")
+    print(f"isolation triples match: {manifest['isolation_triples_match']}")
+    print(f"wrote {path}")
+    return 0 if manifest["isolation_triples_match"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,44 +22,24 @@ from typing import Sequence
 from repro.bench import ablations as _ablations
 from repro.bench import figures as _figures
 from repro.bench.scale import BenchScale
-from repro.core.config import HMJConfig
-from repro.core.flushing import (
-    AdaptiveFlushingPolicy,
-    FlushAllPolicy,
-    FlushLargestPolicy,
-    FlushSmallestPolicy,
-)
-from repro.core.hmj import HashMergeJoin
 from repro.joins.base import StreamingJoinOperator
-from repro.joins.dphj import DoublePipelinedHashJoin
-from repro.joins.pmj import ProgressiveMergeJoin
-from repro.joins.symmetric_hash import SymmetricHashJoin
-from repro.joins.xjoin import XJoin
 from repro.metrics.export import recorder_to_csv, series_to_csv
 from repro.metrics.recorder import MetricsRecorder
 from repro.metrics.report import format_comparison, format_table
 from repro.metrics.series import sample_ks, series_from_recorder
-from repro.net.arrival import (
-    ArrivalProcess,
-    BurstyArrival,
-    ConstantRate,
-    ParetoArrival,
-    PoissonArrival,
-)
+from repro.net.arrival import ArrivalProcess
 from repro.errors import ConfigurationError
 from repro.net.source import NetworkSource
+from repro.service.spec import (
+    ALGORITHMS,
+    ARRIVALS,
+    POLICIES,
+    make_arrival,
+    make_operator,
+)
 from repro.sim.broker import ResourceBroker
 from repro.sim.engine import run_join
 from repro.workloads.generator import WorkloadSpec, make_relation_pair
-
-ALGORITHMS = ("hmj", "xjoin", "pmj", "dphj", "shj")
-ARRIVALS = ("constant", "poisson", "pareto", "bursty")
-POLICIES = {
-    "adaptive": AdaptiveFlushingPolicy,
-    "all": FlushAllPolicy,
-    "smallest": FlushSmallestPolicy,
-    "largest": FlushLargestPolicy,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--n", type=int, default=10_000, help="tuples per source")
     rep_p.add_argument("--seed", type=int, default=7)
 
+    srv_p = sub.add_parser(
+        "serve",
+        help="serve concurrent streaming-join queries over a socket",
+    )
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument(
+        "--port", type=int, default=7654, help="0 picks a free port"
+    )
+    srv_p.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="aggregate memory budget in tuples shared by all tenants",
+    )
+    srv_p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission cap on simultaneously running queries",
+    )
+
     return parser
 
 
@@ -211,37 +212,18 @@ def _add_operator_args(p: argparse.ArgumentParser) -> None:
 
 
 def _make_arrival(args: argparse.Namespace, rate: float) -> ArrivalProcess:
-    if args.arrival == "constant":
-        return ConstantRate(rate)
-    if args.arrival == "poisson":
-        return PoissonArrival(rate)
-    if args.arrival == "pareto":
-        return ParetoArrival(rate, shape=1.3)
-    return BurstyArrival(
-        burst_size=max(1, args.n // 20),
-        intra_gap=1.0 / rate,
-        mean_silence=0.5,
-    )
+    return make_arrival(args.arrival, rate, args.n)
 
 
 def _make_operator(name: str, memory: int, args: argparse.Namespace) -> StreamingJoinOperator:
-    if name == "hmj":
-        return HashMergeJoin(
-            HMJConfig(
-                memory_capacity=memory,
-                n_buckets=args.n_buckets,
-                flush_fraction=args.flush_fraction,
-                fan_in=args.fan_in,
-                policy=POLICIES[args.policy](),
-            )
-        )
-    if name == "xjoin":
-        return XJoin(memory_capacity=memory)
-    if name == "pmj":
-        return ProgressiveMergeJoin(memory_capacity=memory, fan_in=args.fan_in)
-    if name == "dphj":
-        return DoublePipelinedHashJoin(memory_capacity=memory)
-    return SymmetricHashJoin()
+    return make_operator(
+        name,
+        memory,
+        n_buckets=args.n_buckets,
+        flush_fraction=args.flush_fraction,
+        fan_in=args.fan_in,
+        policy=args.policy,
+    )
 
 
 def _spec_from(args: argparse.Namespace) -> WorkloadSpec:
@@ -443,6 +425,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        # Imported lazily: the CLI's batch subcommands never need asyncio.
+        from repro.service.server import main as serve_main
+
+        serve_argv = [
+            "--host", args.host, "--port", str(args.port)
+        ]
+        if args.memory is not None:
+            serve_argv += ["--memory", str(args.memory)]
+        if args.max_concurrent is not None:
+            serve_argv += ["--max-concurrent", str(args.max_concurrent)]
+        return serve_main(serve_argv)
     return _cmd_harness(args, _ablations.ALL_ABLATIONS, "ablations")
 
 

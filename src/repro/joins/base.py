@@ -182,6 +182,16 @@ class StreamingJoinOperator(abc.ABC):
         """
         return None
 
+    def memory_capacity(self) -> int | None:
+        """The operator's current memory grant (capacity) in tuples.
+
+        The capacity half of :meth:`memory_usage` — what the memory
+        broker reads to learn a query's configured request and to skip
+        no-op resizes.  ``None`` for budget-less operators.
+        """
+        usage = self.memory_usage()
+        return None if usage is None else usage[1]
+
     def spilled_unmerged(self) -> bool:
         """Whether flushed (spilled) state still awaits disk-side work.
 

@@ -158,6 +158,18 @@ class MetricsRecorder:
         """
         self._taps.append(tap)
 
+    def remove_tap(self, tap: Callable[[JoinResult, ResultEvent], None]) -> None:
+        """Detach a previously added tap (no-op if already removed).
+
+        Short-lived observers — e.g. a session watching for a tenant's
+        k-th result — detach themselves so long runs do not keep paying
+        per-result callback overhead for a condition that already fired.
+        """
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
     def record(self, result: JoinResult, phase: str) -> ResultEvent:
         """Record one emitted result under the producing ``phase``."""
         now = self._clock.now

@@ -233,14 +233,35 @@ class PlanExecutor:
                 completed,
             )
 
+    # -- the uniform query-driver surface (see repro.sim.query) -------------
+
+    def operators(self) -> list[tuple[str, StreamingJoinOperator]]:
+        """``(label, operator)`` pairs for every join node, bottom-up."""
+        return [
+            (node.label, self._states[id(node)].operator)
+            for node in self._joins
+        ]
+
+    def stop_reached(self) -> bool:
+        """Whether the ``stop_after`` early-stop condition holds."""
+        return self._stop_reached()
+
+    def finish_run(self) -> bool:
+        """Run the bottom-up cleanup and finalise checks; True if completed."""
+        self._finish_all()
+        completed = not self._stop_reached()
+        self._finalize_checks(completed)
+        return completed
+
+    def build_result(self, completed: bool) -> PipelineResult:
+        """Snapshot the run's outcome object."""
+        return self._result(completed)
+
     def run(self) -> PipelineResult:
         """Execute the plan."""
         if not self.scheduler.run():
             return self._result(completed=False)
-        self._finish_all()
-        completed = not self._stop_reached()
-        self._finalize_checks(completed)
-        return self._result(completed=completed)
+        return self._result(completed=self.finish_run())
 
     def stream(self):
         """Execute the plan, yielding root results as they surface.
@@ -448,7 +469,11 @@ def run_plan(
         batch_delivery=batch_delivery,
         checks=checks,
     )
-    return executor.run()
+    # One-query session: the Query lifecycle replays exactly the step
+    # sequence ``executor.run()`` always did (see repro.sim.query).
+    from repro.sim.query import Query
+
+    return Query(executor).run()
 
 
 def stream_plan(

@@ -1,0 +1,44 @@
+"""Multi-tenant query service: many concurrent joins, one broker.
+
+The layers, bottom-up:
+
+* :mod:`repro.sim.query` — a :class:`~repro.sim.query.Query` wraps one
+  engine driver with an explicit lifecycle (pending/queued/running/
+  done/cancelled) and the memory-grant surface;
+* :mod:`repro.service.broker` — arbitration policies (fair-share,
+  weighted priority, deadline-aware) splitting one aggregate memory
+  budget across the running tenants;
+* :mod:`repro.service.session` — the :class:`QuerySession` admitting
+  hundreds of queries, interleaving their private kernels in global
+  virtual-time order, with admission control and cancellation;
+* :mod:`repro.service.server` — ``python -m repro serve``, an asyncio
+  socket server accepting JSON query specs and streaming early results;
+* :mod:`repro.service.spec` — the JSON-facing query-spec vocabulary
+  (shared with the CLI's ``run``/``compare``).
+"""
+
+from repro.service.broker import (
+    ArbitrationPolicy,
+    DeadlineAware,
+    FairShare,
+    SharedBroker,
+    WeightedShare,
+)
+from repro.service.session import QuerySession, QueryStats
+from repro.service.spec import QuerySpec, make_arrival, make_operator
+from repro.sim.query import Query, QueryState
+
+__all__ = [
+    "ArbitrationPolicy",
+    "DeadlineAware",
+    "FairShare",
+    "Query",
+    "QuerySession",
+    "QuerySpec",
+    "QueryState",
+    "QueryStats",
+    "SharedBroker",
+    "WeightedShare",
+    "make_arrival",
+    "make_operator",
+]

@@ -1,0 +1,174 @@
+"""End-to-end smoke of ``repro serve``: N concurrent clients, one server.
+
+Starts a :class:`~repro.service.server.QueryServer` in-process on a
+free port, drives ``--clients`` concurrent socket clients each
+submitting one query, waits for every tenant to finish, then requests
+shutdown and verifies:
+
+* every query reports ``done`` with ``completed=true``;
+* every tenant's ``(count, clock, io)`` triple is byte-identical to
+  its solo ``run_join`` (fair-share, sufficient memory — the session's
+  headline isolation invariant);
+* every tenant's output passes the in-engine conformance checkers and
+  matches its blocking-join oracle count;
+* the server shuts down cleanly.
+
+Exit status 0 on success; any violation prints and exits 1.  CI runs
+this as the ``service-smoke`` job::
+
+    PYTHONPATH=src python -m repro.service.smoke --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Sequence
+
+from repro.service.server import QueryServer
+from repro.service.spec import QuerySpec
+from repro.testing.oracle import oracle_multiset
+from repro.workloads.generator import make_relation_pair
+
+
+def oracle_count(spec: QuerySpec) -> int:
+    """Result cardinality of the blocking-join oracle for this spec."""
+    rel_a, rel_b = make_relation_pair(spec.workload())
+    return sum(oracle_multiset(rel_a, rel_b).values())
+
+
+def tenant_specs(clients: int, n: int) -> list[QuerySpec]:
+    """One spec per client: mixed algorithms, per-tenant seeds."""
+    algorithms = ("hmj", "xjoin", "pmj")
+    return [
+        QuerySpec(
+            query_id=f"tenant-{i}",
+            algorithm=algorithms[i % len(algorithms)],
+            n=n,
+            seed=7 + 101 * i,
+            arrival="poisson" if i % 2 else "constant",
+        )
+        for i in range(clients)
+    ]
+
+
+def solo_triple(spec: QuerySpec) -> tuple[int, float, int]:
+    """The tenant's solo-run triple (the isolation reference)."""
+    query = spec.build()
+    query.run()
+    return query.triple()
+
+
+async def _drive_client(
+    host: str, port: int, spec: QuerySpec
+) -> dict:
+    """Submit one query and collect its lifecycle to completion."""
+    reader, writer = await asyncio.open_connection(host, port)
+    outcome: dict = {"id": spec.query_id, "results": 0}
+    try:
+        writer.write(
+            json.dumps({"op": "query", "spec": spec.to_dict()}).encode() + b"\n"
+        )
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                outcome["error"] = "connection closed before completion"
+                return outcome
+            event = json.loads(line)
+            kind = event.get("event")
+            if kind == "result":
+                outcome["results"] += 1
+            elif kind in ("done", "cancelled", "failed"):
+                outcome.update(event)
+                return outcome
+            elif kind == "error":
+                outcome["error"] = event.get("error")
+                return outcome
+    finally:
+        writer.close()
+
+
+async def _shutdown(host: str, port: int) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+    await writer.drain()
+    await reader.readline()  # ready
+    writer.close()
+
+
+async def run_smoke(clients: int, n: int, memory: int | None) -> list[str]:
+    """Run the whole smoke scenario; returns failure descriptions."""
+    server = QueryServer(host="127.0.0.1", port=0, memory=memory)
+    await server.start()
+    host, port = server.address
+    serve_task = asyncio.create_task(server.serve())
+
+    specs = tenant_specs(clients, n)
+    failures: list[str] = []
+    try:
+        outcomes = await asyncio.gather(
+            *(_drive_client(host, port, spec) for spec in specs)
+        )
+    finally:
+        await _shutdown(host, port)
+        await serve_task  # clean shutdown or propagate the server error
+
+    for spec, outcome in zip(specs, outcomes):
+        tag = spec.query_id
+        if outcome.get("error"):
+            failures.append(f"{tag}: {outcome['error']}")
+            continue
+        if outcome.get("event") != "done" or not outcome.get("completed"):
+            failures.append(f"{tag}: did not complete ({outcome.get('event')})")
+            continue
+        served = (outcome["count"], outcome["clock"], outcome["io"])
+        solo = solo_triple(spec)
+        if served != solo:
+            failures.append(
+                f"{tag}: served triple {served} != solo triple {solo}"
+            )
+        if outcome["results"] != outcome["count"]:
+            failures.append(
+                f"{tag}: streamed {outcome['results']} results "
+                f"but recorded {outcome['count']}"
+            )
+        expected = oracle_count(spec)
+        if outcome["count"] != expected:
+            failures.append(
+                f"{tag}: produced {outcome['count']} results, "
+                f"oracle says {expected}"
+            )
+    return failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.smoke",
+        description="drive N concurrent clients through repro serve",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--n", type=int, default=300, help="tuples per source")
+    parser.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="aggregate budget (default: none — sufficient by construction)",
+    )
+    args = parser.parse_args(argv)
+    failures = asyncio.run(run_smoke(args.clients, args.n, args.memory))
+    if failures:
+        print(f"service smoke FAILED ({len(failures)} violations):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"service smoke passed: {args.clients} concurrent queries, "
+        "all triples solo-identical, clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ blocking oracle under adversarial schedules.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -57,6 +58,102 @@ class MemoryGrant:
 
 #: Smallest budget any operator accepts (``resize_memory`` floors).
 MIN_OPERATOR_SHARE = 2
+
+
+def largest_remainder_split(spare: int, weights: Sequence[float]) -> list[int]:
+    """Split ``spare`` integer units proportionally to ``weights``.
+
+    The remainder-distribution rule, exactly:
+
+    1. each participant's exact share is ``spare * w_i / sum(w)``;
+    2. every participant first receives the *truncation* of its exact
+       share (``int()``, i.e. rounding toward zero — shares are
+       non-negative, so this is the floor);
+    3. the leftover units (``spare`` minus the truncated total, always
+       ``0 <= leftover < len(weights)``) go one each to the
+       participants with the **largest fractional parts**, breaking
+       fractional-part ties in favour of the **earliest-bound**
+       participant.
+
+    The result therefore always sums to exactly ``spare``, every share
+    is within one unit of its exact proportional value, and the split
+    is deterministic in binding order.  Weights must be finite and
+    strictly positive.
+    """
+    if spare < 0:
+        raise ConfigurationError(f"cannot split a negative total {spare!r}")
+    for w in weights:
+        if not math.isfinite(w) or w <= 0:
+            raise ConfigurationError(
+                f"weights must be finite and > 0, got {w!r}"
+            )
+    weight_sum = sum(weights)
+    exact = [spare * w / weight_sum for w in weights]
+    base = [int(x) for x in exact]
+    leftover = spare - sum(base)
+    # Largest fractional part first; ties go to earlier participants.
+    order = sorted(range(len(weights)), key=lambda i: (base[i] - exact[i], i))
+    for i in order[:leftover]:
+        base[i] += 1
+    return base
+
+
+def bounded_shares(
+    total: int,
+    requests: Sequence[int],
+    weights: Sequence[float],
+    floor: int = MIN_OPERATOR_SHARE,
+) -> list[int]:
+    """Split ``total`` by weight, flooring and capping each share.
+
+    The multi-tenant variant of :func:`largest_remainder_split`: every
+    participant receives at least ``floor`` and **never more than its
+    ``request``** (a query granted more memory than it asked for would
+    behave differently from its solo run, breaking per-tenant
+    determinism).  Surplus beyond the sum of requests stays
+    unallocated.  Infeasible totals (``total < floor * n``) raise
+    :class:`~repro.errors.ConfigurationError`.
+
+    Allocation is iterative water-filling: run a weighted
+    largest-remainder split over the still-uncapped participants,
+    cap any share at its request, and redistribute the freed units
+    until no cap is newly hit.  Deterministic in participant order.
+    """
+    n = len(requests)
+    if n != len(weights):
+        raise ConfigurationError(
+            f"{n} requests but {len(weights)} weights"
+        )
+    if n == 0:
+        return []
+    for request in requests:
+        if request < floor:
+            raise ConfigurationError(
+                f"request {request} is below the floor of {floor}"
+            )
+    if total < floor * n:
+        raise ConfigurationError(
+            f"grant total {total} cannot cover {n} participants at the "
+            f"minimum share of {floor}"
+        )
+    shares = [floor] * n
+    spare = min(total, sum(requests)) - floor * n
+    open_idx = [i for i in range(n) if requests[i] > floor]
+    while spare > 0 and open_idx:
+        split = largest_remainder_split(spare, [weights[i] for i in open_idx])
+        spare = 0
+        still_open: list[int] = []
+        for i, extra in zip(open_idx, split):
+            room = requests[i] - shares[i]
+            take = min(extra, room)
+            shares[i] += take
+            spare += extra - take
+            if shares[i] < requests[i]:
+                still_open.append(i)
+        # spare > 0 implies some participant hit its cap, so open_idx
+        # strictly shrinks and the loop terminates.
+        open_idx = still_open
+    return shares
 
 
 @dataclass(slots=True)
@@ -107,8 +204,10 @@ class ResourceBroker:
             raise ConfigurationError(
                 f"{operator.name} does not support runtime memory adaptation"
             )
-        if weight <= 0:
-            raise ConfigurationError(f"weight must be > 0, got {weight!r}")
+        if not math.isfinite(weight) or weight <= 0:
+            raise ConfigurationError(
+                f"binding weight must be finite and > 0, got {weight!r}"
+            )
         self._bindings.append(
             _Binding(operator=operator, weight=weight, label=label or operator.name)
         )
@@ -134,9 +233,14 @@ class ResourceBroker:
         """Split ``total`` across the bound operators.
 
         Every operator gets the floor of :data:`MIN_OPERATOR_SHARE`;
-        the rest is distributed proportionally to the binding weights
-        with largest-remainder rounding, so the shares always sum to
-        exactly ``total``.
+        the remaining ``total - 2 * n`` tuples are distributed
+        proportionally to the binding weights under the documented
+        largest-remainder rule of :func:`largest_remainder_split`
+        (truncate every exact share, then give the leftover units one
+        each to the largest fractional parts, fractional ties broken
+        toward the earlier binding).  The shares always sum to exactly
+        ``total`` when ``total >= 2 * n``; smaller totals raise
+        :class:`~repro.errors.ConfigurationError`.
         """
         n = len(self._bindings)
         if n == 0:
@@ -147,16 +251,10 @@ class ResourceBroker:
                 f"grant total {total} cannot cover {n} operators at the "
                 f"minimum share of {MIN_OPERATOR_SHARE}"
             )
-        spare = total - floor_total
-        weight_sum = sum(b.weight for b in self._bindings)
-        exact = [spare * b.weight / weight_sum for b in self._bindings]
-        base = [int(x) for x in exact]
-        remainder = spare - sum(base)
-        # Largest fractional part first; ties go to earlier bindings.
-        order = sorted(range(n), key=lambda i: (base[i] - exact[i], i))
-        for i in order[:remainder]:
-            base[i] += 1
-        return [MIN_OPERATOR_SHARE + share for share in base]
+        split = largest_remainder_split(
+            total - floor_total, [b.weight for b in self._bindings]
+        )
+        return [MIN_OPERATOR_SHARE + share for share in split]
 
     def apply(self, total: int) -> list[int]:
         """Resize every bound operator to its share of ``total`` now."""

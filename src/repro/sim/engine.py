@@ -222,14 +222,37 @@ class JoinSimulation:
                 [(self._operator.name, self._operator)], self.clock, completed
             )
 
+    # -- the uniform query-driver surface (see repro.sim.query) -------------
+
+    def operators(self) -> list[tuple[str, StreamingJoinOperator]]:
+        """``(label, operator)`` pairs — one join, so one entry."""
+        return [(self._operator.name, self._operator)]
+
+    def stop_reached(self) -> bool:
+        """Whether the ``stop_after`` early-stop condition holds."""
+        return self._stop_reached()
+
+    def finish_run(self) -> bool:
+        """Run the cleanup phase and finalise checks; True if completed.
+
+        Call only after the streaming phase drained without stopping;
+        the cleanup itself may still stop early (``stop_after`` during
+        the final merge), in which case False is returned.
+        """
+        self._finish()
+        completed = not self._stop_reached()
+        self._finalize_checks(completed)
+        return completed
+
+    def build_result(self, completed: bool) -> SimulationResult:
+        """Snapshot the run's outcome object."""
+        return self._result(completed)
+
     def run(self) -> SimulationResult:
         """Drive the simulation to completion (or to the early stop)."""
         if not self.scheduler.run():
             return self._result(completed=False)
-        self._finish()
-        completed = not self._stop_reached()
-        self._finalize_checks(completed)
-        return self._result(completed=completed)
+        return self._result(completed=self.finish_run())
 
     def stream(self):
         """Drive the simulation, yielding results as they are produced.
@@ -375,7 +398,12 @@ def run_join(
         batch_delivery=batch_delivery,
         checks=checks,
     )
-    return sim.run()
+    # A solo run is a one-query session: the Query lifecycle dispatches
+    # exactly the step sequence ``sim.run()`` always did, so every pin
+    # stays byte-identical (see repro.sim.query).
+    from repro.sim.query import Query
+
+    return Query(sim).run()
 
 
 def stream_join(

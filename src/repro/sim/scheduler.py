@@ -261,6 +261,45 @@ class EventScheduler:
         """Timers discarded because every stream had already drained."""
         return self._dropped_timers
 
+    @property
+    def next_event_time(self) -> float | None:
+        """Virtual time of the next dispatchable event, or ``None``.
+
+        ``None`` means the streaming phase is over: no live stream
+        remains (pending timers alone cannot be dispatched — the next
+        :meth:`step` drops them).  The time reported is where the next
+        event *sits on the heap*; the clock may already be beyond it
+        (a processing-bound run), in which case dispatch happens at
+        ``clock.now``.  Multi-query sessions use
+        ``max(clock.now, next_event_time)`` to interleave several
+        schedulers in global virtual-time order.
+        """
+        if self._live_streams == 0 or not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def discard_pending(self) -> int:
+        """Drop every pending timer without dispatching it.
+
+        Called when a run is abandoned mid-stream (a cancelled query):
+        pending broker grants and other timers will never fire, and
+        pretending otherwise would hide the cancellation from replay.
+        The drop is counted in :attr:`dropped_timers` and journaled, so
+        a cancelled tenant's unfired timers stay observable.  Stream
+        arrival entries are discarded silently — the sources themselves
+        still hold the undelivered tuples.
+        """
+        dropped = sum(1 for entry in self._heap if entry[1] == _KIND_TIMER)
+        if dropped:
+            self._dropped_timers += dropped
+            if self.journal is not None:
+                self.journal.record("engine", "dropped-timers", count=dropped)
+        self._heap.clear()
+        self._live_streams = 0
+        for stream in self._streams:
+            stream.live = False
+        return dropped
+
     def unbounded_budget(self) -> WorkBudget:
         """A cleanup-phase budget: no deadline, the loop's stop predicate."""
         return WorkBudget.unbounded(self.clock, stop_when=self.stop_when)
@@ -282,8 +321,15 @@ class EventScheduler:
         if self.stopped:
             return False
         if self._live_streams == 0:
-            self._dropped_timers += len(self._heap)
-            self._heap.clear()
+            # Only timers can remain: exhausted streams are never
+            # re-pushed, so a heap with no live stream holds no arrivals.
+            if self._heap:
+                self._dropped_timers += len(self._heap)
+                if self.journal is not None:
+                    self.journal.record(
+                        "engine", "dropped-timers", count=len(self._heap)
+                    )
+                self._heap.clear()
             return False
         time, kind, index, payload = self._heap[0]
         gap_end = time

@@ -39,7 +39,7 @@ or ``checks=True`` for fail-fast raising mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ConformanceViolationError
 
@@ -243,6 +243,24 @@ class InvariantChecks:
                 )
 
 
+def merged_violations(
+    per_tenant: Sequence[tuple[str, "InvariantChecks"]]
+) -> list[str]:
+    """Flatten many tenants' collected violations into tagged strings.
+
+    Multi-query runs attach one collecting checker per tenant (each
+    watches its own recorder and kernel); this merges them for a
+    single report, prefixing every rendered violation with its tenant
+    tag so same-named operators in different tenants stay
+    distinguishable.
+    """
+    return [
+        f"{tag}: {violation.render()}"
+        for tag, checks in per_tenant
+        for violation in checks.violations
+    ]
+
+
 def coerce_checks(checks) -> "InvariantChecks | None":
     """Normalise the engines' ``checks=`` argument.
 
@@ -260,4 +278,10 @@ def coerce_checks(checks) -> "InvariantChecks | None":
     )
 
 
-__all__ = ["InvariantChecks", "Violation", "arrival_map", "coerce_checks"]
+__all__ = [
+    "InvariantChecks",
+    "Violation",
+    "arrival_map",
+    "coerce_checks",
+    "merged_violations",
+]

@@ -99,7 +99,12 @@ def workload_cases(scale: BenchScale) -> dict[str, dict]:
 
 @dataclass(slots=True)
 class CellOutcome:
-    """One executed cell of the conformance matrix."""
+    """One executed cell of the conformance matrix.
+
+    In tenant mode (``tenants > 1``) the triple columns hold the
+    *sums* over tenants and ``resize`` means an aggregate session
+    memory shrink/restore instead of a per-run broker schedule.
+    """
 
     workload: str
     operator: str
@@ -110,6 +115,7 @@ class CellOutcome:
     io: int
     wall_s: float
     violations: list[str] = field(default_factory=list)
+    tenants: int = 1
 
     @property
     def ok(self) -> bool:
@@ -180,18 +186,143 @@ def run_cell(
     )
 
 
+def run_cell_tenants(
+    scale: BenchScale,
+    workload: str,
+    case: dict,
+    operator: str,
+    resize: bool,
+    tenants: int,
+) -> CellOutcome:
+    """Execute one cell as ``tenants`` concurrent queries on a session.
+
+    Every tenant runs the cell's workload with its own derived seed
+    and its own collecting checker, all sharing one fair-share
+    aggregate memory budget of ``tenants`` times the per-run grant.
+    Each tenant's output is diffed against *its own* blocking-join
+    oracle; without the resize axis the budget is sufficient, so each
+    tenant's ``(count, clock, io)`` triple must additionally equal its
+    solo run — the session's isolation invariant becomes a conformance
+    check.  With ``resize`` the aggregate is revoked to a quarter a
+    third of the way through the arrival window and restored at 70%
+    (fig. 13(d) for the whole machine); oracle and invariant checks
+    still apply, solo-equality cannot (shares genuinely shrink).
+    """
+    from repro.service.session import QuerySession
+    from repro.sim.engine import JoinSimulation
+    from repro.sim.query import Query
+    from repro.testing.checks import merged_violations
+
+    memory = case["memory"]
+    stop_after = case.get("stop_after")
+    aggregate = tenants * memory
+
+    def build_sim(tenant_scale: BenchScale, checks=None):
+        rel_a, rel_b = make_relation_pair(tenant_scale.spec)
+        source_a = NetworkSource(rel_a, case["arrival_a"](), seed=11)
+        source_b = NetworkSource(rel_b, case["arrival_b"](), seed=22)
+        sim = JoinSimulation(
+            source_a,
+            source_b,
+            OPERATORS[operator](memory, tenant_scale),
+            blocking_threshold=case.get("blocking_threshold", 1.0),
+            stop_after=stop_after,
+            checks=checks,
+        )
+        return sim, rel_a, rel_b, source_a, source_b
+
+    tenant_scales = [
+        BenchScale(n_per_source=scale.n_per_source, seed=scale.seed + 101 * i)
+        for i in range(tenants)
+    ]
+    start = time.perf_counter()
+    session = QuerySession(memory=aggregate)
+    queries = []
+    rels = []
+    checkers = []
+    last_arrival = 0.0
+    for i, tenant_scale in enumerate(tenant_scales):
+        checks = InvariantChecks(mode="collect")
+        sim, rel_a, rel_b, source_a, source_b = build_sim(tenant_scale, checks)
+        last_arrival = max(
+            last_arrival,
+            source_a.pending_times()[0][-1],
+            source_b.pending_times()[0][-1],
+        )
+        queries.append(session.submit(Query(sim, query_id=f"tenant-{i}")))
+        rels.append((rel_a, rel_b))
+        checkers.append((f"tenant-{i}", checks))
+    if resize:
+        session.schedule_memory(
+            [
+                (0.3 * last_arrival, max(4, aggregate // 4)),
+                (0.7 * last_arrival, aggregate),
+            ]
+        )
+    session.run()
+    wall = time.perf_counter() - start
+
+    violations = merged_violations(checkers)
+    for i, (query, (rel_a, rel_b)) in enumerate(zip(queries, rels)):
+        tag = f"tenant-{i}"
+        result = query.result
+        tenant_violations = compare_with_oracle(
+            result.results,
+            rel_a,
+            rel_b,
+            operator_name=operator,
+            partial=stop_after is not None,
+        )
+        if stop_after is not None and result.count < stop_after and result.completed:
+            tenant_violations += compare_with_oracle(
+                result.results, rel_a, rel_b, operator_name=operator
+            )
+        violations += [f"{tag}: {v}" for v in tenant_violations]
+    if not resize:
+        # Sufficient aggregate memory: the fair-share split caps at
+        # each tenant's request, so every grant is a no-op and each
+        # tenant must reproduce its solo triple exactly.
+        for i, tenant_scale in enumerate(tenant_scales):
+            solo, _, _, _, _ = build_sim(tenant_scale)
+            solo_triple = Query(solo).run().recorder.triple()
+            if queries[i].triple() != solo_triple:
+                violations.append(
+                    f"tenant-{i}: session triple {queries[i].triple()} "
+                    f"!= solo triple {solo_triple}"
+                )
+    count = sum(q.triple()[0] for q in queries)
+    io = sum(q.triple()[2] for q in queries)
+    clock = max(q.triple()[1] for q in queries)
+    return CellOutcome(
+        workload=workload,
+        operator=operator,
+        delivery="session",
+        resize=resize,
+        count=count,
+        clock=clock,
+        io=io,
+        wall_s=wall,
+        violations=violations,
+        tenants=tenants,
+    )
+
+
 def run_matrix(
     scale: BenchScale,
     quick: bool = False,
     operators: list[str] | None = None,
     workloads: list[str] | None = None,
     progress=None,
+    tenants: int = 1,
 ) -> list[CellOutcome]:
     """Run the conformance matrix; returns every cell outcome.
 
     ``quick`` drops the resize axis.  ``operators`` / ``workloads``
     restrict the matrix (names validated).  ``progress`` is an optional
-    per-cell callback (the CLI prints from it).
+    per-cell callback (the CLI prints from it).  ``tenants > 1``
+    switches every cell to the multi-query session variant (see
+    :func:`run_cell_tenants`); the delivery axis collapses, since the
+    session always interleaves tenants per event.
     """
     cases = workload_cases(scale)
     selected_ops = list(OPERATORS) if operators is None else operators
@@ -210,6 +341,14 @@ def run_matrix(
             if not quick and operator in RESIZABLE:
                 resize_axis = (False, True)
             for resize in resize_axis:
+                if tenants > 1:
+                    outcome = run_cell_tenants(
+                        scale, workload, case, operator, resize, tenants
+                    )
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+                    continue
                 for batched in (True, False):
                     outcome = run_cell(
                         scale, workload, case, operator, batched, resize
@@ -221,13 +360,14 @@ def run_matrix(
 
 
 def build_report(
-    scale: BenchScale, quick: bool, outcomes: list[CellOutcome]
+    scale: BenchScale, quick: bool, outcomes: list[CellOutcome], tenants: int = 1
 ) -> dict:
     """The JSON violation report (schema v1) the CI job uploads."""
     return {
         "schema": 1,
         "kind": "conformance",
         "mode": "quick" if quick else "full",
+        "tenants": tenants,
         "n_per_source": scale.n_per_source,
         "seed": scale.seed,
         "cells_total": len(outcomes),
@@ -272,17 +412,32 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated subset of fig09..fig14",
     )
     parser.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run every cell as N concurrent queries on one fair-share "
+            "session and diff each tenant against its own oracle "
+            "(default 1: the classic single-query matrix)"
+        ),
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         default="conformance_report.json",
         help="where to write the JSON violation report",
     )
     args = parser.parse_args(argv)
+    if args.tenants < 1:
+        parser.error("--tenants must be >= 1")
     scale = BenchScale(n_per_source=args.scale, seed=args.seed)
 
     def progress(outcome: CellOutcome) -> None:
         status = "ok" if outcome.ok else f"FAIL ({len(outcome.violations)})"
         flags = " resize" if outcome.resize else ""
+        if outcome.tenants > 1:
+            flags += f" x{outcome.tenants}"
         print(
             f"{outcome.workload} {outcome.operator:>6} "
             f"{outcome.delivery:>9}{flags}: {status:<9} "
@@ -296,8 +451,9 @@ def main(argv: list[str] | None = None) -> int:
         operators=args.operators.split(",") if args.operators else None,
         workloads=args.workloads.split(",") if args.workloads else None,
         progress=progress,
+        tenants=args.tenants,
     )
-    report = build_report(scale, args.quick, outcomes)
+    report = build_report(scale, args.quick, outcomes, tenants=args.tenants)
     with open(args.report, "w") as fh:
         json.dump(report, fh, indent=2)
     failed = [o for o in outcomes if not o.ok]

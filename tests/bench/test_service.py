@@ -1,0 +1,54 @@
+"""Tests for the multi-tenant service benchmark manifest."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.service import main, run_cohort, service_manifest, tenant_specs
+
+
+def test_tenant_specs_are_independent():
+    specs = tenant_specs(4, 200)
+    assert len({s.seed for s in specs}) == 4
+    assert len({s.query_id for s in specs}) == 4
+    assert all(s.algorithm == "hmj" for s in specs)
+
+
+def test_run_cohort_reports_first_k_and_totals():
+    aggregate = 4 * tenant_specs(1, 160)[0].memory_budget()
+    cell, queries = run_cohort(2, 160, aggregate, first_k=5)
+    assert cell["tenants"] == 2
+    assert cell["completed"] == 2
+    assert cell["first_k_reached"] == 2
+    assert cell["time_to_first_k"]["mean"] is not None
+    assert cell["time_to_first_k"]["max"] >= cell["time_to_first_k"]["mean"]
+    assert cell["total_results"] == sum(q.triple()[0] for q in queries)
+    assert cell["session_span"] > 0
+
+
+def test_service_manifest_structure_and_isolation(tmp_path, capsys):
+    manifest = service_manifest([1, 2], n=120, first_k=5)
+    assert manifest["schema"] == 1
+    assert manifest["benchmark"] == "service-tenant-sweep"
+    assert manifest["tenant_counts"] == [1, 2]
+    assert len(manifest["cells"]) == 2
+    # Aggregate holds 4 requests: both points are memory-sufficient
+    # and must therefore reproduce every solo triple.
+    assert all(c["memory_sufficient"] for c in manifest["cells"])
+    assert all(c["triples_match_solo"] for c in manifest["cells"])
+    assert manifest["isolation_triples_match"] is True
+    revocation = manifest["revocation"]
+    assert revocation["tenants"] == 16
+    assert revocation["cell"]["memory_schedule"]
+
+
+def test_main_writes_manifest(tmp_path, capsys):
+    out = tmp_path / "BENCH_service.json"
+    code = main(["--tenants", "1,2", "--n", "120", "--first-k", "5",
+                 "--out", str(out)])
+    assert code == 0
+    manifest = json.loads(out.read_text())
+    assert manifest["isolation_triples_match"] is True
+    stdout = capsys.readouterr().out
+    assert "tenants=" in stdout
+    assert "isolation triples match: True" in stdout

@@ -149,3 +149,34 @@ def test_run_timeline_flag(capsys):
     )
     assert code == 0
     assert "timeline" in out
+
+
+def test_serve_parses_and_forwards_to_the_server(monkeypatch):
+    import repro.service.server as server_mod
+
+    captured = {}
+
+    def fake_main(argv):
+        captured["argv"] = list(argv)
+        return 0
+
+    monkeypatch.setattr(server_mod, "main", fake_main)
+    code = main([
+        "serve", "--port", "0", "--memory", "500", "--max-concurrent", "4"
+    ])
+    assert code == 0
+    assert captured["argv"] == [
+        "--host", "127.0.0.1", "--port", "0",
+        "--memory", "500", "--max-concurrent", "4",
+    ]
+
+
+def test_serve_defaults_omit_optional_flags(monkeypatch):
+    import repro.service.server as server_mod
+
+    captured = {}
+    monkeypatch.setattr(
+        server_mod, "main", lambda argv: captured.setdefault("argv", argv) and 0
+    )
+    main(["serve"])
+    assert captured["argv"] == ["--host", "127.0.0.1", "--port", "7654"]

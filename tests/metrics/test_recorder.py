@@ -128,3 +128,15 @@ def test_events_are_immutable_zero_copy_views():
     # Equality against plain sequences keeps existing assertions alive.
     assert rec.events == list(rec.iter_events())
     assert rec.events[:1] == [events[0]]
+
+
+def test_remove_tap_detaches_and_tolerates_unknown():
+    _, _, rec = setup()
+    seen = []
+    tap = lambda result, event: seen.append(event.k)  # noqa: E731
+    rec.add_tap(tap)
+    rec.record(pair(tid_a=0), "hashing")
+    rec.remove_tap(tap)
+    rec.record(pair(tid_a=1), "hashing")
+    assert seen == [1]  # nothing observed after detach
+    rec.remove_tap(tap)  # removing twice is a no-op, not an error

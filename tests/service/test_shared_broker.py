@@ -1,0 +1,111 @@
+"""Tests for aggregate arbitration: policies and the shared broker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.broker import (
+    DeadlineAware,
+    FairShare,
+    SharedBroker,
+    WeightedShare,
+)
+from repro.service.spec import QuerySpec
+
+
+def query(i: int, n: int = 120, **kwargs):
+    q = QuerySpec(query_id=f"q{i}", n=n, seed=7 + 101 * i, **kwargs).build()
+    q.start()
+    return q
+
+
+# -- policies -----------------------------------------------------------------
+
+
+def test_fair_share_weighs_everyone_equally():
+    queries = [query(0), query(1, weight=9.0)]
+    assert FairShare().weights(queries) == [1.0, 1.0]
+
+
+def test_weighted_share_uses_admission_weights():
+    queries = [query(0, weight=1.0), query(1, weight=3.5)]
+    assert WeightedShare().weights(queries) == [1.0, 3.5]
+
+
+def test_deadline_aware_scales_with_urgency():
+    relaxed = query(0, deadline=100.0)
+    urgent = query(1, deadline=0.5)
+    none = query(2)
+    policy = DeadlineAware(horizon=1.0)
+    weights = policy.weights([relaxed, urgent, none])
+    assert weights[1] > weights[0] > weights[2] == 1.0
+    # Past the deadline, min_slack keeps the weight finite.
+    urgent.clock.advance_to(2.0)
+    late = policy.weights([urgent])[0]
+    assert late > weights[1]
+    assert late < float("inf")
+
+
+def test_deadline_aware_validation():
+    with pytest.raises(ConfigurationError):
+        DeadlineAware(horizon=0.0)
+    with pytest.raises(ConfigurationError):
+        DeadlineAware(min_slack=0.0)
+
+
+# -- the shared broker --------------------------------------------------------
+
+
+def test_shared_broker_validation():
+    with pytest.raises(ConfigurationError):
+        SharedBroker(0)
+    broker = SharedBroker(100)
+    with pytest.raises(ConfigurationError):
+        broker.set_total(0)
+    assert isinstance(broker.policy, FairShare)
+
+
+def test_can_admit_gates_on_floors():
+    broker = SharedBroker(5)  # floors are 2 per single-join query
+    first, second, third = query(0), query(1), query(2)
+    assert broker.can_admit([], first)
+    assert broker.can_admit([first], second)
+    assert not broker.can_admit([first, second], third)
+
+
+def test_non_arbitrated_query_always_admits():
+    broker = SharedBroker(1)
+    shj = QuerySpec(algorithm="shj", n=120).build()
+    assert broker.can_admit([], shj)
+    assert broker.rebalance([shj]) == {}
+
+
+def test_sufficient_budget_grants_exact_requests_as_noops():
+    first, second = query(0), query(1)
+    request = first.memory_request()
+    broker = SharedBroker(2 * request)
+    grants = broker.rebalance([first, second])
+    assert grants == {"q0": request, "q1": request}
+    # Capped at the request: neither operator was actually resized.
+    op = first.driver.operators()[0][1]
+    assert op.memory_capacity() == request
+
+
+def test_pressure_splits_by_weight():
+    light, heavy = query(0, weight=1.0), query(1, weight=3.0)
+    broker = SharedBroker(40, WeightedShare())
+    grants = broker.rebalance([light, heavy])
+    assert sum(grants.values()) == 40
+    assert grants["q1"] > grants["q0"] >= light.memory_floor()
+
+
+def test_revocation_below_floors_clamps_instead_of_evicting():
+    first, second = query(0), query(1)
+    broker = SharedBroker(100)
+    broker.set_total(1)  # raced shrink below the sum of floors
+    grants = broker.rebalance([first, second])
+    assert grants == {
+        "q0": first.memory_floor(),
+        "q1": second.memory_floor(),
+    }

@@ -1,0 +1,65 @@
+"""Tests for the JSON query-spec vocabulary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.spec import (
+    ALGORITHMS,
+    QuerySpec,
+    make_arrival,
+    make_operator,
+)
+from repro.sim.query import Query
+
+
+def test_round_trips_through_json():
+    spec = QuerySpec(
+        query_id="t", algorithm="xjoin", n=200, arrival="poisson",
+        stop_after=25, weight=2.0,
+    )
+    wire = json.dumps(spec.to_dict())
+    assert QuerySpec.from_dict(json.loads(wire)) == spec
+
+
+def test_from_dict_rejects_unknown_fields_and_non_objects():
+    with pytest.raises(ConfigurationError, match="unknown query spec fields"):
+        QuerySpec.from_dict({"algorithm": "hmj", "turbo": True})
+    with pytest.raises(ConfigurationError):
+        QuerySpec.from_dict(["not", "a", "dict"])
+
+
+def test_build_produces_a_pending_query_for_every_algorithm():
+    for name in ALGORITHMS:
+        query = QuerySpec(algorithm=name, n=80).build()
+        assert isinstance(query, Query)
+        assert query.state.value == "pending"
+
+
+def test_build_rejects_unknown_algorithm():
+    with pytest.raises(ConfigurationError, match="unknown algorithm"):
+        QuerySpec(algorithm="mergesort").build()
+
+
+def test_memory_budget_default_is_paper_fraction():
+    spec = QuerySpec(n=400)
+    assert spec.memory_budget() == spec.workload().memory_capacity(0.10)
+    assert QuerySpec(n=400, memory=123).memory_budget() == 123
+
+
+def test_make_arrival_and_operator_reject_unknown_names():
+    with pytest.raises(ConfigurationError):
+        make_arrival("teleport", 100.0, 400)
+    with pytest.raises(ConfigurationError):
+        make_operator("mergesort", 100)
+    with pytest.raises(ConfigurationError):
+        make_operator("hmj", 100, policy="yolo")
+
+
+def test_built_query_carries_weight_and_deadline():
+    query = QuerySpec(n=80, weight=4.0, deadline=9.0).build()
+    assert query.weight == 4.0
+    assert query.deadline == 9.0

@@ -20,7 +20,13 @@ from repro.joins.symmetric_hash import SymmetricHashJoin
 from repro.joins.xjoin import XJoin
 from repro.net.arrival import ConstantRate
 from repro.net.source import NetworkSource
-from repro.sim.broker import MIN_OPERATOR_SHARE, MemoryGrant, ResourceBroker
+from repro.sim.broker import (
+    MIN_OPERATOR_SHARE,
+    MemoryGrant,
+    ResourceBroker,
+    bounded_shares,
+    largest_remainder_split,
+)
 from repro.sim.clock import VirtualClock
 from repro.sim.engine import run_join, stream_join
 from repro.sim.scheduler import EventScheduler
@@ -133,6 +139,63 @@ def test_shares_reject_infeasible_total():
 def test_shares_without_bindings_rejected():
     with pytest.raises(ConfigurationError):
         ResourceBroker().shares(10)
+
+
+def test_largest_remainder_split_documented_rule():
+    # Exact shares 10*[1,1,3]/5 = [2, 2, 6]: no remainder to place.
+    assert largest_remainder_split(10, [1.0, 1.0, 3.0]) == [2, 2, 6]
+    # Exact shares 7/3 each: truncations [2,2,2], one leftover unit to
+    # the largest fractional part — all equal, so the earliest binding.
+    assert largest_remainder_split(7, [1.0, 1.0, 1.0]) == [3, 2, 2]
+    # Unequal fractions: 5*[1,2]/3 = [1.67, 3.33]; the leftover unit
+    # goes to the larger fractional part (participant 0).
+    assert largest_remainder_split(5, [1.0, 2.0]) == [2, 3]
+
+
+def test_largest_remainder_split_always_sums_and_stays_close():
+    weights = [0.3, 1.9, 2.2, 0.6]
+    for spare in range(0, 40):
+        shares = largest_remainder_split(spare, weights)
+        assert sum(shares) == spare
+        total_w = sum(weights)
+        for share, w in zip(shares, weights):
+            assert abs(share - spare * w / total_w) < 1.0
+
+
+def test_largest_remainder_split_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        largest_remainder_split(-1, [1.0])
+    for bad in (0.0, -2.0, float("inf"), float("nan")):
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(10, [1.0, bad])
+
+
+def test_bounded_shares_caps_at_requests():
+    # Plenty of memory: everyone is capped at what they asked for and
+    # the surplus stays unallocated.
+    assert bounded_shares(1000, [10, 20], [1.0, 1.0]) == [10, 20]
+
+
+def test_bounded_shares_respects_floor_under_pressure():
+    shares = bounded_shares(7, [100, 100], [1.0, 99.0])
+    assert sum(shares) == 7
+    assert shares[0] >= MIN_OPERATOR_SHARE  # floor beats the tiny weight
+
+
+def test_bounded_shares_redistributes_freed_units():
+    # Equal weights would give 15 each, but the first request caps at
+    # 4; water-filling hands the freed units to the uncapped tenant.
+    assert bounded_shares(30, [4, 100], [1.0, 1.0]) == [4, 26]
+
+
+def test_bounded_shares_rejects_infeasible_inputs():
+    with pytest.raises(ConfigurationError):
+        bounded_shares(3, [10, 10], [1.0, 1.0])  # < 2 * floor
+    with pytest.raises(ConfigurationError):
+        bounded_shares(10, [1], [1.0])  # request below the floor
+    with pytest.raises(ConfigurationError):
+        bounded_shares(10, [5, 5], [1.0])  # length mismatch
+    assert bounded_shares(10, [], []) == []
 
 
 def test_apply_resizes_every_bound_operator():

@@ -171,6 +171,40 @@ def scenario_broker() -> dict[str, Triple]:
     }
 
 
+def scenario_session() -> dict[str, Triple]:
+    """Two queries sharing one session broker, pinned per tenant.
+
+    An HMJ and an XJoin run concurrently on one
+    :class:`~repro.service.session.QuerySession` under fair-share with
+    an aggregate budget covering both requests.  Memory is the *only*
+    coupling between tenants, and a sufficient budget makes every
+    re-grant a no-op — so each tenant's triple must equal its solo
+    fig11 pin exactly.  Any cross-tenant leak (shared clock, disk,
+    recorder, or a perturbing grant) lands here immediately.
+    """
+    from repro.net.source import NetworkSource
+    from repro.service.broker import FairShare, SharedBroker
+    from repro.service.session import QuerySession
+    from repro.sim.engine import JoinSimulation
+    from repro.sim.query import Query
+
+    memory = SCALE.spec.memory_capacity()
+
+    def build(operator) -> JoinSimulation:
+        rel_a, rel_b = make_relation_pair(SCALE.spec)
+        src_a = NetworkSource(rel_a, _fast(), seed=11)
+        src_b = NetworkSource(rel_b, _fast(), seed=22)
+        return JoinSimulation(src_a, src_b, operator, keep_results=False)
+
+    session = QuerySession(memory=SharedBroker(2 * memory, FairShare()))
+    hmj = session.submit(Query(build(_hmj(memory)), query_id="hmj"))
+    xjoin = session.submit(
+        Query(build(XJoin(memory_capacity=memory)), query_id="xjoin")
+    )
+    session.run()
+    return {"session-hmj": hmj.triple(), "session-xjoin": xjoin.triple()}
+
+
 SCENARIOS = {
     "fig09": scenario_fig09,
     "fig10": scenario_fig10,
@@ -180,6 +214,7 @@ SCENARIOS = {
     "fig14": scenario_fig14,
     "delivery": scenario_delivery,
     "broker": scenario_broker,
+    "session": scenario_session,
 }
 
 #: (count, final clock, io_count) per run, captured from the seed's
@@ -220,6 +255,12 @@ EXPECTED: dict[str, dict[str, Triple]] = {
     "broker": {
         "hmj-resize": (189, 7.814577624860037, 780),
         "xjoin-resize": (189, 11.26291199999959, 1125),
+    },
+    # Shared-session isolation: both tenants must keep their solo
+    # fig11 pins — equality with the entries above is the point.
+    "session": {
+        "session-hmj": (189, 3.994769170021071, 398),
+        "session-xjoin": (189, 8.3631269999999, 835),
     },
 }
 

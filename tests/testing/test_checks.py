@@ -222,3 +222,16 @@ def test_result_before_arrival_detected():
     checks = InvariantChecks(mode="collect")
     run_join(src_a, src_b, _PsychicSHJ(matching[-1]), checks=checks)
     assert "result-before-arrival" in _checks_fired(checks)
+
+
+def test_merged_violations_tags_per_tenant():
+    from repro.testing.checks import merged_violations
+
+    clean = InvariantChecks(mode="collect")
+    broken = InvariantChecks(mode="collect")
+    broken._fire("duplicate-result", "SHJ", 1.5, "pair emitted twice")
+    merged = merged_violations([("tenant-0", clean), ("tenant-1", broken)])
+    assert len(merged) == 1
+    assert merged[0].startswith("tenant-1: ")
+    assert "duplicate-result" in merged[0]
+    assert merged_violations([]) == []

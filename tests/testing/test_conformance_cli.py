@@ -112,3 +112,79 @@ def test_main_exits_nonzero_on_violation(tmp_path, capsys, monkeypatch):
     assert report["violations_total"] > 0
     assert any("duplicate" in v for c in report["cells"] for v in c["violations"])
     assert "FAIL" in capsys.readouterr().out
+
+
+def test_run_matrix_tenants_collapses_delivery_axis():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=True, operators=["hmj"], workloads=["fig11"], tenants=3
+    )
+    assert len(outcomes) == 1  # no batched/per-event split in tenant mode
+    outcome = outcomes[0]
+    assert outcome.tenants == 3
+    assert outcome.delivery == "session"
+    assert outcome.ok, outcome.violations
+
+
+def test_tenant_cells_cover_stop_after_and_resize():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=False, operators=["hmj"], workloads=["fig13"], tenants=2
+    )
+    assert [o.resize for o in outcomes] == [False, True]
+    assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+    # Two tenants, each stopping at the scaled first-k threshold.
+    stop = workload_cases(scale)["fig13"]["stop_after"]
+    assert outcomes[0].count == 2 * stop
+
+
+def test_tenant_isolation_divergence_is_reported(monkeypatch):
+    # An operator whose behaviour depends on ambient shared state will
+    # produce a different triple in a session than solo; the tenant
+    # cell must flag that as a violation rather than average it away.
+    from repro.testing.conformance import run_cell_tenants
+
+    calls = {"n": 0}
+    real = OPERATORS["shj"]
+
+    def flaky(memory, scale):
+        op = real(memory, scale)
+        calls["n"] += 1
+        if calls["n"] <= 2:  # the two session tenants drop results
+            original = op.on_tuple
+
+            def lossy(t, _orig=original, _op=op):
+                if t.tid % 7 == 0:
+                    _op.charge_tuple()
+                    _op.table.insert(t)
+                    return
+                _orig(t)
+
+            op.on_tuple = lossy
+        return op
+
+    monkeypatch.setitem(OPERATORS, "shj", flaky)
+    scale = BenchScale(n_per_source=100, seed=7)
+    case = workload_cases(scale)["fig11"]
+    outcome = run_cell_tenants(scale, "fig11", case, "shj", False, 2)
+    assert not outcome.ok
+    assert any("solo triple" in v or "oracle" in v for v in outcome.violations)
+
+
+def test_main_accepts_tenants_flag(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100", "--tenants", "2",
+        "--operators", "shj", "--workloads", "fig11",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["tenants"] == 2
+    assert all(c["tenants"] == 2 for c in report["cells"])
+    assert "x2" in capsys.readouterr().out
+
+
+def test_main_rejects_non_positive_tenants(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--tenants", "0", "--report", str(tmp_path / "r.json")])
