@@ -1,20 +1,31 @@
 """Kernel delivery-path micro-benchmark (``BENCH_kernel.json``).
 
-Measures what the run-batch delivery path is worth: one 100k-tuple
-constant-rate HMJ run — ample memory, so nothing flushes and the wall
-clock is dominated by per-tuple dispatch, the thing batching amortises
-— executed through both kernel paths.  The two runs must produce the
-identical ``(count, final clock, page I/O)`` triple (batching is an
-amortisation, never a simulation change); the wall-clock ratio is the
-tracked speedup.
+Measures what the run-batch delivery paths are worth: constant-rate HMJ
+runs — ample memory, so nothing flushes and the wall clock is dominated
+by per-tuple dispatch, the thing batching amortises — executed through
+all three kernel paths:
+
+* ``per_tuple`` — one heap pop/push round-trip per arrival;
+* ``batched`` — merged arrival runs delivered as boxed-tuple lists
+  (the fused path);
+* ``columnar`` — the same runs delivered as :class:`~repro.core.
+  columnar.ColumnBatch` arrays end-to-end (vectorized run extraction,
+  array-native probe/insert, column-slice metrics appends).
+
+Every path must produce the identical ``(count, final clock, page
+I/O)`` triple — delivery is an amortisation, never a simulation change
+— and the wall-clock ratios are the tracked speedups.  Two scale
+points are recorded by default: the 100k-tuple point (trajectory
+continuity with earlier manifests) and the paper-nominal 1M-tuple
+point (10^6 tuples per figure in Section 6).
 
 Optionally (``--figure-check``) one full figure scenario is also run
-through both paths, cell by cell, and any triple mismatch fails the
-process — CI's cheap end-to-end equivalence gate.
+through all three paths, cell by cell, and any triple mismatch fails
+the process — CI's cheap end-to-end equivalence gate.
 
 Usage::
 
-    python -m repro.bench.kernel                  # 100k tuples, 3 repeats
+    python -m repro.bench.kernel                  # 100k + 1M points
     python -m repro.bench.kernel --tuples 20000 --repeats 1 \
         --figure-check fig11 --out BENCH_kernel.json
 """
@@ -48,6 +59,18 @@ RATE = 5000.0
 #: pinned determinism triples are captured at.
 CHECK_SCALE = BenchScale(n_per_source=400, seed=7)
 
+#: The benchmarked delivery paths: label -> (batch_delivery,
+#: columnar_delivery) engine switches, slowest first.
+PATHS: dict[str, tuple[bool, bool]] = {
+    "per_tuple": (False, False),
+    "batched": (True, False),
+    "columnar": (True, True),
+}
+
+#: Default scale points: the historical 100k point plus the paper's
+#: nominal 10^6-tuple scale (Section 6 runs 1M-tuple sources).
+DEFAULT_TUPLES = (100_000, 1_000_000)
+
 Triple = tuple[int, float, int]
 
 
@@ -60,6 +83,7 @@ def kernel_run(
     rel_b: Relation,
     memory_capacity: int,
     batch_delivery: bool,
+    columnar_delivery: bool = False,
 ) -> tuple[Triple, float]:
     """One timed constant-rate HMJ run through the chosen path.
 
@@ -81,6 +105,7 @@ def kernel_run(
             operator,
             keep_results=False,
             batch_delivery=batch_delivery,
+            columnar_delivery=columnar_delivery,
         )
         wall = time.perf_counter() - start
     finally:
@@ -98,9 +123,9 @@ def _check_operators(memory: int) -> dict[str, Callable]:
 
 
 def figure_check(figure_id: str) -> dict:
-    """Run one figure scenario's cells through both delivery paths.
+    """Run one figure scenario's cells through all three delivery paths.
 
-    Returns the per-cell triples and whether every pair matched; the
+    Returns the per-cell triples and whether every path agreed; the
     CLI fails the process on any mismatch.  Currently supports
     ``fig11`` (the three-way constant-rate comparison — the cell CI's
     bench-smoke job already exercises).
@@ -114,7 +139,7 @@ def figure_check(figure_id: str) -> dict:
     all_match = True
     for cell_id, make_operator in _check_operators(memory).items():
         triples: dict[str, Triple] = {}
-        for label, batched in (("batched", True), ("per_tuple", False)):
+        for label, (batched, columnar) in PATHS.items():
             result = execute(
                 rel_a,
                 rel_b,
@@ -122,13 +147,13 @@ def figure_check(figure_id: str) -> dict:
                 ConstantRate(RATE),
                 ConstantRate(RATE),
                 batch_delivery=batched,
+                columnar_delivery=columnar,
             )
             triples[label] = _triple(result)
-        match = triples["batched"] == triples["per_tuple"]
+        match = len(set(triples.values())) == 1
         all_match = all_match and match
         cells[cell_id] = {
-            "batched": list(triples["batched"]),
-            "per_tuple": list(triples["per_tuple"]),
+            **{label: list(triple) for label, triple in triples.items()},
             "match": match,
         }
     return {
@@ -139,13 +164,13 @@ def figure_check(figure_id: str) -> dict:
     }
 
 
-def kernel_manifest(tuples_total: int, repeats: int, seed: int) -> dict:
-    """Benchmark both delivery paths; the ``BENCH_kernel.json`` payload.
+def kernel_point(tuples_total: int, repeats: int, seed: int) -> dict:
+    """Benchmark all three delivery paths at one scale point.
 
-    Schema v1, mirroring ``BENCH_figures.json``: wall seconds are the
-    best of ``repeats`` (the usual micro-benchmark noise floor), and
-    the identical-triple invariant is part of the payload so any
-    divergence is visible in the tracked artifact, not just in tests.
+    Wall seconds are the best of ``repeats`` (the usual
+    micro-benchmark noise floor), and the identical-triple invariant
+    is part of the payload so any divergence is visible in the tracked
+    artifact, not just in tests.
     """
     n_per_source = tuples_total // 2
     scale = BenchScale(n_per_source=n_per_source, seed=seed)
@@ -153,19 +178,16 @@ def kernel_manifest(tuples_total: int, repeats: int, seed: int) -> dict:
     # Memory holds both relations: nothing flushes, so the run measures
     # the delivery path itself rather than (path-identical) flush work.
     memory = 2 * n_per_source
-    walls: dict[str, list[float]] = {"batched": [], "per_tuple": []}
+    walls: dict[str, list[float]] = {label: [] for label in PATHS}
     triples: dict[str, Triple] = {}
     for _ in range(repeats):
-        for label, batched in (("batched", True), ("per_tuple", False)):
-            triple, wall = kernel_run(rel_a, rel_b, memory, batched)
+        for label, (batched, columnar) in PATHS.items():
+            triple, wall = kernel_run(rel_a, rel_b, memory, batched, columnar)
             walls[label].append(wall)
             previous = triples.setdefault(label, triple)
             assert previous == triple, f"non-deterministic {label} run"
     best = {label: min(times) for label, times in walls.items()}
     return {
-        "schema": 1,
-        "benchmark": "kernel-batch-delivery",
-        "source_digest": source_digest(),
         "workload": {
             "arrival": "constant-rate",
             "rate": RATE,
@@ -175,36 +197,62 @@ def kernel_manifest(tuples_total: int, repeats: int, seed: int) -> dict:
             "seed": seed,
         },
         "repeats": repeats,
-        "batched": {
-            "wall_seconds": round(best["batched"], 6),
-            "walls": [round(w, 6) for w in walls["batched"]],
+        **{
+            label: {
+                "wall_seconds": round(best[label], 6),
+                "walls": [round(w, 6) for w in walls[label]],
+            }
+            for label in PATHS
         },
-        "per_tuple": {
-            "wall_seconds": round(best["per_tuple"], 6),
-            "walls": [round(w, 6) for w in walls["per_tuple"]],
-        },
+        # per-tuple -> fused: the historical tracked ratio.
         "speedup": round(best["per_tuple"] / best["batched"], 4),
+        # fused -> columnar: the columnar data plane's own ratio (the
+        # >= 3x merge gate at the 1M point).
+        "speedup_columnar": round(best["batched"] / best["columnar"], 4),
+        # per-tuple -> columnar: the end-to-end amortisation.
+        "speedup_columnar_total": round(best["per_tuple"] / best["columnar"], 4),
         "triple": {
-            "count": triples["batched"][0],
-            "final_clock": triples["batched"][1],
-            "io": triples["batched"][2],
+            "count": triples["per_tuple"][0],
+            "final_clock": triples["per_tuple"][1],
+            "io": triples["per_tuple"][2],
         },
-        "triples_match": triples["batched"] == triples["per_tuple"],
+        "triples_match": len(set(triples.values())) == 1,
+    }
+
+
+def kernel_manifest(tuples_points: list[int], repeats: int, seed: int) -> dict:
+    """Benchmark every scale point; the ``BENCH_kernel.json`` payload.
+
+    Schema v1, mirroring ``BENCH_figures.json``: one entry per scale
+    point under ``points``, each holding the three paths' walls and
+    the pairwise speedups.
+    """
+    points = [kernel_point(t, repeats, seed) for t in tuples_points]
+    return {
+        "schema": 1,
+        "benchmark": "kernel-batch-delivery",
+        "source_digest": source_digest(),
+        "paths": list(PATHS),
+        "points": points,
+        "triples_match": all(p["triples_match"] for p in points),
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Benchmark batched vs per-tuple kernel delivery."
+        description="Benchmark per-tuple vs batched vs columnar kernel delivery."
     )
     parser.add_argument(
         "--tuples",
-        type=int,
-        default=100_000,
-        help="total tuples across both sources (default 100000)",
+        default=",".join(str(t) for t in DEFAULT_TUPLES),
+        help=(
+            "comma-separated total tuple counts across both sources "
+            "(default '100000,1000000': the historical point plus the "
+            "paper-nominal 1M scale)"
+        ),
     )
     parser.add_argument(
-        "--repeats", type=int, default=5, help="timing repeats, best kept"
+        "--repeats", type=int, default=3, help="timing repeats, best kept"
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument(
@@ -214,29 +262,40 @@ def main(argv: list[str] | None = None) -> int:
         "--figure-check",
         metavar="FIGURE",
         default=None,
-        help="also run this figure's cells through both paths (fig11)",
+        help="also run this figure's cells through all paths (fig11)",
     )
     args = parser.parse_args(argv)
+    try:
+        tuples_points = [int(t) for t in str(args.tuples).split(",") if t.strip()]
+    except ValueError:
+        parser.error(f"--tuples must be comma-separated integers, got {args.tuples!r}")
+    if not tuples_points:
+        parser.error("--tuples selected no scale points")
 
-    manifest = kernel_manifest(args.tuples, max(1, args.repeats), args.seed)
+    manifest = kernel_manifest(tuples_points, max(1, args.repeats), args.seed)
     failed = not manifest["triples_match"]
     if args.figure_check:
         check = figure_check(args.figure_check)
         manifest["figure_check"] = check
         failed = failed or not check["all_match"]
     path = write_bench_manifest(args.out, manifest)
-    print(
-        f"kernel bench: batched {manifest['batched']['wall_seconds']:.3f}s, "
-        f"per-tuple {manifest['per_tuple']['wall_seconds']:.3f}s, "
-        f"speedup {manifest['speedup']:.2f}x "
-        f"(triples {'match' if manifest['triples_match'] else 'MISMATCH'})"
-    )
+    for point in manifest["points"]:
+        total = point["workload"]["tuples_total"]
+        print(
+            f"kernel bench [{total} tuples]: "
+            f"per-tuple {point['per_tuple']['wall_seconds']:.3f}s, "
+            f"batched {point['batched']['wall_seconds']:.3f}s, "
+            f"columnar {point['columnar']['wall_seconds']:.3f}s | "
+            f"columnar {point['speedup_columnar']:.2f}x over batched, "
+            f"{point['speedup_columnar_total']:.2f}x over per-tuple "
+            f"(triples {'match' if point['triples_match'] else 'MISMATCH'})"
+        )
     if args.figure_check:
         verdict = "match" if manifest["figure_check"]["all_match"] else "MISMATCH"
         print(f"figure check {args.figure_check}: cells {verdict}")
     print(f"wrote {path}")
     if failed:
-        print("ERROR: batched and per-tuple paths disagree", file=sys.stderr)
+        print("ERROR: delivery paths disagree", file=sys.stderr)
         return 1
     return 0
 

@@ -10,11 +10,29 @@ of Figure 3.
 For flushing, buckets are combined into ``g`` groups of consecutive
 buckets (Section 3.3's parameter ``p``); extraction returns a whole
 group's tuples so HMJ can sort and flush them as one disk block.
+
+Storage is columnar: each (source, bucket) holds parallel scalar
+columns ``keys``/``tids`` (plain Python int lists — C-speed membership
+for the per-tuple path, bulk ``extend`` for the batch path) plus a
+payload reference list that only materialises once a non-``None``
+payload appears.  ``Tuple`` objects are boxed lazily at the
+user-facing boundaries (probe matches, flush extraction, bucket
+snapshots); the hot paths never touch one.
+
+:meth:`DualHashTable.probe_insert_batch` is the array-native core of
+the columnar data plane: one vectorized hash pass bucketizes a whole
+delivery batch, grouping/matching run on ``argsort``/``cumsum``
+segments, matches come back as emission-ordered ``(probe_row,
+build_tid)`` columns, and the summary table is updated with per-group
+delta arrays instead of ``add_one`` per tuple.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.core.summary import BucketSummaryTable
@@ -29,6 +47,49 @@ _HASH_MASK = (1 << 32) - 1
 #: Shared no-match result: probing an empty bucket (the common case at
 #: paper selectivity) must not allocate.  Read-only by convention.
 _NO_MATCHES: tuple[Tuple, ...] = ()
+
+
+@dataclass(slots=True)
+class BatchProbeResult:
+    """Everything one :meth:`DualHashTable.probe_insert_batch` produced.
+
+    Attributes:
+        candidates: Per-row opposite-bucket population at probe time
+            (the probe CPU charge basis), int64, one entry per batch row.
+        match_counts: Per-row number of matches emitted, int64.
+        total_matches: ``match_counts.sum()``.
+        runs_a: ``(bucket, count)`` insert runs for source A, in bucket
+            order — per-bucket bookkeeping (XJoin's insert counts) reads
+            these instead of re-hashing.
+        runs_b: Same for source B.
+        probe_rows: Batch-row index of each match's probing side, in
+            exact per-tuple emission order (``None`` when the caller
+            requested counts only — the ``keep_results=False`` fast path).
+        build_tids: tid of each match's build (stored) side, aligned
+            with ``probe_rows``.
+        build_payloads: Payload of each build side (``None`` when no
+            payloads exist anywhere in table or batch).
+    """
+
+    candidates: np.ndarray
+    match_counts: np.ndarray
+    total_matches: int
+    runs_a: list[tuple[int, int]]
+    runs_b: list[tuple[int, int]]
+    probe_rows: np.ndarray | None = None
+    build_tids: np.ndarray | None = None
+    build_payloads: list | None = None
+
+
+def _run_bounds(sorted_vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start/end offsets of equal-value runs in a sorted array."""
+    n = len(sorted_vals)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], n)
+    return starts, ends
 
 
 class DualHashTable:
@@ -50,18 +111,21 @@ class DualHashTable:
         # Consecutive buckets share a group; the last group may be
         # slightly larger when h is not divisible by g.
         self._group_size = n_buckets // n_groups
-        self._buckets_a: list[list[Tuple]] = [[] for _ in range(n_buckets)]
-        self._buckets_b: list[list[Tuple]] = [[] for _ in range(n_buckets)]
-        self._buckets: dict[str, list[list[Tuple]]] = {
-            SOURCE_A: self._buckets_a,
-            SOURCE_B: self._buckets_b,
-        }
+        # Per (source, bucket) parallel scalar columns.
+        self._keys_a: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._tids_a: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._pays_a: list[list | None] = [None] * n_buckets
+        self._keys_b: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._tids_b: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._pays_b: list[list | None] = [None] * n_buckets
         # bucket -> group, resolved once so the per-tuple path is a
-        # list index instead of a division + min.
+        # list index instead of a division + min; the array twin serves
+        # the batch path's bincount.
         self._group_of: list[int] = [
             min(bucket // self._group_size, n_groups - 1)
             for bucket in range(n_buckets)
         ]
+        self._group_arr = np.asarray(self._group_of, dtype=np.int64)
         self._summary = BucketSummaryTable(n_groups)
 
     @property
@@ -82,6 +146,18 @@ class DualHashTable:
     def bucket_of(self, key: int) -> int:
         """Deterministic bucket index for a join key."""
         return ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+
+    def hash_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket_of` over a whole key column.
+
+        The uint64 wraparound reproduces Python's arbitrary-precision
+        ``(key * MULT) & MASK`` bit-for-bit, including negative keys
+        (two's-complement low bits), so per-tuple and batch paths agree
+        on every bucket.
+        """
+        h = keys.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER)
+        h &= np.uint64(_HASH_MASK)
+        return (h % np.uint64(self._n_buckets)).astype(np.int64)
 
     def group_of_bucket(self, bucket: int) -> int:
         """Group index a bucket belongs to."""
@@ -106,10 +182,57 @@ class DualHashTable:
             return range(start, self._n_buckets)
         return range(start, start + self._group_size)
 
+    def _columns(
+        self, source: str
+    ) -> tuple[list[list[int]], list[list[int]], list[list | None]]:
+        if source == SOURCE_A:
+            return self._keys_a, self._tids_a, self._pays_a
+        if source == SOURCE_B:
+            return self._keys_b, self._tids_b, self._pays_b
+        raise ConfigurationError(f"unknown source {source!r}")
+
+    def _append(
+        self,
+        keys: list[list[int]],
+        tids: list[list[int]],
+        pays: list[list | None],
+        bucket: int,
+        t: Tuple,
+    ) -> None:
+        key_col = keys[bucket]
+        key_col.append(t.key)
+        tids[bucket].append(t.tid)
+        pay_col = pays[bucket]
+        if pay_col is not None:
+            pay_col.append(t.payload)
+        elif t.payload is not None:
+            # First payload in this bucket: backfill Nones for the
+            # entries stored before it.
+            pay_col = [None] * (len(key_col) - 1)
+            pay_col.append(t.payload)
+            pays[bucket] = pay_col
+
+    def _materialise(
+        self,
+        source: str,
+        keys: list[int],
+        tids: list[int],
+        pays: list | None,
+    ) -> list[Tuple]:
+        if pays is None:
+            return [
+                Tuple(key=k, tid=i, source=source) for k, i in zip(keys, tids)
+            ]
+        return [
+            Tuple(key=k, tid=i, source=source, payload=p)
+            for k, i, p in zip(keys, tids, pays)
+        ]
+
     def insert(self, t: Tuple) -> int:
         """Store ``t`` in its own source's bucket (Figure 3, Step 4)."""
+        keys, tids, pays = self._columns(t.source)
         bucket = self.bucket_of(t.key)
-        self._buckets[t.source][bucket].append(t)
+        self._append(keys, tids, pays, bucket, t)
         self._summary.add(t.source, self.group_of_bucket(bucket))
         return bucket
 
@@ -121,63 +244,434 @@ class DualHashTable:
         is based on.
         """
         other = SOURCE_B if t.source == SOURCE_A else SOURCE_A
-        bucket = self._buckets[other][self.bucket_of(t.key)]
-        matches = [cand for cand in bucket if cand.key == t.key]
-        return matches, len(bucket)
+        keys, tids, pays = self._columns(other)
+        bucket = self.bucket_of(t.key)
+        key = t.key
+        key_col = keys[bucket]
+        matches = self._probe_column(
+            key, key_col, tids[bucket], pays[bucket], other
+        )
+        return list(matches), len(key_col)
+
+    def _probe_column(
+        self,
+        key: int,
+        key_col: list[int],
+        tid_col: list[int],
+        pay_col: list | None,
+        opp_source: str,
+    ) -> Sequence[Tuple]:
+        # ``in`` over an int list is a C-speed scan; the boxing
+        # comprehension only runs when a match exists (rare at paper
+        # selectivity).
+        if not key_col or key not in key_col:
+            return _NO_MATCHES
+        if pay_col is None:
+            return [
+                Tuple(key=key, tid=tid_col[i], source=opp_source)
+                for i, k in enumerate(key_col)
+                if k == key
+            ]
+        return [
+            Tuple(key=key, tid=tid_col[i], source=opp_source, payload=pay_col[i])
+            for i, k in enumerate(key_col)
+            if k == key
+        ]
 
     def probe_insert(self, t: Tuple) -> tuple[Sequence[Tuple], int, int]:
-        """Fused probe + insert for the hashing hot path.
+        """Fused probe + insert for the per-tuple hot path.
 
         Behaviourally identical to :meth:`probe` followed by
         :meth:`insert`, but the bucket hash is computed once, the
         bucket/group resolution is a list lookup, the summary update
-        skips per-call validation, and an empty opposite bucket costs
-        no allocation at all.  Returns ``(matches, candidates, bucket)``
-        — the extra bucket index saves callers that key per-bucket
-        bookkeeping (XJoin's insert counts) a second hash.
+        skips per-call validation, and an empty or matchless opposite
+        bucket costs no allocation at all.  Returns
+        ``(matches, candidates, bucket)`` — the extra bucket index
+        saves callers that key per-bucket bookkeeping (XJoin's insert
+        counts) a second hash.
         """
         key = t.key
         bucket = ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
         if t.source == SOURCE_A:
-            own, opposite, is_a = self._buckets_a, self._buckets_b, True
+            own_keys, own_tids, own_pays = self._keys_a, self._tids_a, self._pays_a
+            opp_keys, opp_tids, opp_pays = self._keys_b, self._tids_b, self._pays_b
+            opp_source, is_a = SOURCE_B, True
         else:
-            own, opposite, is_a = self._buckets_b, self._buckets_a, False
-        candidates = opposite[bucket]
-        if candidates:
-            matches: Sequence[Tuple] = [c for c in candidates if c.key == key]
-        else:
-            matches = _NO_MATCHES
-        own[bucket].append(t)
+            own_keys, own_tids, own_pays = self._keys_b, self._tids_b, self._pays_b
+            opp_keys, opp_tids, opp_pays = self._keys_a, self._tids_a, self._pays_a
+            opp_source, is_a = SOURCE_A, False
+        cand_keys = opp_keys[bucket]
+        matches = self._probe_column(
+            key, cand_keys, opp_tids[bucket], opp_pays[bucket], opp_source
+        )
+        self._append(own_keys, own_tids, own_pays, bucket, t)
         self._summary.add_one(is_a, self._group_of[bucket])
-        return matches, len(candidates), bucket
+        return matches, len(cand_keys), bucket
+
+    # -- the array-native batch kernel -----------------------------------
+
+    def probe_insert_batch(
+        self,
+        keys: np.ndarray,
+        tids: np.ndarray,
+        is_a: np.ndarray,
+        payloads: list | None,
+        buckets: np.ndarray,
+        need_pairs: bool = True,
+    ) -> BatchProbeResult:
+        """Probe + insert a whole arrival segment in one vectorized pass.
+
+        Arguments are parallel per-row columns in *arrival order*:
+        int64 ``keys``/``tids``, boolean ``is_a`` (source A rows), the
+        payload reference list (or ``None``), and ``buckets`` from
+        :meth:`hash_batch`.  Equivalent to calling :meth:`probe_insert`
+        row by row: candidate counts, match multiplicities, and (when
+        ``need_pairs``) the exact emission order are identical, because
+        matches replay the per-tuple scan order — existing entries by
+        column position, then earlier batch rows by insertion position.
+        With ``need_pairs=False`` only the per-row counts are computed
+        (what a ``keep_results=False`` run needs for its clock charges).
+        """
+        n = len(keys)
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return BatchProbeResult(
+                candidates=empty,
+                match_counts=empty,
+                total_matches=0,
+                runs_a=[],
+                runs_b=[],
+            )
+        summary_total = self._summary.total
+
+        # Group rows by bucket, stably: within a bucket run, sorted
+        # position order IS arrival order.
+        order_b = np.argsort(buckets, kind="stable")
+        sb = buckets[order_b]
+        ia_sorted = is_a[order_b]
+        starts, ends = _run_bounds(sb)
+        run_lens = ends - starts
+        run_buckets = sb[starts].tolist()
+
+        # Prior same-bucket rows of each source (exclusive counts).
+        ia_int = ia_sorted.astype(np.int64)
+        exc_a = np.cumsum(ia_int) - ia_int
+        exc_b = np.cumsum(1 - ia_int) - (1 - ia_int)
+        prior_a = exc_a - np.repeat(exc_a[starts], run_lens)
+        prior_b = exc_b - np.repeat(exc_b[starts], run_lens)
+
+        keys_a_cols, keys_b_cols = self._keys_a, self._keys_b
+        n_runs = len(run_buckets)
+        base_a_run = np.fromiter(
+            (len(keys_a_cols[b]) for b in run_buckets), np.int64, n_runs
+        )
+        base_b_run = np.fromiter(
+            (len(keys_b_cols[b]) for b in run_buckets), np.int64, n_runs
+        )
+        base_a = np.repeat(base_a_run, run_lens)
+        base_b = np.repeat(base_b_run, run_lens)
+
+        # Opposite-bucket population each row scans = candidates; own
+        # insertion position = where later rows will find this one.
+        cand_sorted = np.where(ia_sorted, base_b + prior_b, base_a + prior_a)
+        candidates = np.empty(n, dtype=np.int64)
+        candidates[order_b] = cand_sorted
+        own_pos = np.empty(n, dtype=np.int64)
+        own_pos[order_b] = np.where(ia_sorted, base_a + prior_a, base_b + prior_b)
+
+        collect_pays = need_pairs and (
+            payloads is not None or self._any_payloads()
+        )
+        chunk_probe: list[np.ndarray] = []
+        chunk_order: list[np.ndarray] = []
+        chunk_tid: list[np.ndarray] = []
+        chunk_pay: list[list] = []
+        exist_counts: np.ndarray | None = None
+
+        # Matches against already-stored tuples: a per-run pass (only
+        # non-empty buckets that this batch touches), each an outer
+        # equality over (batch rows of one side) x (existing column of
+        # the other).  Skipped wholesale when the table is empty — the
+        # mega-batch case the kernel benchmark measures.
+        if summary_total:
+            exist_counts = np.zeros(n, dtype=np.int64)
+            starts_l = starts.tolist()
+            ends_l = ends.tolist()
+            base_a_l = base_a_run.tolist()
+            base_b_l = base_b_run.tolist()
+            for j, b in enumerate(run_buckets):
+                if not base_a_l[j] and not base_b_l[j]:
+                    continue
+                s, e = starts_l[j], ends_l[j]
+                rows = order_b[s:e]
+                sel_a = ia_sorted[s:e]
+                if base_b_l[j]:
+                    self._existing_matches(
+                        rows[sel_a], keys, self._keys_b[b], self._tids_b[b],
+                        self._pays_b[b], exist_counts, need_pairs,
+                        collect_pays, chunk_probe, chunk_order, chunk_tid,
+                        chunk_pay,
+                    )
+                if base_a_l[j]:
+                    self._existing_matches(
+                        rows[~sel_a], keys, self._keys_a[b], self._tids_a[b],
+                        self._pays_a[b], exist_counts, need_pairs,
+                        collect_pays, chunk_probe, chunk_order, chunk_tid,
+                        chunk_pay,
+                    )
+
+        # Intra-batch matches, fully vectorized: equal keys imply the
+        # same bucket, so grouping by key alone finds every
+        # batch-internal pair; prior opposite-source rows in the key
+        # run are exactly the stored rows an arrival would scan.
+        order_k = np.argsort(keys, kind="stable")
+        sk = keys[order_k]
+        ia_k = is_a[order_k]
+        kstarts, kends = _run_bounds(sk)
+        klens = kends - kstarts
+        ia_k_int = ia_k.astype(np.int64)
+        kexc_a = np.cumsum(ia_k_int) - ia_k_int
+        kexc_b = np.cumsum(1 - ia_k_int) - (1 - ia_k_int)
+        kprior_a = kexc_a - np.repeat(kexc_a[kstarts], klens)
+        kprior_b = kexc_b - np.repeat(kexc_b[kstarts], klens)
+        m_intra_sorted = np.where(ia_k, kprior_b, kprior_a)
+
+        match_counts = np.empty(n, dtype=np.int64)
+        match_counts[order_k] = m_intra_sorted
+        if exist_counts is not None:
+            match_counts += exist_counts
+        total_matches = int(match_counts.sum())
+
+        intra_total = int(m_intra_sorted.sum())
+        if need_pairs and intra_total:
+            # Enumerate pairs with the concatenated-aranges trick:
+            # probe row r (with m builds) contributes builds
+            # opposite_rows[off_r + 0 .. off_r + m-1].
+            a_rows_k = order_k[ia_k]
+            b_rows_k = order_k[~ia_k]
+            off_a = kexc_a[kstarts]
+            off_b = kexc_b[kstarts]
+            opp_off = np.where(
+                ia_k, np.repeat(off_b, klens), np.repeat(off_a, klens)
+            )
+            cnt = m_intra_sorted
+            probe_rep = np.repeat(order_k, cnt)
+            isa_rep = np.repeat(ia_k, cnt)
+            csum = np.cumsum(cnt)
+            within = np.arange(intra_total, dtype=np.int64) - np.repeat(
+                csum - cnt, cnt
+            )
+            src_idx = np.repeat(opp_off, cnt) + within
+            build_rows = np.empty(intra_total, dtype=np.int64)
+            build_rows[isa_rep] = b_rows_k[src_idx[isa_rep]]
+            build_rows[~isa_rep] = a_rows_k[src_idx[~isa_rep]]
+            chunk_probe.append(probe_rep)
+            chunk_order.append(own_pos[build_rows])
+            chunk_tid.append(tids[build_rows])
+            if collect_pays:
+                if payloads is None:
+                    chunk_pay.append([None] * intra_total)
+                else:
+                    chunk_pay.append([payloads[r] for r in build_rows.tolist()])
+
+        probe_rows: np.ndarray | None = None
+        build_tids: np.ndarray | None = None
+        build_pays: list | None = None
+        if need_pairs and total_matches:
+            probe_all = np.concatenate(chunk_probe)
+            order_all = np.concatenate(chunk_order)
+            tid_all = np.concatenate(chunk_tid)
+            # Emission order: probe (arrival) position, then the build
+            # side's position in its bucket — the per-tuple scan order.
+            sel = np.lexsort((order_all, probe_all))
+            probe_rows = probe_all[sel]
+            build_tids = tid_all[sel]
+            if collect_pays:
+                pay_all: list = []
+                for chunk in chunk_pay:
+                    pay_all.extend(chunk)
+                build_pays = [pay_all[i] for i in sel.tolist()]
+
+        # Bulk inserts: per-source, per-bucket-run column extends.
+        runs_a = self._bulk_insert(
+            order_b[ia_sorted], sb[ia_sorted], keys, tids, payloads,
+            self._keys_a, self._tids_a, self._pays_a,
+        )
+        runs_b = self._bulk_insert(
+            order_b[~ia_sorted], sb[~ia_sorted], keys, tids, payloads,
+            self._keys_b, self._tids_b, self._pays_b,
+        )
+
+        # Summary: per-group delta arrays in two bincounts.  The
+        # running (max, argmax) goes stale; the lazy rescan picks the
+        # lowest-index argmax, same as the running update would.
+        garr = self._group_arr
+        ng = self._n_groups
+        deltas_a = np.bincount(garr[buckets[is_a]], minlength=ng)
+        deltas_b = np.bincount(garr[buckets[~is_a]], minlength=ng)
+        self._summary.add_delta_arrays(deltas_a, deltas_b)
+
+        return BatchProbeResult(
+            candidates=candidates,
+            match_counts=match_counts,
+            total_matches=total_matches,
+            runs_a=runs_a,
+            runs_b=runs_b,
+            probe_rows=probe_rows,
+            build_tids=build_tids,
+            build_payloads=build_pays,
+        )
+
+    def _any_payloads(self) -> bool:
+        return any(c is not None for c in self._pays_a) or any(
+            c is not None for c in self._pays_b
+        )
+
+    @staticmethod
+    def _existing_matches(
+        probe_rows: np.ndarray,
+        keys: np.ndarray,
+        key_col: list[int],
+        tid_col: list[int],
+        pay_col: list | None,
+        exist_counts: np.ndarray,
+        need_pairs: bool,
+        collect_pays: bool,
+        chunk_probe: list[np.ndarray],
+        chunk_order: list[np.ndarray],
+        chunk_tid: list[np.ndarray],
+        chunk_pay: list[list],
+    ) -> None:
+        """Match one bucket-run of batch rows against one stored column."""
+        if not len(probe_rows):
+            return
+        col = np.asarray(key_col, dtype=np.int64)
+        eq = keys[probe_rows][:, None] == col[None, :]
+        counts = eq.sum(axis=1)
+        if not counts.any():
+            return
+        # probe_rows are distinct rows, so fancy-index add is safe.
+        exist_counts[probe_rows] += counts
+        if not need_pairs:
+            return
+        pi, ci = np.nonzero(eq)
+        chunk_probe.append(probe_rows[pi])
+        chunk_order.append(ci)
+        chunk_tid.append(np.asarray(tid_col, dtype=np.int64)[ci])
+        if collect_pays:
+            if pay_col is None:
+                chunk_pay.append([None] * len(ci))
+            else:
+                chunk_pay.append([pay_col[j] for j in ci.tolist()])
+
+    @staticmethod
+    def _bulk_insert(
+        rows_sorted: np.ndarray,
+        buckets_sorted: np.ndarray,
+        keys: np.ndarray,
+        tids: np.ndarray,
+        payloads: list | None,
+        keys_cols: list[list[int]],
+        tids_cols: list[list[int]],
+        pays_cols: list[list | None],
+    ) -> list[tuple[int, int]]:
+        """Extend one source's bucket columns with its batch rows."""
+        if not len(rows_sorted):
+            return []
+        keys_l = keys[rows_sorted].tolist()
+        tids_l = tids[rows_sorted].tolist()
+        pays_l = (
+            None
+            if payloads is None
+            else [payloads[r] for r in rows_sorted.tolist()]
+        )
+        starts, ends = _run_bounds(buckets_sorted)
+        starts_l = starts.tolist()
+        ends_l = ends.tolist()
+        run_buckets = buckets_sorted[starts].tolist()
+        runs: list[tuple[int, int]] = []
+        for j, b in enumerate(run_buckets):
+            s, e = starts_l[j], ends_l[j]
+            key_col = keys_cols[b]
+            prior = len(key_col)
+            key_col.extend(keys_l[s:e])
+            tids_cols[b].extend(tids_l[s:e])
+            pay_col = pays_cols[b]
+            if pays_l is not None:
+                seg = pays_l[s:e]
+                if pay_col is not None:
+                    pay_col.extend(seg)
+                elif any(p is not None for p in seg):
+                    pay_col = [None] * prior
+                    pay_col.extend(seg)
+                    pays_cols[b] = pay_col
+            elif pay_col is not None:
+                pay_col.extend([None] * (e - s))
+            runs.append((b, e - s))
+        return runs
+
+    # -- extraction and inspection ----------------------------------------
 
     def extract_group(self, source: str, group: int) -> list[Tuple]:
         """Remove and return every tuple of ``source`` in ``group``.
 
         Used by the flush path: the caller sorts the extracted tuples
-        and writes them as one disk block.
+        and writes them as one disk block.  Tuples are boxed here, at
+        the memory/disk boundary, in bucket-then-insertion order —
+        the order the tuple-list storage always produced.
         """
-        if source not in self._buckets:
-            raise ConfigurationError(f"unknown source {source!r}")
+        keys_cols, tids_cols, pays_cols = self._columns(source)
         extracted: list[Tuple] = []
         for bucket in self.buckets_in_group(group):
-            extracted.extend(self._buckets[source][bucket])
-            self._buckets[source][bucket] = []
+            key_col = keys_cols[bucket]
+            if not key_col:
+                continue
+            extracted.extend(
+                self._materialise(
+                    source, key_col, tids_cols[bucket], pays_cols[bucket]
+                )
+            )
+            keys_cols[bucket] = []
+            tids_cols[bucket] = []
+            pays_cols[bucket] = None
         if extracted:
             self._summary.remove(source, group, len(extracted))
         return extracted
 
+    def discard_group(self, source: str, group: int) -> int:
+        """Drop every tuple of ``source`` in ``group`` without boxing.
+
+        The count-and-release counterpart of :meth:`extract_group` for
+        callers that do not need the tuples (end-of-input accounting
+        when nothing was ever spilled): the columns are cleared and the
+        summary updated, but no ``Tuple`` is materialised.  Returns the
+        number of tuples dropped.
+        """
+        keys_cols, tids_cols, pays_cols = self._columns(source)
+        dropped = 0
+        for bucket in self.buckets_in_group(group):
+            key_col = keys_cols[bucket]
+            if not key_col:
+                continue
+            dropped += len(key_col)
+            keys_cols[bucket] = []
+            tids_cols[bucket] = []
+            pays_cols[bucket] = None
+        if dropped:
+            self._summary.remove(source, group, dropped)
+        return dropped
+
     def bucket_size(self, source: str, bucket: int) -> int:
         """Population of one bucket."""
-        if source not in self._buckets:
-            raise ConfigurationError(f"unknown source {source!r}")
-        return len(self._buckets[source][bucket])
+        keys_cols, _, _ = self._columns(source)
+        return len(keys_cols[bucket])
 
     def bucket_contents(self, source: str, bucket: int) -> list[Tuple]:
-        """Copy of one bucket's tuples (XJoin's stage 2 snapshots these)."""
-        if source not in self._buckets:
-            raise ConfigurationError(f"unknown source {source!r}")
-        return list(self._buckets[source][bucket])
+        """One bucket's tuples, boxed (XJoin's stage 2 snapshots these)."""
+        keys_cols, tids_cols, pays_cols = self._columns(source)
+        return self._materialise(
+            source, keys_cols[bucket], tids_cols[bucket], pays_cols[bucket]
+        )
 
     def largest_bucket(self) -> tuple[str, int]:
         """The (source, bucket) pair with the most tuples.
@@ -187,10 +681,10 @@ class DualHashTable:
         then to the lowest bucket index.
         """
         best_source, best_bucket, best_size = SOURCE_A, 0, -1
-        for source in (SOURCE_A, SOURCE_B):
-            for bucket, contents in enumerate(self._buckets[source]):
-                if len(contents) > best_size:
-                    best_source, best_bucket, best_size = source, bucket, len(contents)
+        for source, keys_cols in ((SOURCE_A, self._keys_a), (SOURCE_B, self._keys_b)):
+            for bucket, key_col in enumerate(keys_cols):
+                if len(key_col) > best_size:
+                    best_source, best_bucket, best_size = source, bucket, len(key_col)
         return best_source, best_bucket
 
     def total_tuples(self) -> int:

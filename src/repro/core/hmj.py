@@ -19,6 +19,7 @@ the test suite against blocking oracle joins.
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.core.columnar import ColumnBatch, run_columnar_batch
 from repro.core.config import HMJConfig
 from repro.core.hashing import DualHashTable
 from repro.core.merging import MergeScheduler
@@ -35,6 +36,7 @@ class HashMergeJoin(StreamingJoinOperator):
 
     name = "HMJ"
     supports_memory_resize = True
+    supports_column_batches = True
     PHASE_HASHING = "hashing"
     PHASE_MERGING = "merging"
 
@@ -184,6 +186,35 @@ class HashMergeJoin(StreamingJoinOperator):
         memory.set_used(used)
         self.peak_imbalance = peak
 
+    def on_column_batch(self, batch: ColumnBatch) -> None:
+        """Array-native hashing loop over one columnar delivery batch.
+
+        The shared :func:`~repro.core.columnar.run_columnar_batch`
+        driver with HMJ's flush policy and phase label: hashing,
+        bucket grouping, matching, and inserts run vectorized while the
+        clock walks the exact per-tuple charge sequence — triples and
+        emission order are identical to both tuple paths (pinned by the
+        equivalence suite).  Subclasses that customise either tuple
+        hook are replayed through those hooks instead.
+        """
+        if (
+            type(self).on_tuple is not HashMergeJoin.on_tuple
+            or type(self).on_tuple_batch is not HashMergeJoin.on_tuple_batch
+        ):
+            super().on_column_batch(batch)
+            return
+        memory = self._memory
+        table = self._table
+        assert memory is not None and table is not None
+        run_columnar_batch(
+            self,
+            batch,
+            table=table,
+            memory=memory,
+            flush=self._flush_victims,
+            phase=self.PHASE_HASHING,
+        )
+
     def has_background_work(self) -> bool:
         """Merging work exists while different-numbered block pairs remain."""
         return self.scheduler.has_result_work()
@@ -299,8 +330,8 @@ class HashMergeJoin(StreamingJoinOperator):
         """
         if self.flush_count == 0:
             for group in self.table.summary.nonempty_groups():
-                n_a = len(self.table.extract_group(SOURCE_A, group))
-                n_b = len(self.table.extract_group(SOURCE_B, group))
+                n_a = self.table.discard_group(SOURCE_A, group)
+                n_b = self.table.discard_group(SOURCE_B, group)
                 self.memory.release(n_a + n_b)
             return
         for group in self.table.summary.nonempty_groups():
@@ -311,8 +342,8 @@ class HashMergeJoin(StreamingJoinOperator):
             ):
                 # No disk blocks to merge against: every match involving
                 # this group's tuples was already emitted in memory.
-                n_a = len(self.table.extract_group(SOURCE_A, group))
-                n_b = len(self.table.extract_group(SOURCE_B, group))
+                n_a = self.table.discard_group(SOURCE_A, group)
+                n_b = self.table.discard_group(SOURCE_B, group)
                 self.memory.release(n_a + n_b)
                 continue
             self._flush_group(group)

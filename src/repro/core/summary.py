@@ -19,6 +19,8 @@ as a debug oracle in the test suite.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError, MemoryBudgetError
 from repro.storage.tuples import SOURCE_A, SOURCE_B
 
@@ -100,6 +102,32 @@ class BucketSummaryTable:
             self._counts_b[group] += 1
             self._total_b += 1
         self._note_growth(group)
+
+    def add_delta_arrays(self, deltas_a, deltas_b) -> None:
+        """Bulk :meth:`add_one`: per-group delta arrays from one batch.
+
+        ``deltas_a``/``deltas_b`` are length-``n_groups`` count arrays
+        (``np.bincount`` output).  Totals update in O(nonzero groups);
+        the running ``(max, argmax)`` is marked stale for the lazy
+        rescan, which picks the lowest-index argmax among tied maxima —
+        exactly what per-tuple ``_note_growth`` maintains, so every
+        policy query sees identical values on either path.
+        """
+        counts_a = self._counts_a
+        counts_b = self._counts_b
+        grew = False
+        for g in np.flatnonzero(deltas_a).tolist():
+            d = int(deltas_a[g])
+            counts_a[g] += d
+            self._total_a += d
+            grew = True
+        for g in np.flatnonzero(deltas_b).tolist():
+            d = int(deltas_b[g])
+            counts_b[g] += d
+            self._total_b += d
+            grew = True
+        if grew:
+            self._max_stale = True
 
     def remove(self, source: str, group: int, n: int) -> None:
         """Record ``n`` tuples leaving ``group`` (flushed to disk)."""

@@ -28,6 +28,7 @@ from repro.errors import ProtocolError
 from repro.storage.tuples import Tuple, make_result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columnar import ColumnBatch
     from repro.metrics.recorder import MetricsRecorder
     from repro.sim.budget import WorkBudget
     from repro.sim.clock import VirtualClock
@@ -64,9 +65,19 @@ class StreamingJoinOperator(abc.ABC):
     #: that advertise it.
     supports_memory_resize = False
 
+    #: Whether the operator has a native :meth:`on_column_batch`.  The
+    #: engine only builds a :class:`~repro.core.columnar.ColumnBatch`
+    #: (instead of boxing tuples) for operators that advertise it.
+    supports_column_batches = False
+
     def __init__(self) -> None:
         self._runtime: JoinRuntime | None = None
         self._finished = False
+        #: Largest |size(A-side) - size(B-side)| observed in the hash
+        #: tables.  Maintained by the hashing-phase operators (HMJ,
+        #: XJoin) and by the shared columnar batch loop; declared here
+        #: so array-native helpers can read it through the base type.
+        self.peak_imbalance: int = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -143,6 +154,19 @@ class StreamingJoinOperator(abc.ABC):
         for t, at in zip(tuples, times):
             advance_to(at)
             on_tuple(t)
+
+    def on_column_batch(self, batch: "ColumnBatch") -> None:
+        """Process a run of arrivals delivered as columns.
+
+        The columnar counterpart of :meth:`on_tuple_batch`: same
+        arrivals, same instants, no ``Tuple`` boxing on the way in.
+        The same equivalence contract applies — identical per-tuple
+        clock charges and emission order.  This default boxes the batch
+        and delegates, so operators without an array-native path (and
+        subclasses that customise the per-tuple hooks) stay correct.
+        """
+        tuples, times = batch.to_tuples()
+        self.on_tuple_batch(tuples, times)
 
     @abc.abstractmethod
     def has_background_work(self) -> bool:

@@ -38,8 +38,11 @@ from __future__ import annotations
 import math
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.core.hashing import DualHashTable
+from repro.core.columnar import ColumnBatch, run_columnar_batch
+from repro.core.hashing import BatchProbeResult, DualHashTable
 from repro.joins.base import StreamingJoinOperator
 from repro.sim.budget import WorkBudget
 from repro.storage.memory import MemoryPool
@@ -53,6 +56,7 @@ class XJoin(StreamingJoinOperator):
 
     name = "XJoin"
     supports_memory_resize = True
+    supports_column_batches = True
     PHASE_STAGE1 = "stage1"
     PHASE_STAGE2 = "stage2"
     PHASE_STAGE3 = "stage3"
@@ -209,6 +213,69 @@ class XJoin(StreamingJoinOperator):
         clock.resync(now)
         memory.set_used(used)
         self.peak_imbalance = peak
+
+    def on_column_batch(self, batch: ColumnBatch) -> None:
+        """Array-native stage-1 loop over one columnar delivery batch.
+
+        The shared :func:`~repro.core.columnar.run_columnar_batch`
+        driver with XJoin's flush policy, plus the per-row bookkeeping
+        stage 1 needs: the driver hands back each segment's post-charge
+        row instants (the ATS values :meth:`on_tuple` records from the
+        live clock) and the probe plan's per-bucket insert runs (the
+        stage-2 version counters).  Subclasses that customise either
+        tuple hook — the static-memory variant overrides
+        :meth:`on_tuple` — are replayed through those hooks instead.
+        """
+        if (
+            type(self).on_tuple is not XJoin.on_tuple
+            or type(self).on_tuple_batch is not XJoin.on_tuple_batch
+        ):
+            super().on_column_batch(batch)
+            return
+        memory = self._memory
+        table = self._table
+        assert memory is not None and table is not None
+        ats = self._ats
+        insert_counts = self._insert_counts
+        tids = batch.tids
+        isa = batch.is_a
+
+        def record_segment(
+            lo: int,
+            hi: int,
+            plan: BatchProbeResult,
+            row_times: list[float] | None,
+        ) -> None:
+            assert row_times is not None
+            seg_isa = isa[lo:hi]
+            seg_tids = tids[lo:hi]
+            # ``asarray`` of Python floats and ``tolist`` back are both
+            # bit-exact, so the masked gather preserves every instant.
+            rt = np.asarray(row_times)
+            for src, mask in ((SOURCE_A, seg_isa), (SOURCE_B, ~seg_isa)):
+                side_tids = seg_tids[mask].tolist()
+                if side_tids:
+                    ats.update(
+                        zip(
+                            ((src, t) for t in side_tids),
+                            rt[mask].tolist(),
+                        )
+                    )
+            for runs, src in ((plan.runs_a, SOURCE_A), (plan.runs_b, SOURCE_B)):
+                for bucket, count in runs:
+                    key = (src, bucket)
+                    insert_counts[key] = insert_counts.get(key, 0) + count
+
+        run_columnar_batch(
+            self,
+            batch,
+            table=table,
+            memory=memory,
+            flush=self._flush_largest_bucket,
+            phase=self.PHASE_STAGE1,
+            want_row_times=True,
+            on_segment=record_segment,
+        )
 
     def _flush_largest_bucket(self) -> None:
         """Flush the single largest bucket of either source, unsorted."""

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.arrival import ArrivalProcess
-from repro.storage.tuples import Relation, Tuple
+from repro.storage.tuples import Relation, RelationColumns, Tuple
 
 
 class NetworkSource:
@@ -38,12 +38,17 @@ class NetworkSource:
         if rng is None:
             rng = np.random.default_rng(seed)
         self._relation = relation
-        # Materialised once as plain Python floats: the kernel peeks or
-        # pops every entry at least once, and numpy scalar boxing on
-        # that path costs more than the whole conversion.
-        self._times: list[float] = arrivals.arrival_times(
+        # The native float64 schedule backs the columnar delivery path
+        # (zero-copy slices per batch)...
+        self._times_array: np.ndarray = arrivals.arrival_times(
             len(relation), rng, start=start
-        ).tolist()
+        )
+        # ...while the same instants, materialised once as plain Python
+        # floats, back the per-event path: the kernel peeks or pops
+        # every entry at least once, and numpy scalar boxing on that
+        # path costs more than the whole conversion.  ``tolist`` is
+        # bit-exact, so both views agree on every instant.
+        self._times: list[float] = self._times_array.tolist()
         self._index = 0
 
     @property
@@ -117,6 +122,38 @@ class NetworkSource:
         self._index = end
         return self._times[start:end], self._relation.tuples[start:end]
 
+    def pop_batch_columns(
+        self, n: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list | None]:
+        """Deliver the next ``n`` arrivals as zero-copy column slices.
+
+        Returns ``(times, keys, tids, payloads)`` — three array views
+        over the source's native schedule and the relation's columnar
+        image, plus the payload reference slice (``None`` when the
+        relation carries no payloads).  No ``Tuple`` is boxed; the
+        delivery order and content are identical to :meth:`pop_batch`.
+        """
+        start = self._index
+        end = start + n
+        if n < 1 or end > len(self._relation):
+            raise SimulationError(
+                f"source {self.name!r} cannot deliver {n} tuples "
+                f"({self.remaining} remaining)"
+            )
+        cols = self._relation.columns()
+        self._index = end
+        payloads = None if cols.payloads is None else cols.payloads[start:end]
+        return (
+            self._times_array[start:end],
+            cols.keys[start:end],
+            cols.tids[start:end],
+            payloads,
+        )
+
+    def columns(self) -> RelationColumns:
+        """The delivered relation's columnar image."""
+        return self._relation.columns()
+
     def pending_times(self) -> tuple[list[float], int]:
         """The full arrival-time list and the next-delivery cursor.
 
@@ -125,9 +162,17 @@ class NetworkSource:
         """
         return self._times, self._index
 
+    def pending_times_array(self) -> tuple[np.ndarray, int]:
+        """Array twin of :meth:`pending_times` (same instants, float64).
+
+        Backs the kernel's columnar run extraction; ``tolist`` round-
+        trips bit-exactly, so the two views can never disagree.
+        """
+        return self._times_array, self._index
+
     def arrival_schedule(self) -> np.ndarray:
         """Copy of the full arrival-time vector (for tests and plots)."""
-        return np.asarray(self._times, dtype=float)
+        return self._times_array.copy()
 
     def __repr__(self) -> str:
         return (

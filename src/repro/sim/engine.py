@@ -23,6 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.columnar import ColumnBatch
 from repro.errors import ConfigurationError
 from repro.joins.base import JoinRuntime, StreamingJoinOperator
 from repro.metrics.recorder import MetricsRecorder
@@ -85,6 +88,7 @@ class JoinSimulation:
         journal: bool = False,
         broker: ResourceBroker | None = None,
         batch_delivery: bool = True,
+        columnar_delivery: bool = True,
         checks=None,
     ) -> None:
         if stop_after is not None and stop_after < 1:
@@ -93,6 +97,7 @@ class JoinSimulation:
         self._costs = costs or CostModel()
         self._stop_after = stop_after
         self._keep_results = keep_results
+        self._columnar = bool(columnar_delivery)
 
         self.clock = VirtualClock()
         if spill_dir is None:
@@ -122,17 +127,24 @@ class JoinSimulation:
         )
         self._source_a = source_a
         self._source_b = source_b
-        group = self.scheduler.add_batch_group(self._deliver_batch)
+        group = self.scheduler.add_batch_group(
+            self._deliver_batch,
+            self._deliver_batch_columns
+            if self._columnar and operator.supports_column_batches
+            else None,
+        )
         self._stream_a = self.scheduler.add_stream(
             source_a.peek_time,
             self._deliver_from(source_a),
             times=source_a.pending_times,
+            times_array=source_a.pending_times_array,
             group=group,
         )
         self._stream_b = self.scheduler.add_stream(
             source_b.peek_time,
             self._deliver_from(source_b),
             times=source_b.pending_times,
+            times_array=source_b.pending_times_array,
             group=group,
         )
         self.scheduler.batching = bool(batch_delivery)
@@ -193,6 +205,15 @@ class JoinSimulation:
         # No stop predicate can fire mid-run: pop both sources in two
         # slices and hand the operator the whole run in one call.
         n = len(order)
+        if self._columnar and self._operator.supports_column_batches:
+            # Columnar delivery: slice the sources' column images and
+            # hand the operator arrays instead of boxed tuples.  The
+            # arrival order, instants, and content are identical.
+            is_a = np.asarray(order, dtype=np.int64) == stream_a
+            self._operator.on_column_batch(
+                self._pop_column_batch(is_a, np.asarray(times, dtype=np.float64))
+            )
+            return
         count_a = order.count(stream_a)
         if count_a == n:
             _, tuples = src_a.pop_batch(n)
@@ -207,6 +228,59 @@ class JoinSimulation:
                 next_a() if index == stream_a else next_b() for index in order
             ]
         self._operator.on_tuple_batch(tuples, times)
+
+    def _deliver_batch_columns(self, indices: np.ndarray, times: np.ndarray) -> None:
+        """Columnar twin of :meth:`_deliver_batch` (arrays in, no boxing).
+
+        Registered with the kernel only when columnar delivery is
+        active; an armed early stop still routes through the list path,
+        whose per-tuple unroll keeps single-result granularity.
+        """
+        if self._stop_after is not None or not (
+            self._columnar and self._operator.supports_column_batches
+        ):
+            self._deliver_batch(indices.tolist(), times.tolist())
+            return
+        self._operator.on_column_batch(
+            self._pop_column_batch(indices == self._stream_a, times)
+        )
+
+    def _pop_column_batch(self, is_a: np.ndarray, times: np.ndarray) -> ColumnBatch:
+        """Pop one merged run from both sources as a :class:`ColumnBatch`.
+
+        ``is_a`` marks which run positions come from source A;
+        ``times`` holds the run's arrival instants.  Single-source runs
+        are zero-copy slices; mixed runs scatter the two sources'
+        column slices into run order.
+        """
+        src_a = self._source_a
+        src_b = self._source_b
+        n = len(is_a)
+        count_a = int(np.count_nonzero(is_a))
+        if count_a == n:
+            _, keys, tids, payloads = src_a.pop_batch_columns(n)
+        elif count_a == 0:
+            _, keys, tids, payloads = src_b.pop_batch_columns(n)
+        else:
+            _, keys_a, tids_a, pays_a = src_a.pop_batch_columns(count_a)
+            _, keys_b, tids_b, pays_b = src_b.pop_batch_columns(n - count_a)
+            keys = np.empty(n, dtype=np.int64)
+            keys[is_a] = keys_a
+            keys[~is_a] = keys_b
+            tids = np.empty(n, dtype=np.int64)
+            tids[is_a] = tids_a
+            tids[~is_a] = tids_b
+            payloads = None
+            if pays_a is not None or pays_b is not None:
+                payloads = [None] * n
+                for rows, side in (
+                    (np.flatnonzero(is_a), pays_a),
+                    (np.flatnonzero(~is_a), pays_b),
+                ):
+                    if side is not None:
+                        for j, r in enumerate(rows.tolist()):
+                            payloads[r] = side[j]
+        return ColumnBatch(keys=keys, tids=tids, is_a=is_a, times=times, payloads=payloads)
 
     def _stop_reached(self) -> bool:
         return self._stop_after is not None and self.recorder.count >= self._stop_after
@@ -345,6 +419,7 @@ def run_join(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    columnar_delivery: bool = True,
     checks=None,
 ) -> SimulationResult:
     """Run a two-source streaming join to completion.
@@ -373,6 +448,11 @@ def run_join(
             — every count, virtual-clock, and I/O number — are
             identical either way; False forces the per-event path
             (used by the equivalence tests).
+        columnar_delivery: Deliver run batches as column arrays to
+            operators that support them (the default).  Falls back to
+            boxed-tuple batches when False — again with identical
+            observable results (the third axis of the equivalence
+            tests); ignored on the per-tuple paths.
         checks: Attach in-engine invariant checkers
             (:mod:`repro.testing.checks`).  ``True`` raises on the
             first violation; an
@@ -396,6 +476,7 @@ def run_join(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        columnar_delivery=columnar_delivery,
         checks=checks,
     )
     # A solo run is a one-query session: the Query lifecycle dispatches
@@ -418,6 +499,7 @@ def stream_join(
     journal: bool = False,
     broker: ResourceBroker | None = None,
     batch_delivery: bool = True,
+    columnar_delivery: bool = True,
     checks=None,
 ) -> ResultStream:
     """Iterate a streaming join's results as they are produced.
@@ -448,6 +530,7 @@ def stream_join(
         journal=journal,
         broker=broker,
         batch_delivery=batch_delivery,
+        columnar_delivery=columnar_delivery,
         checks=checks,
     )
     return ResultStream(sim)

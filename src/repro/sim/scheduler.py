@@ -61,6 +61,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.sim.budget import WorkBudget
 from repro.sim.clock import VirtualClock
@@ -77,9 +79,15 @@ DeliverFn = Callable[[], None]
 #: Full pending arrival times of a stream plus the cursor of the next
 #: delivery; the kernel reads (never consumes) this to extract runs.
 TimesFn = Callable[[], "tuple[Sequence[float], int]"]
+#: Array twin of TimesFn: the same schedule as a float64 array (the
+#: columnar extraction path slices and merges it without boxing).
+TimesArrayFn = Callable[[], "tuple[np.ndarray, int]"]
 #: Batch delivery: parallel lists of stream indices and arrival times,
 #: one entry per arrival, in exact heap dispatch order.
 BatchDeliverFn = Callable[[list[int], list[float]], None]
+#: Columnar batch delivery: the same run as two parallel arrays
+#: (int64 stream indices, float64 arrival times).
+BatchDeliverColumnsFn = Callable[[np.ndarray, np.ndarray], None]
 HasWorkFn = Callable[[], bool]
 WorkFn = Callable[[WorkBudget], None]
 StopFn = Callable[[], bool]
@@ -94,6 +102,7 @@ class _Stream:
     peek: PeekFn
     deliver: DeliverFn
     times: TimesFn | None = None
+    times_array: TimesArrayFn | None = None
     group: "_BatchGroup | None" = None
     live: bool = False
 
@@ -103,6 +112,7 @@ class _BatchGroup:
     """Streams whose arrival runs may be delivered as merged batches."""
 
     deliver: BatchDeliverFn
+    deliver_columns: BatchDeliverColumnsFn | None = None
     members: list[_Stream] = field(default_factory=list)
     member_ids: set[int] = field(default_factory=set)
 
@@ -169,7 +179,11 @@ class EventScheduler:
 
     # -- registration -------------------------------------------------------
 
-    def add_batch_group(self, deliver: BatchDeliverFn) -> int:
+    def add_batch_group(
+        self,
+        deliver: BatchDeliverFn,
+        deliver_columns: BatchDeliverColumnsFn | None = None,
+    ) -> int:
         """Register a batch-delivery group; returns its id.
 
         ``deliver(order, times)`` receives one maximal run of arrivals
@@ -180,8 +194,18 @@ class EventScheduler:
         time before processing, and honour the scheduler's ``stop_when``
         predicate between consecutive arrivals (it may deliver fewer
         than offered; the kernel re-reads the streams afterwards).
+
+        ``deliver_columns(indices, times)`` is the optional columnar
+        twin — the same run as parallel int64/float64 arrays, under the
+        same contract.  It is preferred whenever every member with
+        pending arrivals exposes a ``times_array`` hook, letting the
+        kernel extract the run with array merges instead of a
+        per-element scalar loop.  The two forms are interchangeable:
+        identical events, identical order, identical instants.
         """
-        self._groups.append(_BatchGroup(deliver=deliver))
+        self._groups.append(
+            _BatchGroup(deliver=deliver, deliver_columns=deliver_columns)
+        )
         return len(self._groups) - 1
 
     def add_stream(
@@ -190,6 +214,7 @@ class EventScheduler:
         deliver: DeliverFn,
         *,
         times: TimesFn | None = None,
+        times_array: TimesArrayFn | None = None,
         group: int | None = None,
     ) -> int:
         """Register an arrival stream.
@@ -203,17 +228,22 @@ class EventScheduler:
         :meth:`add_batch_group`) by passing the group id and a
         ``times`` hook exposing its full pending arrival times; its
         arrivals are then dispatched in merged runs whenever
-        :attr:`batching` is enabled.
+        :attr:`batching` is enabled.  ``times_array`` optionally
+        exposes the same schedule as a float64 array, enabling the
+        group's columnar extraction path.
         """
         if (group is None) != (times is None):
             raise ConfigurationError(
                 "batched streams need both `group` and `times` (got one)"
             )
+        if times_array is not None and times is None:
+            raise ConfigurationError("`times_array` requires `times` and `group`")
         stream = _Stream(index=len(self._streams), peek=peek, deliver=deliver)
         if group is not None:
             if not 0 <= group < len(self._groups):
                 raise ConfigurationError(f"unknown batch group id {group!r}")
             stream.times = times
+            stream.times_array = times_array
             stream.group = self._groups[group]
             stream.group.members.append(stream)
             stream.group.member_ids.add(stream.index)
@@ -411,8 +441,18 @@ class EventScheduler:
         else:
             bound_time = float("inf")
             bound_index = -1
+        if group.deliver_columns is not None:
+            extracted = self._extract_run_arrays(members, bound_time, bound_index)
+            if extracted is not None:
+                group.deliver_columns(*extracted)
+                self._repush_members(members)
+                return
         order, times = self._extract_run(members, bound_time, bound_index)
         group.deliver(order, times)
+        self._repush_members(members)
+
+    def _repush_members(self, members: list[_Stream]) -> None:
+        heap = self._heap
         for member in members:
             nxt = member.peek()
             if nxt is None:
@@ -424,6 +464,82 @@ class EventScheduler:
                     member.live = True
                     self._live_streams += 1
                 heapq.heappush(heap, (nxt, _KIND_ARRIVAL, member.index, None))
+
+    def _extract_run_arrays(
+        self, members: list[_Stream], bound_time: float, bound_index: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Array twin of :meth:`_extract_run`.
+
+        Returns ``(indices, times)`` — int64 stream indices and
+        float64 arrival times for one maximal run — or ``None`` when a
+        member lacks the ``times_array`` hook or more than two members
+        hold pending arrivals (the scalar path then handles the
+        dispatch).  Every cut decision reproduces the scalar
+        expressions operation-for-operation, so both paths break runs
+        at identical elements.
+        """
+        threshold = self.blocking_threshold
+        bounded = bound_time != float("inf")
+        cursors: list[tuple[np.ndarray, int]] = []
+        for member in members:
+            times_fn = member.times_array
+            if times_fn is None:
+                return None
+            arr, pos = times_fn()
+            pending = arr[pos:]
+            if bounded and pending.size:
+                # Arrivals beyond the bound can never join the run;
+                # trimming keeps the merge proportional to the
+                # deliverable window, not the remaining schedule.
+                # Equal-time arrivals stay — the tie rules below
+                # decide whether they make the run.
+                pending = pending[: np.searchsorted(pending, bound_time, side="right")]
+            if pending.size:
+                cursors.append((pending, member.index))
+        if not cursors or len(cursors) > 2:
+            return None
+        if len(cursors) == 1:
+            merged, only_index = cursors[0]
+            isa = None
+            index_a = index_b = only_index
+        else:
+            # Stable two-way merge via searchsorted: cursor 0 holds
+            # the lower registration index, so side="left"/"right"
+            # land its elements before equal-time elements of cursor
+            # 1, matching exact heap order.
+            (ta, index_a), (tb, index_b) = cursors
+            na, nb = ta.size, tb.size
+            merged = np.empty(na + nb, dtype=np.float64)
+            isa = np.empty(na + nb, dtype=bool)
+            pos_a = np.arange(na) + np.searchsorted(tb, ta, side="left")
+            pos_b = np.arange(nb) + np.searchsorted(ta, tb, side="right")
+            merged[pos_a] = ta
+            merged[pos_b] = tb
+            isa[pos_a] = True
+            isa[pos_b] = False
+        # The same float expression as the scalar walk — t > prev +
+        # threshold — so rounding behaves identically element-wise.
+        stop = merged[1:] > merged[:-1] + threshold
+        if bounded:
+            tail = merged[1:]
+            tie_a = index_a < bound_index
+            tie_b = index_b < bound_index
+            if tie_a == tie_b:
+                # t > bound or (t == bound and not tie_ok) collapses
+                # to >= when ties lose and > when ties win.
+                stop |= (tail > bound_time) if tie_a else (tail >= bound_time)
+            else:
+                assert isa is not None
+                tie_ok = np.where(isa[1:], tie_a, tie_b)
+                stop |= (tail > bound_time) | ((tail == bound_time) & ~tie_ok)
+        hits = np.flatnonzero(stop)
+        cut = int(hits[0]) + 1 if hits.size else merged.size
+        times = merged[:cut]
+        if isa is None:
+            indices = np.full(cut, index_a, dtype=np.int64)
+        else:
+            indices = np.where(isa[:cut], index_a, index_b)
+        return indices, times
 
     def _extract_run(
         self, members: list[_Stream], bound_time: float, bound_index: int

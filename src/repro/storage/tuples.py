@@ -10,8 +10,10 @@ distinguishable when checking the paper's uniqueness theorem), a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -109,16 +111,47 @@ class Schema:
 
 
 @dataclass(slots=True)
+class RelationColumns:
+    """Columnar image of one relation: parallel arrays in delivery order.
+
+    The zero-copy backing of the columnar data plane: ``keys`` and
+    ``tids`` are contiguous ``int64`` arrays, ``payloads`` is a plain
+    reference list (or ``None`` when every payload is ``None`` — the
+    common generated-workload case, where a list of a million ``None``
+    references would be pure overhead).  All tuples share one
+    ``source`` label; relations are single-source by construction.
+    """
+
+    keys: np.ndarray
+    tids: np.ndarray
+    payloads: list | None
+    source: str
+
+
 class Relation:
     """A named, ordered collection of tuples from one source.
 
     The order of ``tuples`` is the order in which the network source
     will deliver them (arrival order matters to every non-blocking
     join, so it is part of the workload definition).
+
+    The relation holds *either* representation and derives the other
+    lazily: :meth:`from_keys` stores only column arrays (no ``Tuple``
+    boxing until someone reads ``tuples`` — the per-tuple delivery
+    path, oracles, tests), while tuple-built relations build their
+    :meth:`columns` on first columnar delivery.  Both are cached.
     """
 
-    schema: Schema
-    tuples: list[Tuple] = field(default_factory=list)
+    __slots__ = ("schema", "_tuples", "_columns")
+
+    def __init__(
+        self, schema: Schema, tuples: Iterable[Tuple] | None = None
+    ) -> None:
+        self.schema = schema
+        self._tuples: list[Tuple] | None = (
+            list(tuples) if tuples is not None else []
+        )
+        self._columns: RelationColumns | None = None
 
     @classmethod
     def from_keys(
@@ -128,15 +161,79 @@ class Relation:
         name: str | None = None,
         key_range: int | None = None,
     ) -> "Relation":
-        """Build a relation whose tuples carry the given keys in order."""
+        """Build a relation whose tuples carry the given keys in order.
+
+        The keys are stored as one contiguous array; ``Tuple`` objects
+        only exist once a consumer asks for them.
+        """
         schema = Schema(name=name or f"relation_{source}", key_range=key_range)
-        tuples = [
-            Tuple(key=int(k), tid=i, source=source) for i, k in enumerate(keys)
-        ]
-        return cls(schema=schema, tuples=tuples)
+        if isinstance(keys, np.ndarray):
+            key_arr = np.ascontiguousarray(keys, dtype=np.int64)
+        else:
+            key_arr = np.asarray(list(keys), dtype=np.int64)
+        rel = cls(schema=schema)
+        rel._tuples = None
+        rel._columns = RelationColumns(
+            keys=key_arr,
+            tids=np.arange(len(key_arr), dtype=np.int64),
+            payloads=None,
+            source=source,
+        )
+        return rel
+
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: RelationColumns) -> "Relation":
+        """Wrap pre-built column arrays without materialising tuples."""
+        rel = cls(schema=schema)
+        rel._tuples = None
+        rel._columns = columns
+        return rel
+
+    @property
+    def tuples(self) -> list[Tuple]:
+        """The boxed tuple list, materialised from columns on first use."""
+        if self._tuples is None:
+            cols = self._columns
+            assert cols is not None
+            source = cols.source
+            # .tolist() yields native ints — identical values to the
+            # eager ``Tuple(key=int(k), ...)`` boxing this replaces.
+            keys = cols.keys.tolist()
+            tids = cols.tids.tolist()
+            if cols.payloads is None:
+                self._tuples = [
+                    Tuple(key=k, tid=i, source=source)
+                    for k, i in zip(keys, tids)
+                ]
+            else:
+                self._tuples = [
+                    Tuple(key=k, tid=i, source=source, payload=p)
+                    for k, i, p in zip(keys, tids, cols.payloads)
+                ]
+        return self._tuples
+
+    def columns(self) -> RelationColumns:
+        """The columnar image, built from the tuple list on first use."""
+        if self._columns is None:
+            ts = self._tuples
+            assert ts is not None
+            n = len(ts)
+            payloads: list | None = None
+            if any(t.payload is not None for t in ts):
+                payloads = [t.payload for t in ts]
+            self._columns = RelationColumns(
+                keys=np.fromiter((t.key for t in ts), dtype=np.int64, count=n),
+                tids=np.fromiter((t.tid for t in ts), dtype=np.int64, count=n),
+                payloads=payloads,
+                source=ts[0].source if ts else self.schema.name,
+            )
+        return self._columns
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self._tuples is not None:
+            return len(self._tuples)
+        assert self._columns is not None
+        return len(self._columns.keys)
 
     def __iter__(self) -> Iterator[Tuple]:
         return iter(self.tuples)
@@ -144,15 +241,26 @@ class Relation:
     def __getitem__(self, index: int) -> Tuple:
         return self.tuples[index]
 
+    def __repr__(self) -> str:
+        boxed = "boxed" if self._tuples is not None else "columnar"
+        return f"Relation(schema={self.schema!r}, n={len(self)}, {boxed})"
+
     @property
     def source(self) -> str:
         """Source label of this relation (from its first tuple, or name)."""
-        if self.tuples:
-            return self.tuples[0].source
+        if self._tuples is None:
+            assert self._columns is not None
+            if len(self._columns.keys):
+                return self._columns.source
+            return self.schema.name
+        if self._tuples:
+            return self._tuples[0].source
         return self.schema.name
 
     def keys(self) -> list[int]:
         """The join keys in delivery order."""
+        if self._columns is not None:
+            return self._columns.keys.tolist()
         return [t.key for t in self.tuples]
 
 

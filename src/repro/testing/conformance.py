@@ -4,9 +4,9 @@
 (HMJ, XJoin, PMJ, DPHJ, ripple, symmetric hash) against the blocking
 :func:`~repro.joins.blocking.hash_join` oracle across the six figure
 workloads (Figures 9-14's arrival regimes, memory budgets, thresholds,
-and early stop), through both kernel delivery paths (per-event and
-batched), with the full in-engine invariant-checker suite attached in
-collect mode.  The default ("full") matrix additionally re-runs every
+and early stop), through all three kernel delivery paths (per-event,
+batched boxed-tuple runs, and columnar array runs), with the full
+in-engine invariant-checker suite attached in collect mode.  The default ("full") matrix additionally re-runs every
 resize-capable operator under a :class:`~repro.sim.broker.
 ResourceBroker` shrink/grow memory schedule; ``--quick`` skips the
 resize axis (the reduced matrix CI runs).
@@ -63,6 +63,16 @@ RESIZABLE = ("hmj", "xjoin", "pmj", "dphj")
 #: Operators whose runs use the workload memory budget at all.
 BUDGETED = RESIZABLE
 
+#: The delivery axis: label -> (batch_delivery, columnar_delivery)
+#: engine switches.  ``columnar`` only differs from ``batched`` for
+#: operators that support column batches; the cell still runs (and
+#: must agree) either way.
+DELIVERY_PATHS: dict[str, tuple[bool, bool]] = {
+    "columnar": (True, True),
+    "batched": (True, False),
+    "per-event": (False, False),
+}
+
 
 def workload_cases(scale: BenchScale) -> dict[str, dict]:
     """The six figure workloads, keyed by figure name.
@@ -108,7 +118,7 @@ class CellOutcome:
 
     workload: str
     operator: str
-    delivery: str  # "batched" | "per-event"
+    delivery: str  # "columnar" | "batched" | "per-event" | "session"
     resize: bool
     count: int
     clock: float
@@ -127,10 +137,11 @@ def run_cell(
     workload: str,
     case: dict,
     operator: str,
-    batch_delivery: bool,
+    delivery: str,
     resize: bool,
 ) -> CellOutcome:
     """Execute one (workload, operator, delivery, resize) cell."""
+    batch_delivery, columnar_delivery = DELIVERY_PATHS[delivery]
     rel_a, rel_b = make_relation_pair(scale.spec)
     source_a = NetworkSource(rel_a, case["arrival_a"](), seed=11)
     source_b = NetworkSource(rel_b, case["arrival_b"](), seed=22)
@@ -154,6 +165,7 @@ def run_cell(
         stop_after=stop_after,
         broker=broker,
         batch_delivery=batch_delivery,
+        columnar_delivery=columnar_delivery,
         checks=checks,
     )
     wall = time.perf_counter() - start
@@ -176,7 +188,7 @@ def run_cell(
     return CellOutcome(
         workload=workload,
         operator=operator,
-        delivery="batched" if batch_delivery else "per-event",
+        delivery=delivery,
         resize=resize,
         count=count,
         clock=clock,
@@ -349,9 +361,9 @@ def run_matrix(
                     if progress is not None:
                         progress(outcome)
                     continue
-                for batched in (True, False):
+                for delivery in DELIVERY_PATHS:
                     outcome = run_cell(
-                        scale, workload, case, operator, batched, resize
+                        scale, workload, case, operator, delivery, resize
                     )
                     outcomes.append(outcome)
                     if progress is not None:
@@ -383,7 +395,7 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Differential + invariant conformance matrix: every streaming "
             "operator vs the blocking oracle across the six figure "
-            "workloads, both delivery paths, with in-engine checks."
+            "workloads, all three delivery paths, with in-engine checks."
         ),
     )
     parser.add_argument(

@@ -101,11 +101,13 @@ def permute_within_windows(
     rng = random.Random(seed)
     return replace(
         workload,
-        rel_a=replace(
-            workload.rel_a, tuples=_permute(list(workload.rel_a.tuples), window, rng)
+        rel_a=Relation(
+            schema=workload.rel_a.schema,
+            tuples=_permute(list(workload.rel_a.tuples), window, rng),
         ),
-        rel_b=replace(
-            workload.rel_b, tuples=_permute(list(workload.rel_b.tuples), window, rng)
+        rel_b=Relation(
+            schema=workload.rel_b.schema,
+            tuples=_permute(list(workload.rel_b.tuples), window, rng),
         ),
     )
 
@@ -128,8 +130,9 @@ def relabel_keys(workload: MetamorphicWorkload, seed: int) -> MetamorphicWorkloa
     mapping = dict(zip(keys, images))
 
     def remap(rel: Relation) -> Relation:
-        return replace(
-            rel, tuples=[replace(t, key=mapping[t.key]) for t in rel.tuples]
+        return Relation(
+            schema=rel.schema,
+            tuples=[replace(t, key=mapping[t.key]) for t in rel.tuples],
         )
 
     return replace(workload, rel_a=remap(workload.rel_a), rel_b=remap(workload.rel_b))

@@ -182,16 +182,19 @@ def make_star_schema(
     children = seed_seq.spawn(len(dim_sizes) + 1)
     rng_fact = np.random.default_rng(children[0])
 
+    # One bulk .tolist() per dimension: native ints out of numpy once,
+    # instead of boxing a scalar per tuple per dimension in the loop.
     fks = [
-        rng_fact.integers(0, size, size=n_fact, dtype=np.int64)
+        rng_fact.integers(0, size, size=n_fact, dtype=np.int64).tolist()
         for size in dim_sizes
     ]
+    fk_names = [f"fk{d}" for d in range(len(dim_sizes))]
     fact_tuples = [
         Tuple(
-            key=int(fks[0][i]),
+            key=fks[0][i],
             tid=i,
             source=SOURCE_A,
-            payload={f"fk{d}": int(fks[d][i]) for d in range(len(dim_sizes))},
+            payload={name: col[i] for name, col in zip(fk_names, fks)},
         )
         for i in range(n_fact)
     ]

@@ -1,17 +1,20 @@
-"""Batched vs per-tuple delivery equivalence.
+"""Delivery-path equivalence: per-tuple vs fused-batch vs columnar.
 
 Run-batch delivery (``EventScheduler`` batch groups plus the operators'
-``on_tuple_batch`` fast paths) is an amortisation, never a simulation
-change: for any workload the batched and per-event kernels must produce
-the identical ``(count, final clock, io)`` triple *and* the identical
-result-event sequence.  This suite pins that equivalence three ways:
+``on_tuple_batch`` fast paths) and columnar delivery (the same runs as
+:class:`~repro.core.columnar.ColumnBatch` arrays, vectorized run
+extraction included) are amortisations, never simulation changes: for
+any workload all three kernel paths must produce the identical
+``(count, final clock, io)`` triple *and* the identical result-event
+sequence.  This suite pins that equivalence three ways:
 
 * every cell of the six pinned figure benchmarks (the exact scenarios
-  ``test_determinism.py`` captures) through both paths;
+  ``test_determinism.py`` captures) through all three paths;
 * a randomized property test over arrival models (constant / Poisson /
-  Pareto), tiny memory budgets that force flushing mid-run, and early
-  stops that land mid-batch;
-* an explicit ``stop_after`` granularity check: the batched path must
+  Pareto), tiny memory budgets that force flushing mid-run (segmented
+  columnar batches with mid-batch flush points), and early stops that
+  land mid-batch;
+* an explicit ``stop_after`` granularity check: the batched paths must
   halt after the same number of delivered tuples as the per-tuple path,
   not at the end of the batch the stop fired in.
 """
@@ -37,6 +40,13 @@ from repro.workloads.generator import WorkloadSpec, make_relation_pair
 
 SCALE = BenchScale(n_per_source=400, seed=7)
 
+#: The full delivery axis: label -> engine path switches.
+PATHS = {
+    "per_tuple": {"batch_delivery": False, "columnar_delivery": False},
+    "fused": {"batch_delivery": True, "columnar_delivery": False},
+    "columnar": {"batch_delivery": True, "columnar_delivery": True},
+}
+
 
 def _signature(result):
     """Everything observable about a run: the triple plus every event."""
@@ -48,9 +58,9 @@ def _signature(result):
     )
 
 
-def _both_paths(make_operator, make_arrival_a, make_arrival_b, **kwargs):
+def _all_paths(make_operator, make_arrival_a, make_arrival_b, **kwargs):
     signatures = {}
-    for label, batched in (("batched", True), ("per_tuple", False)):
+    for label, path in PATHS.items():
         rel_a, rel_b = make_relation_pair(SCALE.spec)
         result = execute(
             rel_a,
@@ -58,7 +68,7 @@ def _both_paths(make_operator, make_arrival_a, make_arrival_b, **kwargs):
             make_operator(),
             make_arrival_a(),
             make_arrival_b(),
-            batch_delivery=batched,
+            **path,
             **kwargs,
         )
         signatures[label] = _signature(result)
@@ -124,10 +134,11 @@ def _figure_cells():
 
 
 @pytest.mark.parametrize("cell", sorted(_figure_cells()))
-def test_figure_cells_identical_through_both_paths(cell):
+def test_figure_cells_identical_through_all_paths(cell):
     make_operator, arr_a, arr_b, kwargs = _figure_cells()[cell]
-    signatures = _both_paths(make_operator, arr_a, arr_b, **kwargs)
-    assert signatures["batched"] == signatures["per_tuple"]
+    signatures = _all_paths(make_operator, arr_a, arr_b, **kwargs)
+    assert signatures["fused"] == signatures["per_tuple"]
+    assert signatures["columnar"] == signatures["per_tuple"]
 
 
 # -- randomized equivalence --------------------------------------------------
@@ -149,12 +160,12 @@ _ARRIVALS = {
     stop_after=st.none() | st.integers(min_value=1, max_value=40),
     op_kind=st.sampled_from(["hmj", "xjoin"]),
 )
-def test_batched_path_equivalent_on_random_workloads(
+def test_batched_paths_equivalent_on_random_workloads(
     n, key_range, seed, kind_a, kind_b, memory, stop_after, op_kind
 ):
     spec = WorkloadSpec(n_a=n, n_b=n, key_range=key_range, seed=seed)
     signatures = {}
-    for label, batched in (("batched", True), ("per_tuple", False)):
+    for label, path in PATHS.items():
         rel_a, rel_b = make_relation_pair(spec)
         if op_kind == "hmj":
             operator = HashMergeJoin(HMJConfig(memory_capacity=memory))
@@ -168,10 +179,11 @@ def test_batched_path_equivalent_on_random_workloads(
             _ARRIVALS[kind_b](),
             blocking_threshold=0.01,
             stop_after=stop_after,
-            batch_delivery=batched,
+            **path,
         )
         signatures[label] = _signature(result)
-    assert signatures["batched"] == signatures["per_tuple"]
+    assert signatures["fused"] == signatures["per_tuple"]
+    assert signatures["columnar"] == signatures["per_tuple"]
 
 
 # -- early-stop granularity --------------------------------------------------
@@ -188,7 +200,7 @@ def test_stop_after_halts_with_single_result_granularity():
     spec = SCALE.spec
     stop_after = 25
     outcomes = {}
-    for label, batched in (("batched", True), ("per_tuple", False)):
+    for label, path in PATHS.items():
         rel_a, rel_b = make_relation_pair(spec)
         src_a = NetworkSource(rel_a, ConstantRate(SCALE.fast_rate), seed=11)
         src_b = NetworkSource(rel_b, ConstantRate(SCALE.fast_rate), seed=22)
@@ -201,15 +213,47 @@ def test_stop_after_halts_with_single_result_granularity():
             operator,
             keep_results=False,
             stop_after=stop_after,
-            batch_delivery=batched,
+            **path,
         )
         outcomes[label] = (
             _signature(result),
             src_a.delivered,
             src_b.delivered,
         )
-    assert outcomes["batched"] == outcomes["per_tuple"]
-    signature, delivered_a, delivered_b = outcomes["batched"]
+    assert outcomes["fused"] == outcomes["per_tuple"]
+    assert outcomes["columnar"] == outcomes["per_tuple"]
+    signature, delivered_a, delivered_b = outcomes["columnar"]
     assert signature[0] >= stop_after
     # The stop fired strictly inside the input, not at stream end.
     assert delivered_a + delivered_b < 2 * SCALE.n_per_source
+
+
+# -- retained-result identity ------------------------------------------------
+
+
+@pytest.mark.parametrize("op_kind", ["hmj", "xjoin"])
+def test_retained_results_identical_across_paths(op_kind):
+    """Boxed result sequences agree, not just the counts.
+
+    The columnar path materialises ``JoinResult`` objects lazily from
+    :class:`~repro.core.columnar.ResultColumns` segments; the exact
+    emission order and A/B orientation must survive that round-trip.
+    """
+    spec = SCALE.spec
+    sequences = {}
+    for label, path in PATHS.items():
+        rel_a, rel_b = make_relation_pair(spec)
+        src_a = NetworkSource(rel_a, PoissonArrival(SCALE.fast_rate), seed=11)
+        src_b = NetworkSource(rel_b, PoissonArrival(SCALE.fast_rate), seed=22)
+        if op_kind == "hmj":
+            operator = HashMergeJoin(
+                HMJConfig(memory_capacity=spec.memory_capacity(0.10))
+            )
+        else:
+            operator = XJoin(memory_capacity=spec.memory_capacity(0.10))
+        result = run_join(src_a, src_b, operator, keep_results=True, **path)
+        sequences[label] = [
+            (r.left.identity(), r.right.identity()) for r in result.results
+        ]
+    assert sequences["fused"] == sequences["per_tuple"]
+    assert sequences["columnar"] == sequences["per_tuple"]

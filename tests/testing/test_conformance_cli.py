@@ -30,11 +30,12 @@ def test_run_matrix_quick_subset_is_clean():
     outcomes = run_matrix(
         scale, quick=True, operators=["hmj", "shj"], workloads=["fig11"]
     )
-    # 2 operators x 1 workload x 2 delivery paths, no resize cells.
-    assert len(outcomes) == 4
+    # 2 operators x 1 workload x 3 delivery paths, no resize cells.
+    assert len(outcomes) == 6
     assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
     assert all(not o.resize for o in outcomes)
     deliveries = {(o.operator, o.delivery) for o in outcomes}
+    assert ("hmj", "columnar") in deliveries
     assert ("hmj", "batched") in deliveries
     assert ("hmj", "per-event") in deliveries
 
@@ -42,8 +43,8 @@ def test_run_matrix_quick_subset_is_clean():
 def test_run_matrix_full_mode_adds_resize_cells():
     scale = BenchScale(n_per_source=100, seed=7)
     outcomes = run_matrix(scale, quick=False, operators=["hmj"], workloads=["fig11"])
-    assert len(outcomes) == 4  # {plain, resize} x {batched, per-event}
-    assert sum(o.resize for o in outcomes) == 2
+    assert len(outcomes) == 6  # {plain, resize} x 3 delivery paths
+    assert sum(o.resize for o in outcomes) == 3
     assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
 
 
@@ -108,7 +109,7 @@ def test_main_exits_nonzero_on_violation(tmp_path, capsys, monkeypatch):
     ])
     assert code == 1
     report = json.loads(report_path.read_text())
-    assert report["cells_failed"] == report["cells_total"] == 2
+    assert report["cells_failed"] == report["cells_total"] == 3
     assert report["violations_total"] > 0
     assert any("duplicate" in v for c in report["cells"] for v in c["violations"])
     assert "FAIL" in capsys.readouterr().out
