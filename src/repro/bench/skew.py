@@ -1,0 +1,312 @@
+"""Skew-adaptivity benchmark (``BENCH_skew.json``).
+
+Measures what the skew-adaptive layer is worth where it is supposed to
+matter: *time to the k-th result* under skewed arrivals.  Two HMJ
+configurations run the same workloads:
+
+* ``uniform`` — the paper's baseline: Adaptive Flushing (Figure 8),
+  no heat tracking, no hot splits;
+* ``adaptive`` — the PanJoin-style layer: :class:`~repro.core.
+  flushing.FlushColdestPolicy` keeps hot partitions memory-resident
+  (falling back to Adaptive Flushing on flat heat profiles) and hot
+  groups are sub-split in place (``hot_split_factor``).
+
+Workloads:
+
+* a Zipf θ sweep (θ=0 — the exact uniform limit — as the no-skew
+  baseline point, then increasing skew);
+* an adversarial **hot-key flood**: uniform streams with a mid-stream
+  burst where every arrival carries one key.  The flood group is the
+  *largest* pair, so size-based flushing keeps evicting exactly the
+  partition producing all the early results — the worst case the heat
+  signal exists to fix.
+
+The tracked metric per cell is the virtual time at which the k-th
+result appears (``stop_after=k``); the delta is
+``uniform_time / adaptive_time``.  Gates: >= 1.5x at θ=1.0 and under
+the flood, and no regression (1.0x, exactly — the flat-heat fallback
+delegates to the identical baseline policy) at θ=0.
+
+Usage::
+
+    python -m repro.bench.skew                    # full sweep + flood
+    python -m repro.bench.skew --quick --out BENCH_skew.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.cache import source_digest
+from repro.bench.grid import write_bench_manifest
+from repro.bench.runner import execute
+from repro.core.config import HMJConfig
+from repro.core.flushing import FlushColdestPolicy
+from repro.core.hmj import HashMergeJoin
+from repro.net.arrival import PoissonArrival
+from repro.storage.tuples import Relation, SOURCE_A, SOURCE_B
+from repro.workloads.distributions import uniform_keys
+from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+#: Arrival rate (tuples/s per source) for every cell.
+RATE = 200.0
+
+#: Default Zipf exponents; 0 is the unskewed baseline point.
+THETAS = (0.0, 0.5, 1.0)
+
+#: Result fraction defining "k-th result" (time-to-10%).
+K_FRACTION = 0.1
+
+#: Sub-buckets per base bucket when the adaptive config splits.
+HOT_SPLIT_FACTOR = 4
+
+#: Speedup gates: minimum adaptive-vs-uniform delta per gated cell.
+GATE_SPEEDUP = 1.5
+#: Tolerance for the θ=0 no-regression gate.
+GATE_NO_REGRESSION = 0.999
+
+
+def uniform_config(memory_capacity: int) -> HMJConfig:
+    """The baseline configuration: paper-faithful Adaptive Flushing."""
+    return HMJConfig(memory_capacity=memory_capacity)
+
+
+def adaptive_config(memory_capacity: int) -> HMJConfig:
+    """The skew-adaptive configuration under benchmark."""
+    return HMJConfig(
+        memory_capacity=memory_capacity,
+        policy=FlushColdestPolicy(),
+        hot_split_factor=HOT_SPLIT_FACTOR,
+    )
+
+
+def zipf_pair(n_per_source: int, theta: float, seed: int):
+    """The θ-sweep workload: both sources bounded-Zipf(θ)."""
+    spec = WorkloadSpec(
+        n_a=n_per_source,
+        n_b=n_per_source,
+        key_range=2 * n_per_source,
+        distribution="zipf",
+        zipf_theta=theta,
+        seed=seed,
+    )
+    return make_relation_pair(spec), spec.memory_capacity()
+
+
+def flood_pair(n_per_source: int, seed: int, flood_fraction: float = 0.2):
+    """The hot-key flood: uniform streams with a one-key mid-run burst.
+
+    A ``flood_fraction`` slice of each source, starting a third of the
+    way in, is overwritten with key 0 — every flood arrival matches
+    every stored flood tuple of the other source, so the hot group
+    holds nearly all early-result opportunity exactly when size-based
+    flushing starts evicting it.  The fraction is sized so the hot
+    group alone (2 * fraction * n tuples) overflows the 10% memory
+    budget: a policy that flushes by size must evict it mid-burst.
+    """
+    key_range = 2 * n_per_source
+    rng = np.random.default_rng(seed)
+    flood_len = max(1, int(n_per_source * flood_fraction))
+    start = n_per_source // 3
+    relations = []
+    for source in (SOURCE_A, SOURCE_B):
+        keys = uniform_keys(n_per_source, key_range, rng)
+        keys[start : start + flood_len] = 0
+        relations.append(
+            Relation.from_keys(
+                keys,
+                source=source,
+                name=f"flood_{source}",
+                key_range=key_range,
+            )
+        )
+    memory = int((2 * n_per_source) * 0.10)
+    return (relations[0], relations[1]), memory
+
+
+def _run(rel_a, rel_b, config: HMJConfig, stop_after: int | None):
+    op = HashMergeJoin(config)
+    result = execute(
+        rel_a,
+        rel_b,
+        op,
+        PoissonArrival(rate=RATE),
+        PoissonArrival(rate=RATE),
+        stop_after=stop_after,
+    )
+    return result, op
+
+
+def skew_cell(cell_id: str, rel_a, rel_b, memory: int, k_fraction: float) -> dict:
+    """Benchmark one workload: adaptive vs uniform time-to-kth.
+
+    The full uniform run fixes the total result count (both configs
+    produce the identical multiset — the conformance suite owns that
+    invariant); ``k`` is ``k_fraction`` of it.
+    """
+    full, _ = _run(rel_a, rel_b, uniform_config(memory), None)
+    total = full.recorder.count
+    k = max(1, round(total * k_fraction))
+    uni, _ = _run(rel_a, rel_b, uniform_config(memory), k)
+    ada, op = _run(rel_a, rel_b, adaptive_config(memory), k)
+    t_uniform = uni.clock.now
+    t_adaptive = ada.clock.now
+    return {
+        "cell": cell_id,
+        "memory_capacity": memory,
+        "total_results": total,
+        "k": k,
+        "time_to_kth": {
+            "uniform": round(t_uniform, 6),
+            "adaptive": round(t_adaptive, 6),
+        },
+        "speedup": round(t_uniform / t_adaptive, 4),
+        "hot_splits": op.hot_split_count,
+        "adaptive_flushes": op.flush_count,
+    }
+
+
+def skew_manifest(
+    n_per_source: int,
+    thetas: tuple[float, ...],
+    seed: int,
+    k_fraction: float = K_FRACTION,
+    flood: bool = True,
+) -> dict:
+    """Benchmark every cell; the ``BENCH_skew.json`` payload."""
+    cells = []
+    for theta in thetas:
+        (rel_a, rel_b), memory = zipf_pair(n_per_source, theta, seed)
+        cells.append(
+            skew_cell(f"zipf-{theta:g}", rel_a, rel_b, memory, k_fraction)
+        )
+    if flood:
+        (rel_a, rel_b), memory = flood_pair(n_per_source, seed)
+        cells.append(skew_cell("hot-key-flood", rel_a, rel_b, memory, k_fraction))
+    by_id = {cell["cell"]: cell for cell in cells}
+    gates = {}
+    if "zipf-1" in by_id:
+        gates["zipf_1.0_speedup"] = {
+            "required": GATE_SPEEDUP,
+            "observed": by_id["zipf-1"]["speedup"],
+            "passed": by_id["zipf-1"]["speedup"] >= GATE_SPEEDUP,
+        }
+    if "hot-key-flood" in by_id:
+        gates["flood_speedup"] = {
+            "required": GATE_SPEEDUP,
+            "observed": by_id["hot-key-flood"]["speedup"],
+            "passed": by_id["hot-key-flood"]["speedup"] >= GATE_SPEEDUP,
+        }
+    if "zipf-0" in by_id:
+        gates["theta_0_no_regression"] = {
+            "required": GATE_NO_REGRESSION,
+            "observed": by_id["zipf-0"]["speedup"],
+            "passed": by_id["zipf-0"]["speedup"] >= GATE_NO_REGRESSION,
+        }
+    return {
+        "schema": 1,
+        "benchmark": "skew-adaptivity",
+        "source_digest": source_digest(),
+        "workload": {
+            "arrival": "poisson",
+            "rate": RATE,
+            "n_per_source": n_per_source,
+            "k_fraction": k_fraction,
+            "seed": seed,
+        },
+        "configs": {
+            "uniform": "adaptive-flushing (paper baseline)",
+            "adaptive": (
+                f"flush-coldest + hot-split x{HOT_SPLIT_FACTOR}"
+            ),
+        },
+        "cells": cells,
+        "gates": gates,
+        "gates_passed": all(g["passed"] for g in gates.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark adaptive vs uniform flushing under skew."
+    )
+    parser.add_argument(
+        "--n-per-source",
+        type=int,
+        default=4000,
+        help="tuples per source (default 4000)",
+    )
+    parser.add_argument(
+        "--thetas",
+        default=",".join(str(t) for t in THETAS),
+        help="comma-separated Zipf exponents (default '0,0.5,1.0')",
+    )
+    parser.add_argument(
+        "--k-fraction",
+        type=float,
+        default=K_FRACTION,
+        help="result fraction defining the k-th result (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--no-flood",
+        action="store_true",
+        help="skip the hot-key-flood cell",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke mode: one θ=1.0 cell plus the flood at a small "
+            "scale, gates recorded but not enforced"
+        ),
+    )
+    parser.add_argument(
+        "--out", default="BENCH_skew.json", help="manifest output path"
+    )
+    args = parser.parse_args(argv)
+    try:
+        thetas = tuple(
+            float(t) for t in str(args.thetas).split(",") if t.strip()
+        )
+    except ValueError:
+        parser.error(f"--thetas must be comma-separated floats, got {args.thetas!r}")
+    n = args.n_per_source
+    if args.quick:
+        thetas = (1.0,)
+        n = min(n, 1500)
+
+    manifest = skew_manifest(
+        n,
+        thetas,
+        args.seed,
+        k_fraction=args.k_fraction,
+        flood=not args.no_flood,
+    )
+    path = write_bench_manifest(args.out, manifest)
+    for cell in manifest["cells"]:
+        print(
+            f"skew bench [{cell['cell']}]: "
+            f"uniform {cell['time_to_kth']['uniform']:.3f}s, "
+            f"adaptive {cell['time_to_kth']['adaptive']:.3f}s -> "
+            f"{cell['speedup']:.2f}x "
+            f"(k={cell['k']}, splits={cell['hot_splits']})"
+        )
+    for name, gate in manifest["gates"].items():
+        verdict = "pass" if gate["passed"] else "FAIL"
+        print(
+            f"gate {name}: {gate['observed']:.3f} vs {gate['required']} "
+            f"[{verdict}]"
+        )
+    print(f"wrote {path}")
+    if not args.quick and not manifest["gates_passed"]:
+        print("ERROR: skew-adaptivity gates failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,16 @@ and are validated by tests to stay within tolerance.
 ``suggest_config`` grid-searches (p, f) candidates with the estimate
 and returns the cheapest configuration — cross-checked against full
 simulations in the test suite.
+
+:class:`OnlineAdvisor` extends the static advisor to run *during* a
+join: a scheduler timer participant (the
+:class:`~repro.sim.broker.MorphController`) polls it with the current
+virtual time and cumulative arrival count; when the observed arrival
+rate drops below a threshold the advisor recommends morphing the
+operator to a strategy that exploits the slack (e.g. symmetric hash —
+optimal while everything fits and arrivals are fast — into HMJ's
+hashing phase, which tolerates memory pressure and uses blocked time
+productively).
 """
 
 from __future__ import annotations
@@ -148,6 +158,113 @@ def estimate_hmj_io(
         merge_levels=levels,
         blocks_per_group=blocks_per_group,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class AdvisorDecision:
+    """One :meth:`OnlineAdvisor.observe` verdict.
+
+    Attributes:
+        time: Virtual time of the observation.
+        rate: Windowed arrival rate (tuples per time unit), or ``None``
+            before enough observations accumulated.
+        morph: Whether the advisor recommends switching strategy now.
+        reason: Human-readable explanation for logs and journals.
+    """
+
+    time: float
+    rate: float | None
+    morph: bool
+    reason: str
+
+
+class OnlineAdvisor:
+    """Windowed arrival-rate observer recommending strategy switches.
+
+    Each :meth:`observe` call records ``(time, tuples_seen)`` and
+    computes the arrival rate over the last ``window`` observations.
+    Once at least ``min_observations`` intervals exist, a rate below
+    ``rate_threshold`` yields a morph recommendation — at most one per
+    advisor instance (morphing is one-way; the target operator owns
+    the rest of the run).
+    """
+
+    def __init__(
+        self,
+        rate_threshold: float,
+        min_observations: int = 2,
+        window: int = 8,
+    ) -> None:
+        if rate_threshold <= 0:
+            raise ConfigurationError(
+                f"rate_threshold must be > 0, got {rate_threshold!r}"
+            )
+        if min_observations < 1:
+            raise ConfigurationError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self._rate_threshold = rate_threshold
+        self._min_observations = min_observations
+        self._window = window
+        self._history: list[tuple[float, int]] = []
+        self._recommended = False
+        self.decisions: list[AdvisorDecision] = []
+
+    @property
+    def rate_threshold(self) -> float:
+        """Arrival rate below which a morph is recommended."""
+        return self._rate_threshold
+
+    def observe(self, now: float, tuples_seen: int) -> AdvisorDecision:
+        """Record one sample and return the advisor's verdict."""
+        if tuples_seen < 0:
+            raise ConfigurationError(
+                f"tuples_seen must be >= 0, got {tuples_seen}"
+            )
+        history = self._history
+        if history and now < history[-1][0]:
+            raise ConfigurationError(
+                f"observations must be time-ordered: {now} < {history[-1][0]}"
+            )
+        history.append((now, tuples_seen))
+        if len(history) > self._window:
+            del history[0]
+        rate: float | None = None
+        if len(history) >= 2:
+            t0, c0 = history[0]
+            span = now - t0
+            if span > 0:
+                rate = (tuples_seen - c0) / span
+        if self._recommended:
+            decision = AdvisorDecision(now, rate, False, "already recommended")
+        elif len(history) - 1 < self._min_observations:
+            decision = AdvisorDecision(
+                now, rate, False,
+                f"warming up ({len(history) - 1}/{self._min_observations})",
+            )
+        elif rate is None:
+            decision = AdvisorDecision(now, rate, False, "no time elapsed")
+        elif rate < self._rate_threshold:
+            self._recommended = True
+            decision = AdvisorDecision(
+                now, rate, True,
+                f"rate {rate:.3g} below threshold {self._rate_threshold:.3g}",
+            )
+        else:
+            decision = AdvisorDecision(
+                now, rate, False,
+                f"rate {rate:.3g} >= threshold {self._rate_threshold:.3g}",
+            )
+        self.decisions.append(decision)
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineAdvisor(rate_threshold={self._rate_threshold!r}, "
+            f"observations={len(self.decisions)})"
+        )
 
 
 def suggest_config(

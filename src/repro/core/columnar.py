@@ -279,11 +279,17 @@ def run_columnar_batch(
                 pending = True
             clock.resync(now)
             memory.set_used(used)
+            epoch = table.split_epoch
             while not memory.has_room(1):
                 flush()
             now = clock.now
             used, capacity = memory.fill_level()
             io = disk.io_count
+            if table.split_epoch != epoch:
+                # A flush-triggered hot-group sub-split remapped part
+                # of the bucket space; the pre-computed indices for the
+                # remaining rows are stale.  Re-hash the tail.
+                buckets[lo:] = table.hash_batch(keys[lo:])
             continue
         # The next `capacity - used` rows cannot trigger a flush: the
         # per-row check fires on the pool state *before* that row's

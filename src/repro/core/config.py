@@ -38,6 +38,17 @@ class HMJConfig:
             False skips groups with no disk-resident counterpart (their
             results were all produced in memory already) — an I/O
             optimisation kept as an ablation knob.
+        hot_split_factor: Sub-buckets per base bucket when a hot group
+            is sub-split in place (the PanJoin-style skew adaptation).
+            0 (the default) disables hot splitting entirely — required
+            for the pinned determinism baselines.
+        hot_split_threshold: A group is split when its decayed arrival
+            heat exceeds this multiple of the mean group heat at a
+            flush decision.  Needs heat tracking, i.e. a policy with
+            ``requires_heat`` or an explicit ``enable_heat`` call.
+        hot_split_min_tuples: Minimum resident pair total before a hot
+            group is worth splitting (re-bucketing a near-empty group
+            buys nothing).
     """
 
     memory_capacity: int
@@ -46,6 +57,9 @@ class HMJConfig:
     fan_in: int = 8
     policy: FlushingPolicy = field(default_factory=AdaptiveFlushingPolicy)
     final_flush_all: bool = True
+    hot_split_factor: int = 0
+    hot_split_threshold: float = 4.0
+    hot_split_min_tuples: int = 64
 
     def __post_init__(self) -> None:
         if self.memory_capacity < 2:
@@ -63,6 +77,20 @@ class HMJConfig:
             )
         if self.fan_in < 2:
             raise ConfigurationError(f"fan_in must be >= 2, got {self.fan_in}")
+        if self.hot_split_factor < 0 or self.hot_split_factor == 1:
+            raise ConfigurationError(
+                f"hot_split_factor must be 0 (off) or >= 2, "
+                f"got {self.hot_split_factor}"
+            )
+        if self.hot_split_threshold < 1.0:
+            raise ConfigurationError(
+                f"hot_split_threshold must be >= 1, got {self.hot_split_threshold!r}"
+            )
+        if self.hot_split_min_tuples < 0:
+            raise ConfigurationError(
+                f"hot_split_min_tuples must be >= 0, "
+                f"got {self.hot_split_min_tuples}"
+            )
 
     @property
     def group_size(self) -> int:
@@ -73,3 +101,8 @@ class HMJConfig:
     def n_groups(self) -> int:
         """Disk-side bucket groups (``h / p`` of Section 3.3)."""
         return -(-self.n_buckets // self.group_size)
+
+    @property
+    def skew_adaptive(self) -> bool:
+        """Whether any skew-adaptive feature needs heat tracking."""
+        return self.policy.requires_heat or self.hot_split_factor > 0

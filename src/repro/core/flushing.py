@@ -16,6 +16,14 @@ bucket-group pair(s) to evict.  The paper compares four policies:
 
 Section 6.1.2 notes Flush Largest is the special case ``a=0, b=M`` of
 the Adaptive policy; a unit test pins that equivalence.
+
+Beyond the paper, :class:`FlushColdestPolicy` is the skew-aware victim
+rule of the PanJoin-style adaptivity layer: it reads the summary
+table's decayed per-group arrival heat and evicts *cold* partitions so
+hot-key partitions stay memory-resident and keep producing early
+results.  When the heat profile is flat (an unskewed stream) it
+delegates to a conventional fallback policy, so θ=0 workloads pay no
+regression.
 """
 
 from __future__ import annotations
@@ -31,6 +39,11 @@ class FlushingPolicy(abc.ABC):
 
     #: Human-readable policy name, overridden by subclasses.
     name = "flushing-policy"
+
+    #: Whether the policy reads per-group arrival heat.  Operators
+    #: enable heat tracking on their summary table when this is set
+    #: (see :meth:`BucketSummaryTable.enable_heat`).
+    requires_heat = False
 
     def prepare(self, memory_capacity: int, n_groups: int) -> None:
         """Resolve capacity-dependent parameters before the join starts.
@@ -193,6 +206,89 @@ class AdaptiveFlushingPolicy(FlushingPolicy):
 
     def __repr__(self) -> str:
         return f"AdaptiveFlushingPolicy(a={self._a!r}, b={self._b!r})"
+
+
+class FlushColdestPolicy(FlushingPolicy):
+    """Evict a *cold* partition so hot ones stay memory-resident.
+
+    The skew-adaptive victim rule: among the non-empty groups, take the
+    coldest ``cold_fraction`` by decayed arrival heat and flush the
+    largest pair among them (flushing a one-tuple group would free
+    nothing and trigger a flush storm).  After every decision the
+    summary's heat is aged by ``decay``, making heat a recency-weighted
+    arrival count.
+
+    When the heat profile carries no usable skew signal — fewer than
+    two candidates, zero total heat, or a maximum below ``hot_ratio``
+    times the mean — the decision is delegated to ``fallback`` (the
+    paper's Adaptive policy by default).  An unskewed stream therefore
+    behaves exactly like the baseline, which is what makes adaptivity
+    free at θ=0.
+    """
+
+    name = "flush-coldest"
+    requires_heat = True
+
+    def __init__(
+        self,
+        decay: float = 0.5,
+        hot_ratio: float = 2.5,
+        cold_fraction: float = 0.25,
+        fallback: FlushingPolicy | None = None,
+    ) -> None:
+        if not 0.0 <= decay <= 1.0:
+            raise ConfigurationError(f"decay must be in [0, 1], got {decay!r}")
+        if hot_ratio < 1.0:
+            raise ConfigurationError(
+                f"hot_ratio must be >= 1, got {hot_ratio!r}"
+            )
+        if not 0.0 < cold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"cold_fraction must be in (0, 1], got {cold_fraction!r}"
+            )
+        self._decay = decay
+        self._hot_ratio = hot_ratio
+        self._cold_fraction = cold_fraction
+        self._fallback = fallback if fallback is not None else AdaptiveFlushingPolicy()
+
+    @property
+    def fallback(self) -> FlushingPolicy:
+        """The policy consulted when the heat profile is flat."""
+        return self._fallback
+
+    def prepare(self, memory_capacity: int, n_groups: int) -> None:
+        self._fallback.prepare(memory_capacity, n_groups)
+
+    def select_victims(self, summary: BucketSummaryTable) -> list[int]:
+        if not summary.heat_enabled:
+            raise ConfigurationError(
+                "FlushColdestPolicy requires heat tracking; call "
+                "summary.enable_heat() before the first flush"
+            )
+        candidates = self._require_nonempty(summary)
+        heats = [summary.heat(g) for g in candidates]
+        try:
+            mean = sum(heats) / len(candidates)
+            if (
+                len(candidates) < 2
+                or mean <= 0.0
+                or max(heats) < self._hot_ratio * mean
+            ):
+                return self._fallback.select_victims(summary)
+            ranked = sorted(zip(heats, candidates))
+            keep = max(1, int(len(ranked) * self._cold_fraction))
+            pool = [g for _, g in ranked[:keep]]
+            return [_argmax_total(pool, summary)]
+        finally:
+            summary.decay_heat(self._decay)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlushColdestPolicy(decay={self._decay!r}, "
+            f"hot_ratio={self._hot_ratio!r}, "
+            f"cold_fraction={self._cold_fraction!r}, "
+            f"fallback={self._fallback!r})"
+        )
 
 
 def _argmax_total(groups: list[int], summary: BucketSummaryTable) -> int:

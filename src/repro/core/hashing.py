@@ -44,6 +44,11 @@ from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
 _HASH_MULTIPLIER = 2654435761
 _HASH_MASK = (1 << 32) - 1
 
+# Independent second multiplier (xxHash's PRIME32_2) for the hot-group
+# sub-split: sub-bucket routing must not correlate with the primary
+# bucket choice, or every key in a bucket would land in one sub-bucket.
+_HASH_MULTIPLIER2 = 2246822519
+
 #: Shared no-match result: probing an empty bucket (the common case at
 #: paper selectivity) must not allocate.  Read-only by convention.
 _NO_MATCHES: tuple[Tuple, ...] = ()
@@ -127,6 +132,18 @@ class DualHashTable:
         ]
         self._group_arr = np.asarray(self._group_of, dtype=np.int64)
         self._summary = BucketSummaryTable(n_groups)
+        # Hot-group sub-split state.  A split group's base buckets are
+        # routers: their tuples live in *extension* bucket slots
+        # appended past ``n_buckets``, chosen by a secondary hash, so
+        # every existing per-bucket code path (probe, insert, batch
+        # kernel, extraction) works on split groups unchanged once the
+        # bucket index is remapped.  All empty/None while nothing is
+        # split — the hot paths gate on a falsy dict.
+        self._split_base: dict[int, tuple[int, int]] = {}
+        self._split_groups: dict[int, int] = {}
+        self._split_base_arr: np.ndarray | None = None
+        self._split_factor_arr: np.ndarray | None = None
+        self._split_epoch = 0
 
     @property
     def n_buckets(self) -> int:
@@ -144,8 +161,18 @@ class DualHashTable:
         return self._summary
 
     def bucket_of(self, key: int) -> int:
-        """Deterministic bucket index for a join key."""
-        return ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+        """Deterministic bucket index for a join key.
+
+        For a key landing in a split group's base bucket, this is the
+        *extension* bucket the secondary hash routes it to.
+        """
+        bucket = ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+        if self._split_base:
+            entry = self._split_base.get(bucket)
+            if entry is not None:
+                start, factor = entry
+                bucket = start + ((key * _HASH_MULTIPLIER2) & _HASH_MASK) % factor
+        return bucket
 
     def hash_batch(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`bucket_of` over a whole key column.
@@ -153,17 +180,46 @@ class DualHashTable:
         The uint64 wraparound reproduces Python's arbitrary-precision
         ``(key * MULT) & MASK`` bit-for-bit, including negative keys
         (two's-complement low bits), so per-tuple and batch paths agree
-        on every bucket.
+        on every bucket.  Rows hitting a split base bucket are remapped
+        to their extension bucket in one masked vectorized pass.
         """
         h = keys.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER)
         h &= np.uint64(_HASH_MASK)
-        return (h % np.uint64(self._n_buckets)).astype(np.int64)
+        buckets = (h % np.uint64(self._n_buckets)).astype(np.int64)
+        if self._split_base:
+            self._remap_split(buckets, keys)
+        return buckets
+
+    def subhash_batch(self, keys: np.ndarray, factor: int) -> np.ndarray:
+        """Vectorized secondary hash: sub-bucket in ``[0, factor)``.
+
+        The sub-split's routing kernel — the same uint64 wraparound
+        discipline as :meth:`hash_batch`, under the independent second
+        multiplier, so scalar and batch paths agree on every sub-bucket.
+        """
+        h = keys.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER2)
+        h &= np.uint64(_HASH_MASK)
+        return (h % np.uint64(factor)).astype(np.int64)
+
+    def _remap_split(self, buckets: np.ndarray, keys: np.ndarray) -> None:
+        """Route rows aimed at split base buckets to their extensions."""
+        assert self._split_base_arr is not None
+        assert self._split_factor_arr is not None
+        starts = self._split_base_arr[buckets]
+        mask = starts >= 0
+        if not mask.any():
+            return
+        sub_keys = keys[mask]
+        h2 = sub_keys.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER2)
+        h2 &= np.uint64(_HASH_MASK)
+        factors = self._split_factor_arr[buckets[mask]].astype(np.uint64)
+        buckets[mask] = starts[mask] + (h2 % factors).astype(np.int64)
 
     def group_of_bucket(self, bucket: int) -> int:
-        """Group index a bucket belongs to."""
-        if not 0 <= bucket < self._n_buckets:
+        """Group index a bucket (base or extension) belongs to."""
+        if not 0 <= bucket < len(self._group_of):
             raise ConfigurationError(
-                f"bucket {bucket} out of range [0, {self._n_buckets})"
+                f"bucket {bucket} out of range [0, {len(self._group_of)})"
             )
         return self._group_of[bucket]
 
@@ -171,16 +227,32 @@ class DualHashTable:
         """Group index a key hashes into."""
         return self.group_of_bucket(self.bucket_of(key))
 
-    def buckets_in_group(self, group: int) -> range:
-        """The consecutive bucket indices composing ``group``."""
+    def buckets_in_group(self, group: int) -> Sequence[int]:
+        """The bucket indices composing ``group``.
+
+        A plain consecutive range for unsplit groups; a split group
+        additionally owns the extension buckets its base buckets route
+        into (the base buckets stay listed — they are simply empty
+        while the split is active).
+        """
         if not 0 <= group < self._n_groups:
             raise ConfigurationError(
                 f"group {group} out of range [0, {self._n_groups})"
             )
         start = group * self._group_size
         if group == self._n_groups - 1:
-            return range(start, self._n_buckets)
-        return range(start, start + self._group_size)
+            base = range(start, self._n_buckets)
+        else:
+            base = range(start, start + self._group_size)
+        if group not in self._split_groups:
+            return base
+        buckets = list(base)
+        for b in base:
+            entry = self._split_base.get(b)
+            if entry is not None:
+                ext_start, factor = entry
+                buckets.extend(range(ext_start, ext_start + factor))
+        return buckets
 
     def _columns(
         self, source: str
@@ -292,6 +364,11 @@ class DualHashTable:
         """
         key = t.key
         bucket = ((key * _HASH_MULTIPLIER) & _HASH_MASK) % self._n_buckets
+        if self._split_base:
+            entry = self._split_base.get(bucket)
+            if entry is not None:
+                start, factor = entry
+                bucket = start + ((key * _HASH_MULTIPLIER2) & _HASH_MASK) % factor
         if t.source == SOURCE_A:
             own_keys, own_tids, own_pays = self._keys_a, self._tids_a, self._pays_a
             opp_keys, opp_tids, opp_pays = self._keys_b, self._tids_b, self._pays_b
@@ -609,6 +686,215 @@ class DualHashTable:
                 pay_col.extend([None] * (e - s))
             runs.append((b, e - s))
         return runs
+
+    # -- hot-group sub-split ----------------------------------------------
+
+    @property
+    def split_epoch(self) -> int:
+        """Monotone counter bumped by every split/merge.
+
+        Batch drivers that pre-hash a whole key column compare epochs
+        around a flush: a change means previously computed bucket
+        indices are stale and the remaining rows must be re-hashed.
+        """
+        return self._split_epoch
+
+    def is_split(self, group: int) -> bool:
+        """Whether ``group`` currently has an active sub-split."""
+        if not 0 <= group < self._n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range [0, {self._n_groups})"
+            )
+        return group in self._split_groups
+
+    def split_factor(self, group: int) -> int:
+        """Sub-buckets per base bucket for ``group`` (1 when unsplit)."""
+        if not 0 <= group < self._n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range [0, {self._n_groups})"
+            )
+        return self._split_groups.get(group, 1)
+
+    def split_groups(self) -> list[int]:
+        """The currently split groups, ascending."""
+        return sorted(self._split_groups)
+
+    def _base_buckets(self, group: int) -> range:
+        start = group * self._group_size
+        if group == self._n_groups - 1:
+            return range(start, self._n_buckets)
+        return range(start, start + self._group_size)
+
+    def subsplit_group(self, group: int, factor: int) -> int:
+        """Re-bucket a hot group in place: ``factor`` sub-buckets each.
+
+        Every base bucket of ``group`` gets ``factor`` extension slots
+        (on both sources, in lockstep) and its resident tuples are
+        scattered into them by the secondary hash — one vectorized
+        pass per bucket, reusing the :meth:`subhash_batch` kernel.
+        Equal keys share a sub-bucket and keep their insertion order,
+        so probe *matches* (and their emission order) are exactly what
+        the unsplit table would produce; only the candidate scan
+        shrinks, which is the point.  The summary table is untouched
+        (tuples never change group).  Returns the number of tuples
+        moved (both sources).
+        """
+        if not 0 <= group < self._n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range [0, {self._n_groups})"
+            )
+        if factor < 2:
+            raise ConfigurationError(f"split factor must be >= 2, got {factor}")
+        if group in self._split_groups:
+            raise ConfigurationError(f"group {group} is already split")
+        moved = 0
+        for b in self._base_buckets(group):
+            ext_start = len(self._group_of)
+            self._group_of.extend([group] * factor)
+            for int_cols in (self._keys_a, self._tids_a, self._keys_b, self._tids_b):
+                int_cols.extend([] for _ in range(factor))
+            self._pays_a.extend([None] * factor)
+            self._pays_b.extend([None] * factor)
+            for keys_cols, tids_cols, pays_cols in (
+                (self._keys_a, self._tids_a, self._pays_a),
+                (self._keys_b, self._tids_b, self._pays_b),
+            ):
+                moved += self._scatter_bucket(
+                    keys_cols, tids_cols, pays_cols, b, ext_start, factor
+                )
+            self._split_base[b] = (ext_start, factor)
+        self._split_groups[group] = factor
+        self._rebuild_split_arrays()
+        self._split_epoch += 1
+        return moved
+
+    def merge_group(self, group: int) -> int:
+        """Undo :meth:`subsplit_group`: gather extensions back in place.
+
+        Each base bucket's tuples are concatenated back from its
+        extension slots in sub-bucket order; trailing unreferenced
+        extension slots are trimmed.  Returns the number of tuples
+        moved (both sources).
+        """
+        if group not in self._split_groups:
+            raise ConfigurationError(f"group {group} is not split")
+        moved = 0
+        for b in self._base_buckets(group):
+            entry = self._split_base.pop(b, None)
+            if entry is None:
+                continue
+            ext_start, factor = entry
+            for keys_cols, tids_cols, pays_cols in (
+                (self._keys_a, self._tids_a, self._pays_a),
+                (self._keys_b, self._tids_b, self._pays_b),
+            ):
+                moved += self._gather_bucket(
+                    keys_cols, tids_cols, pays_cols, b, ext_start, factor
+                )
+        del self._split_groups[group]
+        self._trim_extensions()
+        self._rebuild_split_arrays()
+        self._split_epoch += 1
+        return moved
+
+    def _scatter_bucket(
+        self,
+        keys_cols: list[list[int]],
+        tids_cols: list[list[int]],
+        pays_cols: list[list | None],
+        bucket: int,
+        ext_start: int,
+        factor: int,
+    ) -> int:
+        """Move one bucket's columns into its extension slots."""
+        key_col = keys_cols[bucket]
+        if not key_col:
+            return 0
+        arr = np.asarray(key_col, dtype=np.int64)
+        sub = self.subhash_batch(arr, factor)
+        order = np.argsort(sub, kind="stable")
+        sub_sorted = sub[order]
+        starts, ends = _run_bounds(sub_sorted)
+        tid_col = tids_cols[bucket]
+        pay_col = pays_cols[bucket]
+        order_l = order.tolist()
+        run_subs = sub_sorted[starts].tolist()
+        for s, e, sb in zip(starts.tolist(), ends.tolist(), run_subs):
+            rows = order_l[s:e]
+            dest = ext_start + sb
+            keys_cols[dest] = [key_col[i] for i in rows]
+            tids_cols[dest] = [tid_col[i] for i in rows]
+            if pay_col is not None:
+                pays_cols[dest] = [pay_col[i] for i in rows]
+        moved = len(key_col)
+        keys_cols[bucket] = []
+        tids_cols[bucket] = []
+        pays_cols[bucket] = None
+        return moved
+
+    @staticmethod
+    def _gather_bucket(
+        keys_cols: list[list[int]],
+        tids_cols: list[list[int]],
+        pays_cols: list[list | None],
+        bucket: int,
+        ext_start: int,
+        factor: int,
+    ) -> int:
+        """Concatenate extension slots back into their base bucket."""
+        merged_keys: list[int] = []
+        merged_tids: list[int] = []
+        merged_pays: list | None = None
+        for s in range(ext_start, ext_start + factor):
+            seg_keys = keys_cols[s]
+            if seg_keys:
+                seg_pays = pays_cols[s]
+                if seg_pays is not None and merged_pays is None:
+                    merged_pays = [None] * len(merged_keys)
+                if merged_pays is not None:
+                    merged_pays.extend(
+                        seg_pays
+                        if seg_pays is not None
+                        else [None] * len(seg_keys)
+                    )
+                merged_keys.extend(seg_keys)
+                merged_tids.extend(tids_cols[s])
+            keys_cols[s] = []
+            tids_cols[s] = []
+            pays_cols[s] = None
+        keys_cols[bucket] = merged_keys
+        tids_cols[bucket] = merged_tids
+        pays_cols[bucket] = merged_pays
+        return len(merged_keys)
+
+    def _trim_extensions(self) -> None:
+        """Drop trailing extension slots no active split references."""
+        limit = self._n_buckets
+        for ext_start, factor in self._split_base.values():
+            limit = max(limit, ext_start + factor)
+        if len(self._group_of) <= limit:
+            return
+        del self._group_of[limit:]
+        for int_cols in (self._keys_a, self._tids_a, self._keys_b, self._tids_b):
+            del int_cols[limit:]
+        del self._pays_a[limit:]
+        del self._pays_b[limit:]
+
+    def _rebuild_split_arrays(self) -> None:
+        """Refresh the vectorized twins after a split/merge/trim."""
+        self._group_arr = np.asarray(self._group_of, dtype=np.int64)
+        if not self._split_base:
+            self._split_base_arr = None
+            self._split_factor_arr = None
+            return
+        size = len(self._group_of)
+        base = np.full(size, -1, dtype=np.int64)
+        fac = np.ones(size, dtype=np.int64)
+        for b, (ext_start, factor) in self._split_base.items():
+            base[b] = ext_start
+            fac[b] = factor
+        self._split_base_arr = base
+        self._split_factor_arr = fac
 
     # -- extraction and inspection ----------------------------------------
 

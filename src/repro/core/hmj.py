@@ -47,12 +47,18 @@ class HashMergeJoin(StreamingJoinOperator):
         self._table: DualHashTable | None = None
         self._scheduler: MergeScheduler | None = None
         self.flush_count = 0
+        self.hot_split_count = 0
         self.peak_imbalance = 0
 
     def _setup(self) -> None:
         cfg = self.config
         self._memory = MemoryPool(cfg.memory_capacity)
         self._table = DualHashTable(cfg.n_buckets, cfg.n_groups)
+        if cfg.skew_adaptive:
+            # Heat feeds the skew-aware flushing policy and the
+            # hot-split trigger; with neither configured it stays off
+            # and the baseline paths are untouched.
+            self._table.summary.enable_heat()
         self._scheduler = MergeScheduler(
             disk=self.disk,
             clock=self.clock,
@@ -264,6 +270,52 @@ class HashMergeJoin(StreamingJoinOperator):
         self.memory.resize(new_capacity)
         self.config.policy.prepare(new_capacity, self.config.n_groups)
 
+    def import_hash_state(self, tuples: Sequence[Tuple]) -> None:
+        """Adopt a morph source's resident tuples, insert-only.
+
+        The exporting operator already emitted every match among these
+        tuples on arrival, so they are stored without probing — exactly
+        the per-tuple store cost, no compare or result charges.
+
+        Each bucket group is imported *atomically*: room for the whole
+        group is secured (flushing victims) before any of its tuples
+        enter memory.  This preserves HMJ's duplicate-suppression
+        invariant — equal keys share a group, so already-matched pairs
+        always co-reside and flush as one same-numbered block pair,
+        which the merging phase skips.  Importing tuple-by-tuple could
+        flush half a group mid-import and re-emit its matches from
+        disk.  A group larger than the whole budget is spilled directly
+        as one sorted block pair instead.
+        """
+        memory = self.memory
+        table = self.table
+        by_group: dict[int, list[Tuple]] = {}
+        for t in tuples:
+            by_group.setdefault(table.group_of_key(t.key), []).append(t)
+        for group in sorted(by_group):
+            ts = by_group[group]
+            for _ in ts:
+                self.charge_tuple()
+            if len(ts) > memory.capacity:
+                ts_a = [t for t in ts if t.source == SOURCE_A]
+                ts_b = [t for t in ts if t.source != SOURCE_A]
+                self.charge_sort(len(ts_a))
+                self.charge_sort(len(ts_b))
+                ts_a.sort(key=Tuple.sort_key)
+                ts_b.sort(key=Tuple.sort_key)
+                self.scheduler.register_flush(group, ts_a, ts_b)
+                self.flush_count += 1
+                self.log_event("import-spill", group=group, tuples=len(ts))
+                continue
+            while not memory.has_room(len(ts)):
+                self._flush_victims()
+            for t in ts:
+                table.insert(t)
+            memory.allocate(len(ts))
+        imbalance = table.summary.imbalance()
+        if imbalance > self.peak_imbalance:
+            self.peak_imbalance = imbalance
+
     def state_summary(self) -> dict:
         """Introspection snapshot for dashboards and tests."""
         return {
@@ -271,6 +323,7 @@ class HashMergeJoin(StreamingJoinOperator):
             "memory_capacity": self.memory.capacity,
             "memory_imbalance": self.table.summary.imbalance(),
             "flush_count": self.flush_count,
+            "hot_split_count": self.hot_split_count,
             "disk_blocks": [
                 len(self.scheduler.block_numbers(g))
                 for g in range(self.config.n_groups)
@@ -298,6 +351,52 @@ class HashMergeJoin(StreamingJoinOperator):
             )
         self.flush_count += 1
         self.log_event("flush", victims=victims, freed=freed)
+        if self.config.hot_split_factor:
+            self._maybe_split_hot()
+
+    def _maybe_split_hot(self) -> None:
+        """Sub-split the hottest group in place when skew warrants it.
+
+        Piggybacks on flush decisions (the same cadence the heat decay
+        runs at): among resident, not-yet-split groups whose decayed
+        heat exceeds ``hot_split_threshold`` times the mean and whose
+        pair total meets ``hot_split_min_tuples``, the hottest is
+        re-bucketed into ``hot_split_factor`` sub-buckets per base
+        bucket.  The re-bucket pass costs one hash per moved tuple,
+        charged at probe rate.  Splits persist for the rest of the run
+        (an evicted hot group refills into its sub-buckets).
+        """
+        table = self.table
+        summary = table.summary
+        heats = summary.heats()
+        if not heats:
+            return
+        mean = sum(heats) / len(heats)
+        if mean <= 0.0:
+            return
+        cutoff = self.config.hot_split_threshold * mean
+        min_tuples = self.config.hot_split_min_tuples
+        best = -1
+        best_heat = 0.0
+        for g in summary.nonempty_groups():
+            h = heats[g]
+            if h < cutoff or table.is_split(g):
+                continue
+            if summary.pair_total(g) < min_tuples:
+                continue
+            if best < 0 or h > best_heat:
+                best, best_heat = g, h
+        if best < 0:
+            return
+        moved = table.subsplit_group(best, self.config.hot_split_factor)
+        self.charge_probe(moved)
+        self.hot_split_count += 1
+        self.log_event(
+            "hot-split",
+            group=best,
+            factor=self.config.hot_split_factor,
+            moved=moved,
+        )
 
     def _flush_group(self, group: int) -> int:
         """Sort and synchronously flush one bucket-group pair.

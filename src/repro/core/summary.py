@@ -15,6 +15,18 @@ pair total — ``add`` bumps a running ``(max, argmax)`` pair, while
 ``remove`` (which only happens on the rare flush path) marks it stale
 for a lazy O(g) rescan on the next query.  The exhaustive scan survives
 as a debug oracle in the test suite.
+
+**Heat tracking** (opt-in, for the skew-adaptive flushing layer): when
+:meth:`~BucketSummaryTable.enable_heat` has been called, every arrival
+also bumps a per-group *heat* counter.  Heat is decayed multiplicatively
+by the flushing policy at each flush decision (``decay_heat``), never
+per arrival — between two flush points heat accumulation is a plain
+order-free sum, so the per-tuple, fused, and columnar delivery paths
+observe identical heat at every decision point.  Flushing a group does
+*not* reset its heat: heat measures arrival recency, not residency, so
+a hot group that was just evicted is still recognised as hot while it
+refills.  With heat disabled (the default) the only cost is one
+``is not None`` test per arrival and nothing observable changes.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ class BucketSummaryTable:
         "_max_total",
         "_max_group",
         "_max_stale",
+        "_heat",
     )
 
     def __init__(self, n_groups: int) -> None:
@@ -50,6 +63,7 @@ class BucketSummaryTable:
         self._max_total = 0
         self._max_group = 0
         self._max_stale = False
+        self._heat: list[float] | None = None
 
     @property
     def n_groups(self) -> int:
@@ -86,6 +100,8 @@ class BucketSummaryTable:
             self._total_a += n
         else:
             self._total_b += n
+        if self._heat is not None:
+            self._heat[group] += n
         self._note_growth(group)
 
     def add_one(self, is_a: bool, group: int) -> None:
@@ -101,6 +117,8 @@ class BucketSummaryTable:
         else:
             self._counts_b[group] += 1
             self._total_b += 1
+        if self._heat is not None:
+            self._heat[group] += 1.0
         self._note_growth(group)
 
     def add_delta_arrays(self, deltas_a, deltas_b) -> None:
@@ -115,16 +133,21 @@ class BucketSummaryTable:
         """
         counts_a = self._counts_a
         counts_b = self._counts_b
+        heat = self._heat
         grew = False
         for g in np.flatnonzero(deltas_a).tolist():
             d = int(deltas_a[g])
             counts_a[g] += d
             self._total_a += d
+            if heat is not None:
+                heat[g] += d
             grew = True
         for g in np.flatnonzero(deltas_b).tolist():
             d = int(deltas_b[g])
             counts_b[g] += d
             self._total_b += d
+            if heat is not None:
+                heat[g] += d
             grew = True
         if grew:
             self._max_stale = True
@@ -161,6 +184,54 @@ class BucketSummaryTable:
         if self._max_stale:
             self._rescan_max()
         return self._max_group
+
+    # -- decayed per-group arrival heat ---------------------------------
+
+    @property
+    def heat_enabled(self) -> bool:
+        """Whether per-group arrival heat is being tracked."""
+        return self._heat is not None
+
+    def enable_heat(self) -> None:
+        """Start tracking per-group arrival heat (idempotent).
+
+        Counters start at zero; arrivals recorded before enabling are
+        not back-filled.  Purely additive: nothing else in the table
+        reads heat, so enabling cannot change counts or victim choices
+        of heat-oblivious policies.
+        """
+        if self._heat is None:
+            self._heat = [0.0] * self._n_groups
+
+    def heat(self, group: int) -> float:
+        """Decayed arrival heat of one group (0.0 when not tracked)."""
+        self._check_group(group)
+        if self._heat is None:
+            return 0.0
+        return self._heat[group]
+
+    def heats(self) -> list[float]:
+        """A copy of every group's heat (empty list when not tracked)."""
+        if self._heat is None:
+            return []
+        return list(self._heat)
+
+    def decay_heat(self, factor: float) -> None:
+        """Multiply every group's heat by ``factor`` (a flush-time age).
+
+        Called by skew-aware policies at each flush decision, so heat
+        is a recency-weighted arrival count whose value at any decision
+        point is independent of intra-batch arrival order.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(
+                f"heat decay factor must be in [0, 1], got {factor!r}"
+            )
+        heat = self._heat
+        if heat is None:
+            return
+        for g in range(self._n_groups):
+            heat[g] *= factor
 
     def _note_growth(self, group: int) -> None:
         if self._max_stale:

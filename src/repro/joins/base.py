@@ -191,6 +191,37 @@ class StreamingJoinOperator(abc.ABC):
             f"{self.name} does not support runtime memory adaptation"
         )
 
+    # -- operator morphing ----------------------------------------------
+    #
+    # Mid-run strategy switching: a morphable *source* operator can hand
+    # its resident hash-table tuples to a morph *target* through these
+    # hooks.  Every match among the exported tuples was already emitted
+    # by the source (streaming joins emit on arrival), so the target
+    # must re-build lookup state WITHOUT re-probing — otherwise results
+    # would duplicate.
+
+    def export_hash_state(self) -> "list[Tuple] | None":
+        """Extract every resident tuple for a morph, releasing memory.
+
+        Returns ``None`` when the operator cannot currently hand over a
+        consistent state (the default: no morph support, or disk-
+        resident state a target could not adopt).  A non-``None``
+        return means the operator's memory is drained and it will not
+        be called again.
+        """
+        return None
+
+    def import_hash_state(self, tuples: "Sequence[Tuple]") -> None:
+        """Adopt another operator's exported resident tuples.
+
+        Insert-only: matches among ``tuples`` were emitted by the
+        exporting operator already, so implementations must store them
+        for *future* probes without emitting anything now.
+        """
+        raise ProtocolError(
+            f"{self.name} does not support adopting morphed state"
+        )
+
     # -- conformance taps ----------------------------------------------
     #
     # Pure observers for :mod:`repro.testing.checks`: they must never

@@ -14,7 +14,7 @@ from repro.core.hashing import DualHashTable
 from repro.joins.base import StreamingJoinOperator
 from repro.sim.budget import WorkBudget
 from repro.storage.memory import MemoryPool
-from repro.storage.tuples import Tuple
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
 
 
 class SymmetricHashJoin(StreamingJoinOperator):
@@ -64,6 +64,23 @@ class SymmetricHashJoin(StreamingJoinOperator):
         self.table.insert(t)
         if self._memory is not None:
             self._memory.allocate(1)
+
+    def export_hash_state(self) -> list[Tuple] | None:
+        """Drain both in-memory tables for a morph target.
+
+        SHJ's whole state is memory-resident (its defining limitation),
+        so a handover is always consistent: every match among the
+        exported tuples was emitted on arrival.  Extraction empties the
+        single bucket group of each source and releases the budget.
+        """
+        table = self._table
+        if table is None:
+            return None
+        exported = table.extract_group(SOURCE_A, 0)
+        exported += table.extract_group(SOURCE_B, 0)
+        if self._memory is not None and exported:
+            self._memory.release(len(exported))
+        return exported
 
     def has_background_work(self) -> bool:
         return False

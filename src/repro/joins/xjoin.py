@@ -305,6 +305,29 @@ class XJoin(StreamingJoinOperator):
             self._flush_largest_bucket()
         self.memory.resize(new_capacity)
 
+    def export_hash_state(self) -> list[Tuple] | None:
+        """Drain the in-memory tables for a morph target, if possible.
+
+        Only consistent while *nothing* has been flushed and no
+        reactive stage-2 pass is suspended: once tuples sit in disk
+        partitions, their pending stage-2/3 matches live in XJoin's
+        timestamp bookkeeping and cannot be handed to another operator
+        without either losing or duplicating results.  Returns ``None``
+        in that case and the morph is declined.
+        """
+        if self.flush_count or self._stage2_active is not None:
+            return None
+        table = self._table
+        if table is None:
+            return None
+        exported: list[Tuple] = []
+        for group in range(table.n_groups):
+            exported += table.extract_group(SOURCE_A, group)
+            exported += table.extract_group(SOURCE_B, group)
+        if exported:
+            self.memory.release(len(exported))
+        return exported
+
     # -- stage 2 ------------------------------------------------------------
 
     def has_background_work(self) -> bool:

@@ -292,3 +292,93 @@ class ResourceBroker:
     def operators(self) -> list["StreamingJoinOperator"]:
         """The bound operators, in binding order."""
         return [b.operator for b in self._bindings]
+
+
+class MorphController(ResourceBroker):
+    """A broker that also polls an online advisor and triggers morphs.
+
+    The scheduler-timer participant of the morphing loop: every
+    ``interval`` of virtual time it reads the bound
+    :class:`~repro.joins.morphing.MorphingJoin`'s cumulative arrival
+    count, feeds it to the :class:`~repro.core.advisor.OnlineAdvisor`,
+    and on a morph recommendation calls ``morph()`` — then pushes the
+    memory grant through the inherited :meth:`apply`/``resize_memory``
+    path so the freshly built target starts under broker governance.
+    Polling stops after the advisor recommends (morphing is one-way);
+    timers pending when the streams end are dropped by the kernel.
+
+    Inherits the full grant machinery, so a static grant ``schedule``
+    can run alongside the polling (pre-morph grants are stashed by the
+    wrapper and applied at morph time).
+    """
+
+    def __init__(
+        self,
+        advisor,
+        interval: float,
+        grant_total: int | None = None,
+        schedule: Iterable["MemoryGrant | tuple[float, int]"] = (),
+    ) -> None:
+        super().__init__(schedule)
+        if not interval > 0:
+            raise ConfigurationError(
+                f"poll interval must be > 0, got {interval!r}"
+            )
+        if grant_total is not None and grant_total < MIN_OPERATOR_SHARE:
+            raise ConfigurationError(
+                f"grant_total must be >= {MIN_OPERATOR_SHARE}, "
+                f"got {grant_total!r}"
+            )
+        self._advisor = advisor
+        self._interval = interval
+        self._grant_total = grant_total
+        self._scheduler: "EventScheduler | None" = None
+        #: ``(virtual_time, switched)`` per attempted morph.
+        self.morph_log: list[tuple[float, bool]] = []
+
+    @property
+    def advisor(self):
+        """The polled online advisor."""
+        return self._advisor
+
+    def bind(
+        self,
+        operator: "StreamingJoinOperator",
+        weight: float = 1.0,
+        label: str | None = None,
+    ) -> None:
+        """Bind the morphable operator (first binding is the one polled)."""
+        if not self._bindings and not hasattr(operator, "morph"):
+            raise ConfigurationError(
+                f"{operator.name} is not morphable; wrap it in a MorphingJoin"
+            )
+        super().bind(operator, weight, label)
+
+    def install(self, scheduler: "EventScheduler") -> None:
+        """Register the grant schedule plus the first advisor poll."""
+        super().install(scheduler)
+        self._scheduler = scheduler
+        scheduler.call_at(self._interval, self._poll)
+
+    def _poll(self) -> None:
+        op = self._bindings[0].operator
+        now = op.clock.now
+        decision = self._advisor.observe(now, op.tuples_seen)
+        if not decision.morph:
+            assert self._scheduler is not None
+            self._scheduler.call_at(now + self._interval, self._poll)
+            return
+        switched = bool(op.morph())
+        self.morph_log.append((now, switched))
+        if switched and self._grant_total is not None:
+            self.apply(self._grant_total)
+        journal = (
+            self._scheduler.journal if self._scheduler is not None else None
+        )
+        if journal is not None:
+            journal.record(
+                "morph-controller",
+                "morph" if switched else "morph-declined",
+                rate=decision.rate,
+                reason=decision.reason,
+            )

@@ -9,7 +9,11 @@ batched boxed-tuple runs, and columnar array runs), with the full
 in-engine invariant-checker suite attached in collect mode.  The default ("full") matrix additionally re-runs every
 resize-capable operator under a :class:`~repro.sim.broker.
 ResourceBroker` shrink/grow memory schedule; ``--quick`` skips the
-resize axis (the reduced matrix CI runs).
+resize axis (the reduced matrix CI runs).  A ``--skew-theta`` axis
+appends Zipf workloads (θ=0 is the exact uniform limit) on which
+baseline HMJ and the skew-adaptive configuration (heat-ranked flushing
+plus hot-group sub-splits) both run against the oracle — adaptivity on
+and off must conform under genuine skew.
 
 The CLI prints one line per cell, writes a JSON violation report, and
 exits nonzero if any cell violated an invariant or diverged from the
@@ -22,11 +26,12 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.bench.figures import BLOCKING_T, _bursty
 from repro.bench.scale import BenchScale
 from repro.core.config import HMJConfig
+from repro.core.flushing import FlushColdestPolicy
 from repro.core.hmj import HashMergeJoin
 from repro.joins.dphj import DoublePipelinedHashJoin
 from repro.joins.pmj import ProgressiveMergeJoin
@@ -54,11 +59,30 @@ OPERATORS = {
         n_a=scale.spec.n_a, n_b=scale.spec.n_b
     ),
     "shj": lambda memory, scale: SymmetricHashJoin(),
+    # The skew-adaptive HMJ configuration (heat-ranked flushing plus
+    # hot-group sub-splits).  Not part of the default operator set —
+    # it runs on the skew workloads (the ``--skew-theta`` axis), paired
+    # with baseline "hmj" so the matrix certifies adaptivity on *and*
+    # off against the same oracle.
+    "hmj-skew": lambda memory, scale: HashMergeJoin(
+        HMJConfig(
+            memory_capacity=memory,
+            policy=FlushColdestPolicy(),
+            hot_split_factor=4,
+        )
+    ),
 }
+
+#: The operators the matrix runs by default (everything except the
+#: skew-axis variant, which only makes sense on skew workloads).
+DEFAULT_OPERATORS = tuple(name for name in OPERATORS if name != "hmj-skew")
+
+#: The fixed operator pair every skew workload runs: adaptivity off / on.
+SKEW_OPERATORS = ("hmj", "hmj-skew")
 
 #: Operators that advertise ``supports_memory_resize`` (the broker
 #: refuses the others), i.e. the resize axis of the full matrix.
-RESIZABLE = ("hmj", "xjoin", "pmj", "dphj")
+RESIZABLE = ("hmj", "xjoin", "pmj", "dphj", "hmj-skew")
 
 #: Operators whose runs use the workload memory budget at all.
 BUDGETED = RESIZABLE
@@ -107,6 +131,35 @@ def workload_cases(scale: BenchScale) -> dict[str, dict]:
     }
 
 
+def skew_workload_cases(
+    scale: BenchScale, thetas: tuple[float, ...]
+) -> dict[str, dict]:
+    """The ``--skew-theta`` axis: one Zipf workload per exponent.
+
+    Each case carries an explicit :class:`~repro.workloads.generator.
+    WorkloadSpec` (a ``"spec"`` key) overriding the scale's uniform
+    Section 6 spec; θ=0 is the exact uniform limit, higher θ
+    concentrates arrivals on few key groups.  These workloads run the
+    fixed :data:`SKEW_OPERATORS` pair — baseline HMJ and the
+    skew-adaptive configuration — so both must match the oracle under
+    genuine skew.
+    """
+    fast = lambda: ConstantRate(scale.fast_rate)  # noqa: E731
+    cases = {}
+    for theta in thetas:
+        spec = replace(
+            scale.spec, distribution="zipf", zipf_theta=float(theta)
+        )
+        cases[f"skew-t{theta:g}"] = {
+            "arrival_a": fast,
+            "arrival_b": fast,
+            "memory": spec.memory_capacity(),
+            "spec": spec,
+            "skew": True,
+        }
+    return cases
+
+
 @dataclass(slots=True)
 class CellOutcome:
     """One executed cell of the conformance matrix.
@@ -142,7 +195,7 @@ def run_cell(
 ) -> CellOutcome:
     """Execute one (workload, operator, delivery, resize) cell."""
     batch_delivery, columnar_delivery = DELIVERY_PATHS[delivery]
-    rel_a, rel_b = make_relation_pair(scale.spec)
+    rel_a, rel_b = make_relation_pair(case.get("spec", scale.spec))
     source_a = NetworkSource(rel_a, case["arrival_a"](), seed=11)
     source_b = NetworkSource(rel_b, case["arrival_b"](), seed=22)
     memory = case["memory"]
@@ -230,7 +283,12 @@ def run_cell_tenants(
     aggregate = tenants * memory
 
     def build_sim(tenant_scale: BenchScale, checks=None):
-        rel_a, rel_b = make_relation_pair(tenant_scale.spec)
+        # Tenants derive their workload from the case's spec (skew
+        # cases override the scale's uniform one) with their own seed.
+        spec = replace(
+            case.get("spec", tenant_scale.spec), seed=tenant_scale.seed
+        )
+        rel_a, rel_b = make_relation_pair(spec)
         source_a = NetworkSource(rel_a, case["arrival_a"](), seed=11)
         source_b = NetworkSource(rel_b, case["arrival_b"](), seed=22)
         sim = JoinSimulation(
@@ -326,6 +384,7 @@ def run_matrix(
     workloads: list[str] | None = None,
     progress=None,
     tenants: int = 1,
+    skew_thetas: tuple[float, ...] = (),
 ) -> list[CellOutcome]:
     """Run the conformance matrix; returns every cell outcome.
 
@@ -334,10 +393,13 @@ def run_matrix(
     per-cell callback (the CLI prints from it).  ``tenants > 1``
     switches every cell to the multi-query session variant (see
     :func:`run_cell_tenants`); the delivery axis collapses, since the
-    session always interleaves tenants per event.
+    session always interleaves tenants per event.  ``skew_thetas``
+    appends one Zipf workload per exponent; skew workloads always run
+    the fixed :data:`SKEW_OPERATORS` pair regardless of ``operators``.
     """
     cases = workload_cases(scale)
-    selected_ops = list(OPERATORS) if operators is None else operators
+    cases.update(skew_workload_cases(scale, tuple(skew_thetas)))
+    selected_ops = list(DEFAULT_OPERATORS) if operators is None else operators
     selected_wls = list(cases) if workloads is None else workloads
     for name in selected_ops:
         if name not in OPERATORS:
@@ -348,7 +410,8 @@ def run_matrix(
     outcomes: list[CellOutcome] = []
     for workload in selected_wls:
         case = cases[workload]
-        for operator in selected_ops:
+        cell_ops = list(SKEW_OPERATORS) if case.get("skew") else selected_ops
+        for operator in cell_ops:
             resize_axis = (False,)
             if not quick and operator in RESIZABLE:
                 resize_axis = (False, True)
@@ -372,7 +435,11 @@ def run_matrix(
 
 
 def build_report(
-    scale: BenchScale, quick: bool, outcomes: list[CellOutcome], tenants: int = 1
+    scale: BenchScale,
+    quick: bool,
+    outcomes: list[CellOutcome],
+    tenants: int = 1,
+    skew_thetas: tuple[float, ...] = (),
 ) -> dict:
     """The JSON violation report (schema v1) the CI job uploads."""
     return {
@@ -380,6 +447,7 @@ def build_report(
         "kind": "conformance",
         "mode": "quick" if quick else "full",
         "tenants": tenants,
+        "skew_thetas": list(skew_thetas),
         "n_per_source": scale.n_per_source,
         "seed": scale.seed,
         "cells_total": len(outcomes),
@@ -421,7 +489,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workloads",
         metavar="NAMES",
-        help="comma-separated subset of fig09..fig14",
+        help="comma-separated subset of fig09..fig14 (plus skew-t<θ>)",
+    )
+    parser.add_argument(
+        "--skew-theta",
+        metavar="THETAS",
+        default=None,
+        help=(
+            "comma-separated Zipf exponents appended as skew workloads, "
+            "each run with baseline and skew-adaptive HMJ "
+            "(default: 0,1 full / 1 quick; 'none' disables the axis)"
+        ),
     )
     parser.add_argument(
         "--tenants",
@@ -443,6 +521,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.tenants < 1:
         parser.error("--tenants must be >= 1")
+    if args.skew_theta is None:
+        skew_thetas: tuple[float, ...] = (1.0,) if args.quick else (0.0, 1.0)
+    elif args.skew_theta.strip().lower() in ("", "none"):
+        skew_thetas = ()
+    else:
+        try:
+            skew_thetas = tuple(
+                float(t) for t in args.skew_theta.split(",") if t.strip()
+            )
+        except ValueError:
+            parser.error(
+                f"--skew-theta must be comma-separated floats, "
+                f"got {args.skew_theta!r}"
+            )
     scale = BenchScale(n_per_source=args.scale, seed=args.seed)
 
     def progress(outcome: CellOutcome) -> None:
@@ -464,8 +556,15 @@ def main(argv: list[str] | None = None) -> int:
         workloads=args.workloads.split(",") if args.workloads else None,
         progress=progress,
         tenants=args.tenants,
+        skew_thetas=skew_thetas,
     )
-    report = build_report(scale, args.quick, outcomes, tenants=args.tenants)
+    report = build_report(
+        scale,
+        args.quick,
+        outcomes,
+        tenants=args.tenants,
+        skew_thetas=skew_thetas,
+    )
     with open(args.report, "w") as fh:
         json.dump(report, fh, indent=2)
     failed = [o for o in outcomes if not o.ok]

@@ -10,6 +10,10 @@ two relations only, never of arrival order or timing — so:
 * **arrival-order permutation** (within bounded windows of one
   stream's delivery order),
 * **key relabeling** (any bijection over the key space),
+* **rank-preserving key relabeling** (a *monotone* bijection — the
+  skew-preserving variant: every key keeps its frequency rank, so a
+  skew-adaptive operator sees the same hot/cold structure under
+  different key values),
 * **rate rescale** (all inter-arrival gaps scaled by one factor)
 
 must leave the result-identity multiset *unchanged*, and
@@ -138,6 +142,42 @@ def relabel_keys(workload: MetamorphicWorkload, seed: int) -> MetamorphicWorkloa
     return replace(workload, rel_a=remap(workload.rel_a), rel_b=remap(workload.rel_b))
 
 
+def relabel_keys_rank_preserving(
+    workload: MetamorphicWorkload, seed: int
+) -> MetamorphicWorkload:
+    """Apply one random *monotone* bijection over the key space.
+
+    The skew-preserving variant of :func:`relabel_keys`: images are
+    strictly increasing in key order, so every key keeps its rank in
+    the frequency distribution — a Zipf workload stays Zipf with the
+    same hot ranks, only the key *values* (and therefore which hash
+    buckets heat up or sub-split) move.  Tuples keep their identities,
+    so the result-identity multiset must be identical, for
+    skew-adaptive operator configurations as much as for the baseline.
+    """
+    keys = sorted(
+        {t.key for t in workload.rel_a.tuples}
+        | {t.key for t in workload.rel_b.tuples}
+    )
+    rng = random.Random(seed)
+    # Strictly increasing images via random positive gaps, offset into
+    # a disjoint range so no collision can merge two key groups.
+    images = []
+    image = 1_000_000
+    for _ in keys:
+        image += rng.randint(1, 64)
+        images.append(image)
+    mapping = dict(zip(keys, images))
+
+    def remap(rel: Relation) -> Relation:
+        return Relation(
+            schema=rel.schema,
+            tuples=[replace(t, key=mapping[t.key]) for t in rel.tuples],
+        )
+
+    return replace(workload, rel_a=remap(workload.rel_a), rel_b=remap(workload.rel_b))
+
+
 def swap_streams(workload: MetamorphicWorkload) -> MetamorphicWorkload:
     """Trade the two streams: relation A becomes source B and vice versa.
 
@@ -225,6 +265,7 @@ __all__ = [
     "mirror_multiset",
     "permute_within_windows",
     "relabel_keys",
+    "relabel_keys_rank_preserving",
     "rescale_rate",
     "run_workload",
     "swap_streams",

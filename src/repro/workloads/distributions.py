@@ -38,13 +38,16 @@ def bounded_zipf(
     """``n`` keys from a truncated Zipf(theta) over ``[0, key_range)``.
 
     Implemented by inverse-CDF sampling against the exact normalised
-    Zipf probabilities of the bounded support, so any ``theta > 0`` is
+    Zipf probabilities of the bounded support, so any ``theta >= 0`` is
     accepted (numpy's ``zipf`` requires theta > 1 and an unbounded
     support, which misrepresents skew over a finite key domain).
+    ``theta=0`` is the exact uniform limit — every rank weight is 1 —
+    which gives skew sweeps their unskewed baseline point through the
+    same sampling path.
     """
     _validate(n, key_range)
-    if theta <= 0:
-        raise ConfigurationError(f"zipf theta must be > 0, got {theta!r}")
+    if theta < 0:
+        raise ConfigurationError(f"zipf theta must be >= 0, got {theta!r}")
     if n == 0:
         return np.empty(0, dtype=np.int64)
     ranks = np.arange(1, key_range + 1, dtype=float)

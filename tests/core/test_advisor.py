@@ -132,3 +132,73 @@ def test_amplification_table_covers_builtin_policies():
         "flush-all",
         "flush-smallest",
     }
+
+
+# -- the online morphing advisor ----------------------------------------------
+
+
+def online():
+    from repro.core.advisor import OnlineAdvisor
+
+    return OnlineAdvisor
+
+
+def test_online_advisor_validation():
+    OnlineAdvisor = online()
+    with pytest.raises(ConfigurationError):
+        OnlineAdvisor(rate_threshold=0)
+    with pytest.raises(ConfigurationError):
+        OnlineAdvisor(rate_threshold=10, min_observations=0)
+    with pytest.raises(ConfigurationError):
+        OnlineAdvisor(rate_threshold=10, window=1)
+    advisor = OnlineAdvisor(rate_threshold=10)
+    with pytest.raises(ConfigurationError):
+        advisor.observe(1.0, -1)
+    advisor.observe(1.0, 5)
+    with pytest.raises(ConfigurationError):
+        advisor.observe(0.5, 6)  # time went backwards
+
+
+def test_online_advisor_warms_up_before_recommending():
+    advisor = online()(rate_threshold=1000.0, min_observations=2)
+    assert not advisor.observe(1.0, 10).morph  # no intervals yet
+    assert not advisor.observe(2.0, 20).morph  # one interval
+    decision = advisor.observe(3.0, 30)  # two intervals, rate 10/s
+    assert decision.morph
+    assert decision.rate == pytest.approx(10.0)
+    assert "below threshold" in decision.reason
+
+
+def test_online_advisor_recommends_at_most_once():
+    advisor = online()(rate_threshold=1000.0, min_observations=1)
+    advisor.observe(1.0, 10)
+    assert advisor.observe(2.0, 20).morph
+    after = advisor.observe(3.0, 30)
+    assert not after.morph
+    assert after.reason == "already recommended"
+    assert sum(d.morph for d in advisor.decisions) == 1
+
+
+def test_online_advisor_fast_stream_never_recommends():
+    advisor = online()(rate_threshold=5.0, min_observations=1)
+    for i in range(6):
+        decision = advisor.observe(float(i), 100 * i)  # 100 tuples/s
+    assert not decision.morph
+    assert not any(d.morph for d in advisor.decisions)
+
+
+def test_online_advisor_windowed_rate_forgets_old_history():
+    advisor = online()(rate_threshold=1.0, min_observations=1, window=2)
+    advisor.observe(0.0, 0)
+    advisor.observe(1.0, 1000)  # fast interval
+    decision = advisor.observe(2.0, 1004)  # window drops the fast start
+    assert decision.rate == pytest.approx(4.0)
+
+
+def test_online_advisor_zero_span_is_not_a_rate():
+    advisor = online()(rate_threshold=10.0, min_observations=1)
+    advisor.observe(1.0, 5)
+    decision = advisor.observe(1.0, 9)  # same instant
+    assert decision.rate is None
+    assert not decision.morph
+    assert decision.reason == "no time elapsed"

@@ -71,3 +71,33 @@ def test_default_buckets_scale_with_memory():
     assert big.n_buckets == 10_000           # ~10 tuples per bucket pair
     explicit = HMJConfig(memory_capacity=100_000, n_buckets=64)
     assert explicit.n_buckets == 64          # explicit values win
+
+
+# -- skew-adaptivity knobs ----------------------------------------------------
+
+
+def test_hot_split_defaults_off():
+    cfg = HMJConfig(memory_capacity=100)
+    assert cfg.hot_split_factor == 0
+    assert not cfg.skew_adaptive
+
+
+def test_hot_split_validation():
+    with pytest.raises(ConfigurationError):
+        HMJConfig(memory_capacity=100, hot_split_factor=-1)
+    with pytest.raises(ConfigurationError):
+        HMJConfig(memory_capacity=100, hot_split_factor=1)
+    with pytest.raises(ConfigurationError):
+        HMJConfig(memory_capacity=100, hot_split_threshold=0.5)
+    with pytest.raises(ConfigurationError):
+        HMJConfig(memory_capacity=100, hot_split_min_tuples=-1)
+    HMJConfig(memory_capacity=100, hot_split_factor=2)  # valid
+
+
+def test_skew_adaptive_from_policy_or_splits():
+    from repro.core.flushing import FlushColdestPolicy
+
+    by_policy = HMJConfig(memory_capacity=100, policy=FlushColdestPolicy())
+    by_split = HMJConfig(memory_capacity=100, hot_split_factor=4)
+    assert by_policy.skew_adaptive
+    assert by_split.skew_adaptive

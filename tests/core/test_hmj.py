@@ -173,3 +173,63 @@ def test_phases_are_labelled():
     runtime = drive(op, list(rel_a) + list(rel_b))
     phases = {e.phase for e in runtime.recorder.events}
     assert phases <= {"hashing", "merging"}
+
+
+# -- hot-group sub-splitting --------------------------------------------------
+
+
+def test_hot_split_triggers_under_skew_and_matches_oracle():
+    from repro.core.flushing import FlushColdestPolicy
+    from repro.joins.blocking import hash_join
+    from repro.net.arrival import ConstantRate
+    from repro.net.source import NetworkSource
+    from repro.sim.engine import run_join
+    from repro.storage.tuples import result_multiset
+    from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+    spec = WorkloadSpec(
+        n_a=600, n_b=600, key_range=1200, distribution="zipf",
+        zipf_theta=1.0, seed=7,
+    )
+    rel_a, rel_b = make_relation_pair(spec)
+    config = HMJConfig(
+        memory_capacity=spec.memory_capacity(),
+        policy=FlushColdestPolicy(),
+        hot_split_factor=4,
+        hot_split_min_tuples=16,
+    )
+    op = HashMergeJoin(config)
+    result = run_join(
+        NetworkSource(rel_a, ConstantRate(300.0), seed=1),
+        NetworkSource(rel_b, ConstantRate(300.0), seed=2),
+        op,
+    )
+    assert op.hot_split_count >= 1
+    assert op.state_summary()["hot_split_count"] == op.hot_split_count
+    assert result_multiset(result.results) == result_multiset(
+        hash_join(rel_a, rel_b)
+    )
+
+
+def test_hot_split_disabled_without_factor():
+    from repro.core.flushing import FlushColdestPolicy
+    from repro.net.arrival import ConstantRate
+    from repro.net.source import NetworkSource
+    from repro.sim.engine import run_join
+    from repro.workloads.generator import WorkloadSpec, make_relation_pair
+
+    spec = WorkloadSpec(
+        n_a=600, n_b=600, key_range=1200, distribution="zipf",
+        zipf_theta=1.0, seed=7,
+    )
+    rel_a, rel_b = make_relation_pair(spec)
+    config = HMJConfig(
+        memory_capacity=spec.memory_capacity(), policy=FlushColdestPolicy()
+    )
+    op = HashMergeJoin(config)
+    run_join(
+        NetworkSource(rel_a, ConstantRate(300.0), seed=1),
+        NetworkSource(rel_b, ConstantRate(300.0), seed=2),
+        op,
+    )
+    assert op.hot_split_count == 0

@@ -1,5 +1,6 @@
 """Unit tests for the bucket summary table."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, MemoryBudgetError
@@ -175,3 +176,73 @@ def test_add_one_is_add_fast_path():
     assert fast.total_b == checked.total_b
     assert fast.max_pair_total() == checked.max_pair_total()
     assert fast.argmax_pair_total() == checked.argmax_pair_total()
+
+
+# -- per-group arrival heat ---------------------------------------------------
+
+
+def test_heat_disabled_by_default():
+    table = BucketSummaryTable(3)
+    assert not table.heat_enabled
+    table.add(SOURCE_A, 0, 5)
+    assert table.heat(0) == 0.0
+    assert table.heats() == []
+    table.decay_heat(0.5)  # harmless no-op when disabled
+
+
+def test_heat_tracks_arrivals_per_group():
+    table = BucketSummaryTable(3)
+    table.enable_heat()
+    table.enable_heat()  # idempotent
+    table.add(SOURCE_A, 0, 5)
+    table.add(SOURCE_B, 0, 2)
+    table.add(SOURCE_A, 2, 1)
+    assert table.heats() == [7.0, 0.0, 1.0]
+
+
+def test_heat_counts_every_ingest_path_identically():
+    bulk = BucketSummaryTable(4)
+    single = BucketSummaryTable(4)
+    arrays = BucketSummaryTable(4)
+    for t in (bulk, single, arrays):
+        t.enable_heat()
+    bulk.add(SOURCE_A, 1, 3)
+    bulk.add(SOURCE_B, 2, 2)
+    for _ in range(3):
+        single.add_one(True, 1)
+    for _ in range(2):
+        single.add_one(False, 2)
+    arrays.add_delta_arrays(
+        np.array([0, 3, 0, 0]), np.array([0, 0, 2, 0])
+    )
+    assert bulk.heats() == single.heats() == arrays.heats()
+
+
+def test_decay_ages_heat_multiplicatively():
+    table = BucketSummaryTable(2)
+    table.enable_heat()
+    table.add(SOURCE_A, 0, 8)
+    table.add(SOURCE_A, 1, 2)
+    table.decay_heat(0.5)
+    assert table.heats() == [4.0, 1.0]
+    table.decay_heat(0.0)
+    assert table.heats() == [0.0, 0.0]
+
+
+def test_decay_factor_validation():
+    table = BucketSummaryTable(2)
+    table.enable_heat()
+    with pytest.raises(ConfigurationError):
+        table.decay_heat(1.5)
+    with pytest.raises(ConfigurationError):
+        table.decay_heat(-0.1)
+
+
+def test_removal_does_not_touch_heat():
+    # Heat measures arrival recency, not residency: flushing (removal)
+    # must leave it alone so a just-flushed hot group stays protected.
+    table = BucketSummaryTable(2)
+    table.enable_heat()
+    table.add(SOURCE_A, 0, 6)
+    table.remove(SOURCE_A, 0, 6)
+    assert table.heat(0) == 6.0

@@ -11,16 +11,19 @@ and re-runs the real engine to compare.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
 
 from repro.core.config import HMJConfig
 from repro.core.hmj import HashMergeJoin
+from repro.core.flushing import FlushColdestPolicy
 from repro.testing.metamorphic import (
     make_workload,
     mirror_multiset,
     permute_within_windows,
     relabel_keys,
+    relabel_keys_rank_preserving,
     rescale_rate,
     run_workload,
     swap_streams,
@@ -30,6 +33,17 @@ from repro.testing.oracle import oracle_multiset
 
 def _hmj():
     return HashMergeJoin(HMJConfig(memory_capacity=8))
+
+
+def _hmj_adaptive():
+    return HashMergeJoin(
+        HMJConfig(
+            memory_capacity=8,
+            policy=FlushColdestPolicy(),
+            hot_split_factor=2,
+            hot_split_min_tuples=4,
+        )
+    )
 
 
 KEYS = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=20)
@@ -61,6 +75,63 @@ def test_relabeling_preserves_multiset():
         {t.key for t in workload.rel_a.tuples}
     )
     assert run_workload(relabeled, _hmj) == expected
+
+
+def test_rank_preserving_relabel_preserves_multiset_and_order():
+    workload, expected = _baseline()
+    relabeled = relabel_keys_rank_preserving(workload, seed=7)
+    old = sorted({t.key for t in workload.rel_a.tuples}
+                 | {t.key for t in workload.rel_b.tuples})
+    new = sorted({t.key for t in relabeled.rel_a.tuples}
+                 | {t.key for t in relabeled.rel_b.tuples})
+    # The bijection is monotone: sorting old keys and their images
+    # gives the same pairing (every key keeps its rank).
+    mapping = {}
+    for o, t_old in zip(
+        (t.key for t in workload.rel_a.tuples),
+        (t.key for t in relabeled.rel_a.tuples),
+    ):
+        mapping[o] = t_old
+    assert [mapping[k] for k in sorted(mapping)] == sorted(mapping.values())
+    assert set(new).isdisjoint(set(old))
+    assert run_workload(relabeled, _hmj) == expected
+
+
+def test_rank_preserving_relabel_preserves_multiset_under_adaptivity():
+    # The skew-preserving transform exists for exactly this check: a
+    # skew-adaptive configuration (heat-ranked flushing + hot splits)
+    # must produce the identical multiset on the relabeled workload,
+    # even though its heat/bucket layout shifts with the key values.
+    skewed = make_workload([0] * 8 + [1, 2, 3, 4], [0] * 6 + [2, 3, 5], seed=3)
+    expected = oracle_multiset(skewed.rel_a, skewed.rel_b)
+    relabeled = relabel_keys_rank_preserving(skewed, seed=11)
+    assert run_workload(skewed, _hmj_adaptive) == expected
+    assert run_workload(relabeled, _hmj_adaptive) == expected
+
+
+# -- hypothesis: rank-preserving relabel under the adaptive config -----------
+
+
+SKEWED_KEYS = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=1, max_size=24
+)
+
+
+@st.composite
+def _skewed_workloads(draw):
+    keys_a = draw(SKEWED_KEYS)
+    keys_b = draw(SKEWED_KEYS)
+    seed = draw(st.integers(0, 2**16))
+    return make_workload(keys_a, keys_b, seed=seed)
+
+
+@given(workload=_skewed_workloads(), relabel_seed=st.integers(0, 2**16))
+def test_property_rank_relabel_invariant_for_adaptive_hmj(
+    workload, relabel_seed
+):
+    expected = oracle_multiset(workload.rel_a, workload.rel_b)
+    relabeled = relabel_keys_rank_preserving(workload, relabel_seed)
+    assert run_workload(relabeled, _hmj_adaptive) == expected
 
 
 def test_swap_mirrors_multiset():
@@ -108,6 +179,10 @@ class MetamorphicMachine(RuleBasedStateMachine):
     @rule(seed=st.integers(0, 2**16))
     def relabel(self, seed):
         self.workload = relabel_keys(self.workload, seed)
+
+    @rule(seed=st.integers(0, 2**16))
+    def relabel_rank(self, seed):
+        self.workload = relabel_keys_rank_preserving(self.workload, seed)
 
     @rule()
     def swap(self):

@@ -189,3 +189,83 @@ def test_main_accepts_tenants_flag(tmp_path, capsys):
 def test_main_rejects_non_positive_tenants(tmp_path):
     with pytest.raises(SystemExit):
         main(["--tenants", "0", "--report", str(tmp_path / "r.json")])
+
+
+# -- the skew-theta axis ------------------------------------------------------
+
+
+def test_skew_workloads_run_the_fixed_operator_pair():
+    from repro.testing.conformance import skew_workload_cases
+
+    scale = BenchScale(n_per_source=100, seed=7)
+    cases = skew_workload_cases(scale, (0.0, 1.0))
+    assert sorted(cases) == ["skew-t0", "skew-t1"]
+    assert all(c["skew"] for c in cases.values())
+    assert cases["skew-t1"]["spec"].zipf_theta == 1.0
+    assert cases["skew-t0"]["spec"].distribution == "zipf"
+
+
+def test_skew_axis_is_clean_with_adaptivity_on_and_off():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=True, workloads=["skew-t1"], skew_thetas=(1.0,)
+    )
+    # The fixed pair (baseline hmj, skew-adaptive hmj) x 3 deliveries.
+    assert {o.operator for o in outcomes} == {"hmj", "hmj-skew"}
+    assert len(outcomes) == 6
+    assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+    # All three delivery paths of each operator agree on the triple.
+    for op in ("hmj", "hmj-skew"):
+        triples = {(o.count, o.clock, o.io) for o in outcomes if o.operator == op}
+        assert len(triples) == 1
+
+
+def test_default_matrix_excludes_the_skew_operator():
+    from repro.testing.conformance import DEFAULT_OPERATORS
+
+    assert "hmj-skew" in OPERATORS
+    assert "hmj-skew" not in DEFAULT_OPERATORS
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(scale, quick=True, workloads=["fig11"])
+    assert "hmj-skew" not in {o.operator for o in outcomes}
+
+
+def test_skew_axis_tenant_mode_is_clean():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale,
+        quick=True,
+        workloads=["skew-t1"],
+        skew_thetas=(1.0,),
+        tenants=2,
+    )
+    assert len(outcomes) == 2  # the fixed pair, session delivery
+    assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+
+
+def test_main_accepts_skew_theta_flag(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100",
+        "--operators", "shj", "--workloads", "skew-t1",
+        "--skew-theta", "1.0",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["skew_thetas"] == [1.0]
+    assert {c["operator"] for c in report["cells"]} == {"hmj", "hmj-skew"}
+    assert "skew-t1" in capsys.readouterr().out
+
+
+def test_main_skew_theta_none_disables_axis(tmp_path):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100",
+        "--operators", "shj", "--workloads", "fig11",
+        "--skew-theta", "none",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["skew_thetas"] == []

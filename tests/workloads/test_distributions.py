@@ -82,9 +82,26 @@ def test_zipf_zero_n():
 
 def test_zipf_validation():
     with pytest.raises(ConfigurationError):
-        bounded_zipf(10, 10, rng(), theta=0.0)
+        bounded_zipf(10, 10, rng(), theta=-0.1)
     with pytest.raises(ConfigurationError):
         bounded_zipf(10, 0, rng())
+
+
+def test_zipf_theta_zero_is_exact_uniform_limit():
+    # theta=0 gives every rank weight 1 through the same inverse-CDF
+    # path, so the samples are exactly what uniform inverse-CDF
+    # sampling of the same generator state produces.
+    keys = bounded_zipf(50_000, 100, rng(), theta=0.0)
+    assert keys.min() >= 0
+    assert keys.max() < 100
+    counts = np.bincount(keys, minlength=100)
+    # No rank dominates: the full range is hit roughly evenly.
+    assert len(np.unique(keys)) == 100
+    assert counts.max() < 2 * counts.min()
+    # Bit-exact check against the closed-form uniform inverse CDF.
+    u = rng().random(50_000)
+    expected = np.searchsorted(np.arange(1, 101) / 100.0, u, side="left")
+    np.testing.assert_array_equal(keys, expected.astype(np.int64))
 
 
 def test_expected_join_size_matches_formula():
