@@ -19,6 +19,16 @@ points are recorded by default: the 100k-tuple point (trajectory
 continuity with earlier manifests) and the paper-nominal 1M-tuple
 point (10^6 tuples per figure in Section 6).
 
+A second, memory-constrained point isolates the merge phase itself:
+a :class:`~repro.core.merging.MergeScheduler` is pre-loaded with a
+fully-flushed run history (the regime where memory held ~10% of the
+input and everything spilled), then the k-way join-while-merging drain
+is timed through both merge paths — the scalar per-tuple generator and
+the vectorized columnar pass.  The columnar path must beat the scalar
+oracle by at least :data:`MERGE_SPEEDUP_GATE` on identical triples,
+with at least :data:`MERGE_FLUSHED_FLOOR` of the input flushed; both
+are enforced gates, not advisory numbers.
+
 Optionally (``--figure-check``) one full figure scenario is also run
 through all three paths, cell by cell, and any triple mismatch fails
 the process — CI's cheap end-to-end equivalence gate.
@@ -34,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import gc
+import random
 import sys
 import time
 from typing import Callable
@@ -44,12 +55,24 @@ from repro.bench.runner import execute
 from repro.bench.scale import BenchScale
 from repro.core.config import HMJConfig
 from repro.core.hmj import HashMergeJoin
+from repro.core.merging import MERGE_PATHS, MergeScheduler
 from repro.joins.pmj import ProgressiveMergeJoin
 from repro.joins.xjoin import XJoin
+from repro.metrics.recorder import MetricsRecorder
 from repro.net.arrival import ConstantRate
 from repro.net.source import NetworkSource
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
 from repro.sim.engine import run_join
-from repro.storage.tuples import Relation
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import (
+    SOURCE_A,
+    SOURCE_B,
+    Relation,
+    Tuple,
+    make_result,
+)
 from repro.workloads.generator import make_relation_pair
 
 #: The fast-and-reliable arrival rate every figure uses (tuples/s).
@@ -70,6 +93,23 @@ PATHS: dict[str, tuple[bool, bool]] = {
 #: Default scale points: the historical 100k point plus the paper's
 #: nominal 10^6-tuple scale (Section 6 runs 1M-tuple sources).
 DEFAULT_TUPLES = (100_000, 1_000_000)
+
+#: Default size of the memory-constrained merge-heavy point.
+DEFAULT_MERGE_TUPLES = 100_000
+
+#: Enforced floor on the columnar-over-scalar merge drain speedup.
+MERGE_SPEEDUP_GATE = 2.0
+
+#: Enforced floor on the flushed fraction of the merge-heavy point —
+#: the point must actually be in the spill-everything regime.
+MERGE_FLUSHED_FLOOR = 0.5
+
+#: Shape of the merge-heavy flush history: hash groups, flushes per
+#: group (> fan-in, so multi-pass re-merging happens), runs per merge
+#: pass, and the key multiplicity divisor (key_range = total / 8 gives
+#: ~4 duplicates per key per side — a join-heavy merge, the regime the
+#: cross-product gather path dominates).
+MERGE_SHAPE = {"n_groups": 8, "flushes_per_group": 6, "fan_in": 4, "key_div": 8}
 
 Triple = tuple[int, float, int]
 
@@ -112,6 +152,142 @@ def kernel_run(
         if was_enabled:
             gc.enable()
     return _triple(result), wall
+
+
+def _sorted_run(
+    rng: random.Random, n: int, source: int, key_range: int, tid_start: int
+) -> list[Tuple]:
+    run = [
+        Tuple(
+            key=rng.randrange(key_range),
+            tid=tid_start + i,
+            source=source,
+            payload=None,
+        )
+        for i in range(n)
+    ]
+    run.sort(key=Tuple.sort_key)
+    return run
+
+
+def _merge_scheduler(
+    merge_path: str, tuples_total: int, seed: int
+) -> tuple[MergeScheduler, VirtualClock, SimulatedDisk, MetricsRecorder]:
+    """A scheduler pre-loaded with a fully-flushed run history.
+
+    This reproduces the state HMJ reaches when memory held ~10% of the
+    input: every tuple was flushed to a sorted disk run and all join
+    work is left for the k-way merge phase.  Both merge paths get the
+    byte-identical history (same seed, same boxed registration path),
+    so the timed drain below compares only the merge kernels.
+    """
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    recorder = MetricsRecorder(clock, disk, keep_results=False)
+    shape = MERGE_SHAPE
+    scheduler = MergeScheduler(
+        disk=disk,
+        clock=clock,
+        costs=disk.costs,
+        partition_prefix="bench-merge",
+        fan_in=shape["fan_in"],
+        n_groups=shape["n_groups"],
+        merge_path=merge_path,
+        recorder=recorder,
+    )
+    rng = random.Random(seed)
+    per_side = tuples_total // (shape["n_groups"] * shape["flushes_per_group"] * 2)
+    key_range = max(1, tuples_total // shape["key_div"])
+    tid = 0
+    for group in range(shape["n_groups"]):
+        for _ in range(shape["flushes_per_group"]):
+            run_a = _sorted_run(rng, per_side, SOURCE_A, key_range, tid)
+            tid += per_side
+            run_b = _sorted_run(rng, per_side, SOURCE_B, key_range, tid)
+            tid += per_side
+            scheduler.register_flush(group, run_a, run_b)
+    scheduler.mark_input_ended()
+    return scheduler, clock, disk, recorder
+
+
+def merge_run(merge_path: str, tuples_total: int, seed: int) -> tuple[Triple, float, int]:
+    """One timed full drain of the merge-heavy history through one path."""
+    scheduler, clock, disk, recorder = _merge_scheduler(merge_path, tuples_total, seed)
+    costs = disk.costs
+
+    def emit(a, b):  # the scalar path's per-result charge+record shape
+        clock.advance(costs.result_time(1))
+        recorder.record(make_result(a, b), "merging")
+
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        scheduler.work(WorkBudget.unbounded(clock), emit)
+        wall = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    triple = (recorder.count, clock.now, disk.io_count)
+    return triple, wall, scheduler.tuples_flushed
+
+
+def merge_point(tuples_total: int, repeats: int, seed: int) -> dict:
+    """Benchmark the join-while-merging drain through both merge paths.
+
+    The scalar generator is the conformance oracle; the columnar pass
+    must reproduce its triple exactly and beat its wall clock by at
+    least :data:`MERGE_SPEEDUP_GATE`.  Gate outcomes are part of the
+    payload so the tracked artifact shows *why* a run failed.
+    """
+    walls: dict[str, list[float]] = {path: [] for path in MERGE_PATHS}
+    triples: dict[str, Triple] = {}
+    flushed = 0
+    for _ in range(repeats):
+        for path in MERGE_PATHS:
+            triple, wall, flushed = merge_run(path, tuples_total, seed)
+            walls[path].append(wall)
+            previous = triples.setdefault(path, triple)
+            assert previous == triple, f"non-deterministic {path} merge drain"
+    best = {path: min(times) for path, times in walls.items()}
+    flushed_fraction = flushed / tuples_total
+    speedup = best["scalar"] / best["columnar"]
+    triples_match = len(set(triples.values())) == 1
+    gate_passed = (
+        triples_match
+        and speedup >= MERGE_SPEEDUP_GATE
+        and flushed_fraction >= MERGE_FLUSHED_FLOOR
+    )
+    return {
+        "workload": {
+            "tuples_total": tuples_total,
+            "tuples_flushed": flushed,
+            "flushed_fraction": round(flushed_fraction, 4),
+            "seed": seed,
+            **MERGE_SHAPE,
+        },
+        "repeats": repeats,
+        **{
+            path: {
+                "wall_seconds": round(best[path], 6),
+                "walls": [round(w, 6) for w in walls[path]],
+            }
+            for path in MERGE_PATHS
+        },
+        "speedup_merge": round(speedup, 4),
+        "triple": {
+            "count": triples["scalar"][0],
+            "final_clock": triples["scalar"][1],
+            "io": triples["scalar"][2],
+        },
+        "triples_match": triples_match,
+        "gates": {
+            "speedup_floor": MERGE_SPEEDUP_GATE,
+            "flushed_floor": MERGE_FLUSHED_FLOOR,
+        },
+        "gate_passed": gate_passed,
+    }
 
 
 def _check_operators(memory: int) -> dict[str, Callable]:
@@ -220,15 +396,22 @@ def kernel_point(tuples_total: int, repeats: int, seed: int) -> dict:
     }
 
 
-def kernel_manifest(tuples_points: list[int], repeats: int, seed: int) -> dict:
+def kernel_manifest(
+    tuples_points: list[int],
+    repeats: int,
+    seed: int,
+    merge_tuples: int = DEFAULT_MERGE_TUPLES,
+) -> dict:
     """Benchmark every scale point; the ``BENCH_kernel.json`` payload.
 
     Schema v1, mirroring ``BENCH_figures.json``: one entry per scale
     point under ``points``, each holding the three paths' walls and
-    the pairwise speedups.
+    the pairwise speedups.  ``merge`` holds the memory-constrained
+    merge-heavy point (scalar vs columnar drain) unless disabled with
+    ``merge_tuples=0``.
     """
     points = [kernel_point(t, repeats, seed) for t in tuples_points]
-    return {
+    manifest = {
         "schema": 1,
         "benchmark": "kernel-batch-delivery",
         "source_digest": source_digest(),
@@ -236,6 +419,9 @@ def kernel_manifest(tuples_points: list[int], repeats: int, seed: int) -> dict:
         "points": points,
         "triples_match": all(p["triples_match"] for p in points),
     }
+    if merge_tuples:
+        manifest["merge"] = merge_point(merge_tuples, repeats, seed)
+    return manifest
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -256,6 +442,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument(
+        "--merge-tuples",
+        type=int,
+        default=DEFAULT_MERGE_TUPLES,
+        help=(
+            "total tuples in the memory-constrained merge-heavy point "
+            "(scalar vs columnar drain; 0 disables the point and its gate)"
+        ),
+    )
+    parser.add_argument(
         "--out", default="BENCH_kernel.json", help="manifest output path"
     )
     parser.add_argument(
@@ -272,8 +467,12 @@ def main(argv: list[str] | None = None) -> int:
     if not tuples_points:
         parser.error("--tuples selected no scale points")
 
-    manifest = kernel_manifest(tuples_points, max(1, args.repeats), args.seed)
+    manifest = kernel_manifest(
+        tuples_points, max(1, args.repeats), args.seed, args.merge_tuples
+    )
     failed = not manifest["triples_match"]
+    if "merge" in manifest:
+        failed = failed or not manifest["merge"]["gate_passed"]
     if args.figure_check:
         check = figure_check(args.figure_check)
         manifest["figure_check"] = check
@@ -290,12 +489,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{point['speedup_columnar_total']:.2f}x over per-tuple "
             f"(triples {'match' if point['triples_match'] else 'MISMATCH'})"
         )
+    if "merge" in manifest:
+        merge = manifest["merge"]
+        print(
+            f"merge bench [{merge['workload']['tuples_total']} tuples, "
+            f"{merge['workload']['flushed_fraction']:.0%} flushed]: "
+            f"scalar {merge['scalar']['wall_seconds']:.3f}s, "
+            f"columnar {merge['columnar']['wall_seconds']:.3f}s | "
+            f"columnar {merge['speedup_merge']:.2f}x over scalar "
+            f"(gate >= {merge['gates']['speedup_floor']:.1f}x: "
+            f"{'pass' if merge['gate_passed'] else 'FAIL'})"
+        )
     if args.figure_check:
         verdict = "match" if manifest["figure_check"]["all_match"] else "MISMATCH"
         print(f"figure check {args.figure_check}: cells {verdict}")
     print(f"wrote {path}")
     if failed:
-        print("ERROR: delivery paths disagree", file=sys.stderr)
+        print("ERROR: kernel benchmark gate failed", file=sys.stderr)
         return 1
     return 0
 

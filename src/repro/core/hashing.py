@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.core.summary import BucketSummaryTable
-from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple
+from repro.storage.tuples import SOURCE_A, SOURCE_B, RelationColumns, Tuple
 
 # Knuth's multiplicative constant: scatters consecutive keys across
 # buckets deterministically (Python's built-in hash() is randomised
@@ -923,6 +923,44 @@ class DualHashTable:
         if extracted:
             self._summary.remove(source, group, len(extracted))
         return extracted
+
+    def extract_group_columns(self, source: str, group: int) -> "RelationColumns":
+        """Columnar :meth:`extract_group`: remove a group without boxing.
+
+        Same bucket-then-insertion order, same column clearing, same
+        single summary update — but the extracted tuples leave as
+        contiguous key/tid arrays (plus a payload list only when some
+        payload is non-``None``), ready for the columnar flush path's
+        ``lexsort``.
+        """
+        keys_cols, tids_cols, pays_cols = self._columns(source)
+        keys: list[int] = []
+        tids: list[int] = []
+        pays: list | None = None
+        for bucket in self.buckets_in_group(group):
+            key_col = keys_cols[bucket]
+            if not key_col:
+                continue
+            pay_col = pays_cols[bucket]
+            if pay_col is not None and pays is None:
+                pays = [None] * len(keys)
+            if pays is not None:
+                pays.extend(
+                    pay_col if pay_col is not None else [None] * len(key_col)
+                )
+            keys.extend(key_col)
+            tids.extend(tids_cols[bucket])
+            keys_cols[bucket] = []
+            tids_cols[bucket] = []
+            pays_cols[bucket] = None
+        if keys:
+            self._summary.remove(source, group, len(keys))
+        return RelationColumns(
+            keys=np.asarray(keys, dtype=np.int64),
+            tids=np.asarray(tids, dtype=np.int64),
+            payloads=pays,
+            source=source,
+        )
 
     def discard_group(self, source: str, group: int) -> int:
         """Drop every tuple of ``source`` in ``group`` without boxing.

@@ -28,7 +28,13 @@ from typing import Sequence
 from repro.joins.base import StreamingJoinOperator
 from repro.sim.budget import WorkBudget
 from repro.storage.memory import MemoryPool
-from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+from repro.storage.tuples import (
+    SOURCE_A,
+    SOURCE_B,
+    Tuple,
+    make_result,
+    sort_columns_by_key,
+)
 
 
 class HashMergeJoin(StreamingJoinOperator):
@@ -67,6 +73,10 @@ class HashMergeJoin(StreamingJoinOperator):
             fan_in=cfg.fan_in,
             n_groups=cfg.n_groups,
             journal=self.runtime.journal,
+            merge_path=cfg.merge_path,
+            recorder=self.recorder,
+            emit_phase=self.PHASE_MERGING,
+            emit_guard=self._emit_guard,
         )
         cfg.policy.prepare(cfg.memory_capacity, cfg.n_groups)
 
@@ -403,7 +413,29 @@ class HashMergeJoin(StreamingJoinOperator):
 
         Returns the number of memory slots freed (0 for an empty group,
         which is skipped without touching the disk).
+
+        On the columnar merge path the group is extracted directly into
+        key/tid arrays and key-sorted with ``np.lexsort`` — the same
+        strict ``(key, tid)`` order ``Tuple.sort_key`` yields within
+        one source — so no ``Tuple`` is ever boxed between hash table
+        and disk block.  Charges are identical either way: one sort
+        charge per side, then the block-pair write.
         """
+        if self.config.merge_path == "columnar":
+            cols_a = self.table.extract_group_columns(SOURCE_A, group)
+            cols_b = self.table.extract_group_columns(SOURCE_B, group)
+            n = len(cols_a) + len(cols_b)
+            if n == 0:
+                return 0
+            self.charge_sort(len(cols_a))
+            self.charge_sort(len(cols_b))
+            self.scheduler.register_flush_columns(
+                group,
+                sort_columns_by_key(cols_a),
+                sort_columns_by_key(cols_b),
+            )
+            self.memory.release(n)
+            return n
         tuples_a = self.table.extract_group(SOURCE_A, group)
         tuples_b = self.table.extract_group(SOURCE_B, group)
         n = len(tuples_a) + len(tuples_b)

@@ -21,18 +21,34 @@ between the hashing and merging phases".
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
+import numpy as np
+
+from repro.core.columnar import ResultColumns
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.budget import WorkBudget
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.storage.disk import DiskBlock, SimulatedDisk
-from repro.storage.runs import PagedRunWriter, SortedRun, key_merge_iterator
-from repro.storage.tuples import Tuple
+from repro.storage.runs import (
+    PagedRunWriter,
+    SortedRun,
+    key_merge_iterator,
+    vectorized_run_merge,
+)
+from repro.storage.tuples import RelationColumns, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.recorder import MetricsRecorder
 
 EmitFn = Callable[[Tuple, Tuple], None]
+
+#: Valid values for the ``merge_path`` flag: the per-tuple generator
+#: oracle vs the vectorized columnar pass.
+MERGE_PATHS = ("scalar", "columnar")
 
 
 class _NullRunWriter:
@@ -59,6 +75,12 @@ class _GroupState:
         default_factory=dict
     )
     next_id: int = 0
+    # Incremental tallies of entries with a non-None A / B side,
+    # maintained at register and pass-reservation time so the
+    # scheduler's has-work polls stay O(1) instead of rebuilding two
+    # ID sets per idle tick.
+    count_a: int = 0
+    count_b: int = 0
 
 
 class MergeScheduler:
@@ -80,11 +102,23 @@ class MergeScheduler:
         fan_in: int,
         n_groups: int,
         journal=None,
+        merge_path: str = "scalar",
+        recorder: "MetricsRecorder | None" = None,
+        emit_phase: str = "merging",
+        emit_guard: Callable[[], None] | None = None,
     ) -> None:
         if fan_in < 2:
             raise ConfigurationError(f"fan_in must be >= 2, got {fan_in}")
         if n_groups < 1:
             raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+        if merge_path not in MERGE_PATHS:
+            raise ConfigurationError(
+                f"merge_path must be one of {MERGE_PATHS}, got {merge_path!r}"
+            )
+        if merge_path == "columnar" and recorder is None:
+            raise ConfigurationError(
+                "merge_path='columnar' needs a recorder for batch emission"
+            )
         self._disk = disk
         self._clock = clock
         self._costs = costs
@@ -96,11 +130,16 @@ class MergeScheduler:
             )
             for g in range(n_groups)
         ]
-        self._active: Iterator[None] | None = None
+        self._active: _ScalarMergePass | _ColumnarMergePass | None = None
         self._cursor = 0
         self._input_ended = False
         self._journal = journal
         self._journal_actor = partition_prefix
+        self._merge_path = merge_path
+        self._recorder = recorder
+        self._emit_phase = emit_phase
+        self._emit_guard = emit_guard if emit_guard is not None else _no_guard
+        self._tuples_flushed = 0
 
     @property
     def n_groups(self) -> int:
@@ -111,6 +150,21 @@ class MergeScheduler:
     def fan_in(self) -> int:
         """Blocks merged per pass (the paper's ``f``)."""
         return self._fan_in
+
+    @property
+    def merge_path(self) -> str:
+        """Which merge implementation passes run on."""
+        return self._merge_path
+
+    @property
+    def tuples_flushed(self) -> int:
+        """Total tuples ever flushed to this scheduler (both sides).
+
+        Merge-pass outputs do not count: this measures how much of the
+        *input* spilled, the denominator of the merge-heavy benchmark's
+        flushed-fraction check.
+        """
+        return self._tuples_flushed
 
     def mark_input_ended(self) -> None:
         """Declare that no further flushes will arrive.
@@ -158,6 +212,56 @@ class MergeScheduler:
             else None
         )
         gs.blocks[block_id] = (block_a, block_b)
+        if block_a is not None:
+            gs.count_a += 1
+        if block_b is not None:
+            gs.count_b += 1
+        self._tuples_flushed += len(sorted_a) + len(sorted_b)
+        return block_id
+
+    def register_flush_columns(
+        self,
+        group: int,
+        sorted_a: RelationColumns | None,
+        sorted_b: RelationColumns | None,
+    ) -> int:
+        """Columnar :meth:`register_flush`: same charges, no boxing.
+
+        Either side may be ``None`` or empty (its bucket group held no
+        tuples), but not both.  Returns the shared block number.
+        """
+        gs = self._group(group)
+        n_a = 0 if sorted_a is None else len(sorted_a.keys)
+        n_b = 0 if sorted_b is None else len(sorted_b.keys)
+        if not n_a and not n_b:
+            raise SimulationError(f"flush of group {group} contained no tuples")
+        if self._input_ended:
+            raise SimulationError(
+                "register_flush after mark_input_ended would break the "
+                "final-pass optimisation; flush before marking input ended"
+            )
+        block_id = gs.next_id
+        gs.next_id += 1
+        block_a = (
+            self._disk.write_block_columns(
+                gs.partition_a, sorted_a, block_id, sorted_by_key=True
+            )
+            if n_a
+            else None
+        )
+        block_b = (
+            self._disk.write_block_columns(
+                gs.partition_b, sorted_b, block_id, sorted_by_key=True
+            )
+            if n_b
+            else None
+        )
+        gs.blocks[block_id] = (block_a, block_b)
+        if block_a is not None:
+            gs.count_a += 1
+        if block_b is not None:
+            gs.count_b += 1
+        self._tuples_flushed += n_a + n_b
         return block_id
 
     # -- inspection -------------------------------------------------------
@@ -182,13 +286,13 @@ class MergeScheduler:
 
         True iff some A-block and some B-block carry *different* block
         numbers — same-numbered pairs were already joined in memory.
+        Answered from the incremental side tallies: every registered
+        entry has at least one non-None side, so "some A, some B, and
+        at least two distinct block numbers" is exactly
+        ``count_a > 0 and count_b > 0 and len(blocks) >= 2``.
         """
         gs = self._group(group)
-        ids_a = {i for i, (a, _) in gs.blocks.items() if a is not None}
-        ids_b = {i for i, (_, b) in gs.blocks.items() if b is not None}
-        if not ids_a or not ids_b:
-            return False
-        return len(ids_a | ids_b) >= 2
+        return gs.count_a > 0 and gs.count_b > 0 and len(gs.blocks) >= 2
 
     def has_result_work(self) -> bool:
         """Whether any group (or a suspended pass) can still emit results."""
@@ -210,19 +314,14 @@ class MergeScheduler:
                 group = self._next_group()
                 if group is None:
                     return
-                self._active = self._merge_pass(group, emit)
-            if self._drain_active(budget):
+                if self._merge_path == "columnar":
+                    self._active = _ColumnarMergePass(self, group)
+                else:
+                    self._active = _ScalarMergePass(
+                        self._merge_pass(group, emit)
+                    )
+            if self._active.advance(budget):
                 self._active = None
-
-    def _drain_active(self, budget: WorkBudget) -> bool:
-        """Advance the in-flight pass; True when it completed."""
-        assert self._active is not None
-        while not budget.expired():
-            try:
-                next(self._active)
-            except StopIteration:
-                return True
-        return False
 
     def _next_group(self) -> int | None:
         n = len(self._groups)
@@ -233,13 +332,19 @@ class MergeScheduler:
                 return g
         return None
 
-    def _merge_pass(self, group: int, emit: EmitFn) -> Iterator[None]:
-        """One pass over a group: merge its first ``f`` block numbers.
+    def _begin_pass(
+        self, group: int
+    ) -> tuple[
+        _GroupState,
+        dict[int, tuple[DiskBlock | None, DiskBlock | None]],
+        int,
+        bool,
+    ]:
+        """Reserve a pass's inputs and assign its output block number.
 
-        Implemented as a generator yielding after every unit of work so
-        the engine can suspend it mid-pass.  Input blocks are reserved
-        (removed from the group's index) up front; the merged outputs
-        are registered under a fresh shared block number at the end.
+        Shared by both merge paths: pops the first ``f`` block numbers
+        from the group's index (updating the side tallies), decides
+        whether this is a final pass, and journals the pass.
         """
         gs = self._group(group)
         ids = sorted(gs.blocks.keys())[: self._fan_in]
@@ -252,6 +357,11 @@ class MergeScheduler:
         # skip writing it entirely.
         final_pass = self._input_ended and len(ids) == len(gs.blocks)
         selected = {i: gs.blocks.pop(i) for i in ids}
+        for block_a, block_b in selected.values():
+            if block_a is not None:
+                gs.count_a -= 1
+            if block_b is not None:
+                gs.count_b -= 1
         out_id = gs.next_id
         gs.next_id += 1
         if self._journal is not None:
@@ -263,6 +373,47 @@ class MergeScheduler:
                 out=out_id,
                 final=final_pass,
             )
+        return gs, selected, out_id, final_pass
+
+    def _drop_inputs(
+        self,
+        gs: _GroupState,
+        selected: dict[int, tuple[DiskBlock | None, DiskBlock | None]],
+    ) -> None:
+        """Remove a completed pass's consumed input blocks (no charge)."""
+        for block_a, block_b in selected.values():
+            if block_a is not None:
+                self._disk.drop_block(gs.partition_a, block_a)
+            if block_b is not None:
+                self._disk.drop_block(gs.partition_b, block_b)
+
+    def _register_output(
+        self,
+        gs: _GroupState,
+        out_id: int,
+        merged_a: DiskBlock | None,
+        merged_b: DiskBlock | None,
+    ) -> None:
+        """File a pass's merged output under its fresh block number."""
+        if merged_a is None and merged_b is None:
+            return
+        gs.blocks[out_id] = (merged_a, merged_b)
+        if merged_a is not None:
+            gs.count_a += 1
+        if merged_b is not None:
+            gs.count_b += 1
+
+    def _merge_pass(self, group: int, emit: EmitFn) -> Iterator[None]:
+        """One pass over a group: merge its first ``f`` block numbers.
+
+        The scalar reference implementation (and conformance oracle of
+        the columnar path): a generator yielding after every unit of
+        work so the engine can suspend it mid-pass.  Input blocks are
+        reserved (removed from the group's index) up front; the merged
+        outputs are registered under a fresh shared block number at the
+        end.
+        """
+        gs, selected, out_id, final_pass = self._begin_pass(group)
 
         runs_a = [
             SortedRun(block=blk, origin=i)
@@ -293,15 +444,10 @@ class MergeScheduler:
             self._costs.cpu_compare_cost,
         )
 
-        for i, (block_a, block_b) in selected.items():
-            if block_a is not None:
-                self._disk.drop_block(gs.partition_a, block_a)
-            if block_b is not None:
-                self._disk.drop_block(gs.partition_b, block_b)
+        self._drop_inputs(gs, selected)
         merged_a = writer_a.close()
         merged_b = writer_b.close()
-        if merged_a is not None or merged_b is not None:
-            gs.blocks[out_id] = (merged_a, merged_b)
+        self._register_output(gs, out_id, merged_a, merged_b)
 
     def _group(self, group: int) -> _GroupState:
         if not 0 <= group < len(self._groups):
@@ -370,3 +516,411 @@ def _join_while_merging(
         writer_b.append(item_b[0])
         item_b = next(stream_b, None)
         yield
+
+
+def _no_guard() -> None:
+    """Default emit guard: no operator context, nothing to check."""
+
+
+class _ScalarMergePass:
+    """An in-flight scalar pass: the per-tuple generator plus its driver.
+
+    Advancing runs one unit of work per ``next``, re-checking the
+    budget between units — the original ``_drain_active`` loop.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, gen: Iterator[None]) -> None:
+        self._gen = gen
+
+    def advance(self, budget: WorkBudget) -> bool:
+        """Advance until the budget expires; True when the pass is done."""
+        gen = self._gen
+        while not budget.expired():
+            try:
+                next(gen)
+            except StopIteration:
+                return True
+        return False
+
+
+class _ColumnarMergePass:
+    """An in-flight columnar pass: vectorized data plane, mirrored clock.
+
+    The columnar twin of ``_merge_pass`` + ``_join_while_merging``.
+    Both sides' runs are merged up front into contiguous origin-tagged
+    columns (:func:`~repro.storage.runs.vectorized_run_merge`); the
+    pass then walks per-key segments found by bisection, crossing
+    equal-key spans with the origin≠origin duplicate-avoidance mask
+    and appending results through the recorder's batch column path.
+
+    **Determinism.**  The scalar path charges the clock once per unit
+    of work (compare / page write / page read / result), and float
+    addition is non-associative — so the charges here replay the exact
+    per-unit sequence in a sequential scalar recurrence on a mirrored
+    local ``now`` (the discipline
+    :func:`~repro.core.columnar._clock_walk` established), with page
+    I/Os counted locally and folded back in bulk.  The budget boundary
+    is re-checked between every two units against the hoisted deadline
+    and stop predicate, so the pass suspends at exactly the unit the
+    scalar generator would — triples stay byte-identical under
+    arbitrary suspension.  While a stop predicate is armed, emissions
+    flush immediately (the predicate may read the recorder's live
+    count); otherwise they buffer until the next suspension point or
+    pass end.
+    """
+
+    __slots__ = ("_gen", "_deadline", "_stop")
+
+    def __init__(self, scheduler: MergeScheduler, group: int) -> None:
+        self._deadline = float("inf")
+        self._stop: Callable[[], bool] | None = None
+        self._gen = self._run(scheduler, group)
+
+    def advance(self, budget: WorkBudget) -> bool:
+        """Advance until the budget expires; True when the pass is done."""
+        self._deadline = (
+            budget.deadline if budget.deadline is not None else float("inf")
+        )
+        self._stop = budget.stop_when
+        try:
+            next(self._gen)
+        except StopIteration:
+            return True
+        return False
+
+    def _run(self, sched: MergeScheduler, group: int) -> Iterator[None]:
+        gs, selected, out_id, final = sched._begin_pass(group)
+        disk = sched._disk
+        clock = sched._clock
+        costs = sched._costs
+        recorder = sched._recorder
+        assert recorder is not None
+        guard = sched._emit_guard
+        phase = sched._emit_phase
+        page = costs.page_size
+        io1 = costs.io_time(1)
+        cmp_c = costs.cpu_compare_cost
+        res_c = costs.result_time(1)
+
+        side_a = vectorized_run_merge(
+            [
+                SortedRun(block=blk, origin=i)
+                for i, (blk, _) in selected.items()
+                if blk is not None
+            ],
+            disk,
+        )
+        side_b = vectorized_run_merge(
+            [
+                SortedRun(block=blk, origin=i)
+                for i, (_, blk) in selected.items()
+                if blk is not None
+            ],
+            disk,
+        )
+        n_a = len(side_a)
+        n_b = len(side_b)
+        # Hot-loop views: plain lists index faster than ndarrays and
+        # .tolist() yields native ints, so all comparisons below are
+        # exact integer comparisons on unboxed Python objects.
+        keys_a = side_a.keys.tolist()
+        keys_b = side_b.keys.tolist()
+        orig_a = side_a.origins.tolist()
+        orig_b = side_b.origins.tolist()
+        rflag_a = side_a.read_flags.tolist()
+        rflag_b = side_b.read_flags.tolist()
+
+        # Emission buffers: per-result times and I/O snapshots, plus
+        # (only when results must be built) row indices into the two
+        # merged sides.
+        t_buf: list[float] = []
+        io_buf: list[int] = []
+        ai_buf: list[int] = []
+        bi_buf: list[int] = []
+        t_append = t_buf.append
+        io_append = io_buf.append
+        ai_append = ai_buf.append
+        bi_append = bi_buf.append
+        need_rows = recorder.needs_results
+
+        def flush() -> None:
+            if not t_buf:
+                return
+            guard()
+            results = None
+            if need_rows:
+                ai = np.asarray(ai_buf, dtype=np.intp)
+                bi = np.asarray(bi_buf, dtype=np.intp)
+                pays_a = side_a.payloads
+                pays_b = side_b.payloads
+                results = ResultColumns(
+                    keys=side_a.keys[ai],
+                    probe_tids=side_a.tids[ai],
+                    build_tids=side_b.tids[bi],
+                    probe_is_a=np.ones(len(ai), dtype=bool),
+                    probe_payloads=(
+                        [pays_a[i] for i in ai_buf]
+                        if pays_a is not None
+                        else None
+                    ),
+                    build_payloads=(
+                        [pays_b[j] for j in bi_buf]
+                        if pays_b is not None
+                        else None
+                    ),
+                )
+                ai_buf.clear()
+                bi_buf.clear()
+            recorder.append_batch_columns(t_buf, io_buf, phase, results)
+            t_buf.clear()
+            io_buf.clear()
+
+        # Mirrored shared state: local clock and page counters,
+        # written back at every suspension point and at pass end.
+        now = clock.now
+        io = disk.io_count
+        reads = 0
+        writes = 0
+        deadline = self._deadline
+        stop = self._stop
+        # Initial page-0 fills — the heap path charges one page read
+        # per run when each stream's first element is pulled, before
+        # the first unit of work.
+        for _ in range(side_a.n_init_reads):
+            now += io1
+            reads += 1
+        for _ in range(side_b.n_init_reads):
+            now += io1
+            reads += 1
+        # The first unit is fused with the initial fills (the scalar
+        # pass performs both inside one `next` call), so its boundary
+        # check is skipped.
+        first = True
+
+        ia = 0
+        ib = 0
+        while ia < n_a and ib < n_b:
+            key_a = keys_a[ia]
+            key_b = keys_b[ib]
+            if key_a < key_b:
+                end = bisect_left(keys_a, key_b, ia, n_a)
+                for m in range(ia, end):
+                    if first:
+                        first = False
+                    elif now >= deadline or (stop is not None and stop()):
+                        flush()
+                        clock.resync(now)
+                        disk.absorb_io_pages(reads, writes)
+                        reads = writes = 0
+                        yield
+                        now = clock.now
+                        io = disk.io_count
+                        deadline = self._deadline
+                        stop = self._stop
+                        need_rows = recorder.needs_results
+                    now += cmp_c
+                    if not final and (m + 1) % page == 0:
+                        now += io1
+                        writes += 1
+                    if rflag_a[m]:
+                        now += io1
+                        reads += 1
+                ia = end
+            elif key_b < key_a:
+                end = bisect_left(keys_b, key_a, ib, n_b)
+                for m in range(ib, end):
+                    if first:
+                        first = False
+                    elif now >= deadline or (stop is not None and stop()):
+                        flush()
+                        clock.resync(now)
+                        disk.absorb_io_pages(reads, writes)
+                        reads = writes = 0
+                        yield
+                        now = clock.now
+                        io = disk.io_count
+                        deadline = self._deadline
+                        stop = self._stop
+                        need_rows = recorder.needs_results
+                    now += cmp_c
+                    if not final and (m + 1) % page == 0:
+                        now += io1
+                        writes += 1
+                    if rflag_b[m]:
+                        now += io1
+                        reads += 1
+                ib = end
+            else:
+                # Equal keys: consume both spans (the gathers), then
+                # cross them with the origin≠origin mask.  The loop-top
+                # compare rides with the first gathered A element.
+                a_end = bisect_right(keys_a, key_a, ia, n_a)
+                b_end = bisect_right(keys_b, key_a, ib, n_b)
+                for m in range(ia, a_end):
+                    if first:
+                        first = False
+                    elif now >= deadline or (stop is not None and stop()):
+                        flush()
+                        clock.resync(now)
+                        disk.absorb_io_pages(reads, writes)
+                        reads = writes = 0
+                        yield
+                        now = clock.now
+                        io = disk.io_count
+                        deadline = self._deadline
+                        stop = self._stop
+                        need_rows = recorder.needs_results
+                    if m == ia:
+                        now += cmp_c
+                    if not final and (m + 1) % page == 0:
+                        now += io1
+                        writes += 1
+                    if rflag_a[m]:
+                        now += io1
+                        reads += 1
+                for m in range(ib, b_end):
+                    if now >= deadline or (stop is not None and stop()):
+                        flush()
+                        clock.resync(now)
+                        disk.absorb_io_pages(reads, writes)
+                        reads = writes = 0
+                        yield
+                        now = clock.now
+                        io = disk.io_count
+                        deadline = self._deadline
+                        stop = self._stop
+                        need_rows = recorder.needs_results
+                    if not final and (m + 1) % page == 0:
+                        now += io1
+                        writes += 1
+                    if rflag_b[m]:
+                        now += io1
+                        reads += 1
+                b_range = range(ib, b_end)
+                for i in range(ia, a_end):
+                    oi = orig_a[i]
+                    for j in b_range:
+                        if now >= deadline or (stop is not None and stop()):
+                            flush()
+                            clock.resync(now)
+                            disk.absorb_io_pages(reads, writes)
+                            reads = writes = 0
+                            yield
+                            now = clock.now
+                            io = disk.io_count
+                            deadline = self._deadline
+                            stop = self._stop
+                            need_rows = recorder.needs_results
+                        now += cmp_c
+                        if oi != orig_b[j]:
+                            now += res_c
+                            t_append(now)
+                            io_append(io + reads + writes)
+                            if need_rows:
+                                ai_append(i)
+                                bi_append(j)
+                            if stop is not None:
+                                # A live predicate may read the
+                                # recorder's count: publish each
+                                # result before the next boundary.
+                                flush()
+                ia = a_end
+                ib = b_end
+        # Drain whichever side remains (no more matches possible).
+        while ia < n_a:
+            if first:
+                first = False
+            elif now >= deadline or (stop is not None and stop()):
+                flush()
+                clock.resync(now)
+                disk.absorb_io_pages(reads, writes)
+                reads = writes = 0
+                yield
+                now = clock.now
+                io = disk.io_count
+                deadline = self._deadline
+                stop = self._stop
+                need_rows = recorder.needs_results
+            if not final and (ia + 1) % page == 0:
+                now += io1
+                writes += 1
+            if rflag_a[ia]:
+                now += io1
+                reads += 1
+            ia += 1
+        while ib < n_b:
+            if first:
+                first = False
+            elif now >= deadline or (stop is not None and stop()):
+                flush()
+                clock.resync(now)
+                disk.absorb_io_pages(reads, writes)
+                reads = writes = 0
+                yield
+                now = clock.now
+                io = disk.io_count
+                deadline = self._deadline
+                stop = self._stop
+                need_rows = recorder.needs_results
+            if not final and (ib + 1) % page == 0:
+                now += io1
+                writes += 1
+            if rflag_b[ib]:
+                now += io1
+                reads += 1
+            ib += 1
+        # Finalisation is one more unit (the scalar generator's
+        # trailing code runs inside a final `next` the driver guards
+        # with its own budget check).
+        if now >= deadline or (stop is not None and stop()):
+            flush()
+            clock.resync(now)
+            disk.absorb_io_pages(reads, writes)
+            reads = writes = 0
+            yield
+            now = clock.now
+            deadline = self._deadline
+            stop = self._stop
+        flush()
+        clock.resync(now)
+        disk.absorb_io_pages(reads, writes)
+        sched._drop_inputs(gs, selected)
+        merged_a = merged_b = None
+        if not final:
+            # The streaming writers' close(): charge each side's final
+            # partial page (A then B, as the scalar pass closes them),
+            # then register the merged columns — which are exactly the
+            # per-side merge results already in hand.
+            if n_a:
+                rem = n_a % page
+                if rem:
+                    disk.charge_write_pages(rem)
+                merged_a = disk.adopt_block_columns(
+                    gs.partition_a,
+                    RelationColumns(
+                        keys=side_a.keys,
+                        tids=side_a.tids,
+                        payloads=side_a.payloads,
+                        source=side_a.source,
+                    ),
+                    out_id,
+                    sorted_by_key=True,
+                )
+            if n_b:
+                rem = n_b % page
+                if rem:
+                    disk.charge_write_pages(rem)
+                merged_b = disk.adopt_block_columns(
+                    gs.partition_b,
+                    RelationColumns(
+                        keys=side_b.keys,
+                        tids=side_b.tids,
+                        payloads=side_b.payloads,
+                        source=side_b.source,
+                    ),
+                    out_id,
+                    sorted_by_key=True,
+                )
+        sched._register_output(gs, out_id, merged_a, merged_b)

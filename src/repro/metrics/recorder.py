@@ -342,23 +342,35 @@ class MetricsRecorder:
         return append
 
     def append_batch_columns(
-        self, times: list[float], io: int, phase: str, results=None
+        self,
+        times: list[float],
+        io: int | Sequence[int],
+        phase: str,
+        results=None,
     ) -> None:
         """Column-slice append: one arrival segment's results at once.
 
         ``times`` are the per-result emission instants (already
-        clock-exact, computed by the columnar loop); ``io`` and
-        ``phase`` are constant across the segment, like one
-        :meth:`batch_appender` batch.  ``results`` is a lazy column
-        segment exposing ``materialise() -> list[JoinResult]`` — it is
-        only boxed if results are retained and actually read, or a tap
-        is attached (required then; see :attr:`needs_results`).
+        clock-exact, computed by the columnar loop); ``io`` is either a
+        single cumulative page-I/O count shared by the whole segment
+        (one arrival batch, where the disk never moves mid-segment) or
+        a per-result sequence parallel to ``times`` (a merge-pass
+        segment, where page reads and writes interleave with
+        emissions); ``phase`` is constant across the segment.
+        ``results`` is a lazy column segment exposing
+        ``materialise() -> list[JoinResult]`` — it is only boxed if
+        results are retained and actually read, or a tap is attached
+        (required then; see :attr:`needs_results`).
         """
         n = len(times)
         if n == 0:
             return
+        scalar_io = isinstance(io, int)
         self._times.extend(times)
-        self._ios.extend(repeat(io, n))
+        if scalar_io:
+            self._ios.extend(repeat(io, n))
+        else:
+            self._ios.extend(io)
         self._phases.extend(repeat(phase, n))
         if self._taps:
             # Per-result observers need boxed results and events now,
@@ -376,7 +388,7 @@ class MetricsRecorder:
                 event = ResultEvent(
                     k=base + offset + 1,
                     time=times[offset],
-                    io=io,
+                    io=io if scalar_io else io[offset],
                     phase=phase,
                 )
                 for tap in self._taps:

@@ -168,7 +168,12 @@ class PlanExecutor:
         self.scheduler = EventScheduler(
             clock=self.clock,
             blocking_threshold=float(blocking_threshold),
-            stop_when=self._stop_reached,
+            # Armed only when an early stop is configured — see
+            # SimulationEngine: a live predicate forces synchronous
+            # per-result emission in the columnar merge path.
+            stop_when=(
+                self._stop_reached if stop_after is not None else None
+            ),
             journal=self.journal,
         )
         # All leaves share one batch group: a merged run of leaf

@@ -122,7 +122,14 @@ class JoinSimulation:
         self.scheduler = EventScheduler(
             clock=self.clock,
             blocking_threshold=float(blocking_threshold),
-            stop_when=self._stop_reached,
+            # Only arm the early-stop predicate when an early stop is
+            # actually configured: an armed predicate forces the merge
+            # machinery into per-result synchronous emission (the
+            # predicate may read the live result count), which the
+            # batched columnar path otherwise avoids.
+            stop_when=(
+                self._stop_reached if stop_after is not None else None
+            ),
             journal=self.journal,
         )
         self._source_a = source_a

@@ -17,37 +17,100 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import StorageError
 from repro.storage.pages import pages_needed, split_into_pages
-from repro.storage.tuples import Tuple
+from repro.storage.tuples import (
+    RelationColumns,
+    Tuple,
+    columns_to_tuples,
+    tuples_to_columns,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.clock import VirtualClock
     from repro.sim.costs import CostModel
 
 
-@dataclass(slots=True)
 class DiskBlock:
     """One flushed block: a contiguous, optionally sorted tuple run.
+
+    Like :class:`~repro.storage.tuples.Relation`, the block holds
+    *either* representation and derives the other lazily: blocks
+    written by the columnar flush/merge paths store key/tid column
+    arrays (no ``Tuple`` boxing until a per-tuple consumer reads
+    ``tuples``), while tuple-built blocks grow their :meth:`columns`
+    on first columnar access.  Both are cached.
 
     Attributes:
         block_id: The paper's block number.  HMJ assigns the *same* id
             to the A-block and B-block flushed together, which is what
             makes the merging phase's duplicate avoidance (Figure 5,
             Step 3b) sound.
-        tuples: The stored tuples, in storage order.
-        sorted_by_key: Whether ``tuples`` is sorted by join key (HMJ
+        sorted_by_key: Whether the contents are sorted by join key (HMJ
             and PMJ sort before flushing; XJoin does not).
     """
 
-    block_id: int
-    tuples: list[Tuple]
-    sorted_by_key: bool = False
+    __slots__ = ("block_id", "sorted_by_key", "_tuples", "_columns")
+
+    def __init__(
+        self,
+        block_id: int,
+        tuples: list[Tuple] | None = None,
+        sorted_by_key: bool = False,
+        columns: RelationColumns | None = None,
+    ) -> None:
+        if (tuples is None) == (columns is None):
+            raise StorageError(
+                "DiskBlock needs exactly one of tuples= or columns="
+            )
+        self.block_id = block_id
+        self.sorted_by_key = sorted_by_key
+        self._tuples = tuples
+        self._columns = columns
+
+    @classmethod
+    def from_columns(
+        cls,
+        block_id: int,
+        columns: RelationColumns,
+        sorted_by_key: bool = False,
+    ) -> "DiskBlock":
+        """Wrap pre-built column arrays without materialising tuples."""
+        return cls(
+            block_id=block_id, sorted_by_key=sorted_by_key, columns=columns
+        )
+
+    @property
+    def tuples(self) -> list[Tuple]:
+        """The stored tuples in storage order (boxed on first use)."""
+        if self._tuples is None:
+            cols = self._columns
+            assert cols is not None
+            self._tuples = columns_to_tuples(cols)
+        return self._tuples
+
+    def columns(self) -> RelationColumns:
+        """The columnar image, built from the tuple list on first use."""
+        if self._columns is None:
+            ts = self._tuples
+            assert ts is not None
+            self._columns = tuples_to_columns(ts)
+        return self._columns
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self._tuples is not None:
+            return len(self._tuples)
+        assert self._columns is not None
+        return len(self._columns.keys)
+
+    def __repr__(self) -> str:
+        form = "boxed" if self._tuples is not None else "columnar"
+        return (
+            f"DiskBlock(block_id={self.block_id}, n={len(self)}, "
+            f"sorted_by_key={self.sorted_by_key}, {form})"
+        )
 
     def pages(self, page_size: int) -> int:
         """Pages this block occupies on disk."""
-        return pages_needed(len(self.tuples), page_size)
+        return pages_needed(len(self), page_size)
 
 
 @dataclass(slots=True)
@@ -212,6 +275,65 @@ class SimulatedDisk:
         )
         self.partition(partition).blocks.append(block)
         return block
+
+    # -- columnar access ---------------------------------------------------
+
+    def block_columns(self, block: DiskBlock) -> RelationColumns:
+        """A block's contents as column arrays, WITHOUT charging I/O.
+
+        The columnar merge path charges page reads itself (mirroring
+        the exact incremental schedule of :meth:`page_reader`), so this
+        accessor is pure data plumbing.  File-backed disks override it
+        to load from the backing file.
+        """
+        return block.columns()
+
+    def write_block_columns(
+        self,
+        partition: str,
+        columns: RelationColumns,
+        block_id: int,
+        sorted_by_key: bool = False,
+    ) -> DiskBlock:
+        """Columnar :meth:`write_block`: same charges, no boxing."""
+        if not len(columns.keys):
+            raise StorageError(f"refusing to write empty block to {partition!r}")
+        block = DiskBlock.from_columns(
+            block_id=block_id, columns=columns, sorted_by_key=sorted_by_key
+        )
+        self.partition(partition).blocks.append(block)
+        self._charge_write(len(columns.keys))
+        return block
+
+    def adopt_block_columns(
+        self,
+        partition: str,
+        columns: RelationColumns,
+        block_id: int,
+        sorted_by_key: bool = True,
+    ) -> DiskBlock:
+        """Columnar :meth:`adopt_block`: register already-charged output."""
+        if not len(columns.keys):
+            raise StorageError(f"refusing to adopt empty block into {partition!r}")
+        block = DiskBlock.from_columns(
+            block_id=block_id, columns=columns, sorted_by_key=sorted_by_key
+        )
+        self.partition(partition).blocks.append(block)
+        return block
+
+    def absorb_io_pages(self, pages_read: int, pages_written: int) -> None:
+        """Fold a fused loop's locally counted page I/Os into the totals.
+
+        The columnar merge pass mirrors both the clock and the I/O
+        counters in locals (one attribute store per page is measurable)
+        and writes them back at suspension points and at pass end —
+        the clock half goes through
+        :meth:`~repro.sim.clock.VirtualClock.resync`; this is the
+        counter half.  The clock charges were already accumulated by
+        the caller, so only the counters move here.
+        """
+        self._pages_read += pages_read
+        self._pages_written += pages_written
 
     def _charge_write(self, n_tuples: int) -> int:
         pages = pages_needed(n_tuples, self._costs.page_size)

@@ -26,7 +26,7 @@ from repro.sim.costs import CostModel
 from repro.storage.disk import DiskBlock, SimulatedDisk
 from repro.storage.pages import split_into_pages
 from repro.storage.serialization import decode_tuples, encode_tuples
-from repro.storage.tuples import Tuple
+from repro.storage.tuples import Tuple, tuples_to_columns
 
 
 class FileBackedDisk(SimulatedDisk):
@@ -78,6 +78,41 @@ class FileBackedDisk(SimulatedDisk):
         )
         self._persist(partition, block)
         return block
+
+    def write_block_columns(
+        self,
+        partition: str,
+        columns,
+        block_id: int,
+        sorted_by_key: bool = False,
+    ) -> DiskBlock:
+        block = super().write_block_columns(
+            partition, columns, block_id, sorted_by_key=sorted_by_key
+        )
+        self._persist(partition, block)
+        return block
+
+    def adopt_block_columns(
+        self,
+        partition: str,
+        columns,
+        block_id: int,
+        sorted_by_key: bool = True,
+    ) -> DiskBlock:
+        block = super().adopt_block_columns(
+            partition, columns, block_id, sorted_by_key=sorted_by_key
+        )
+        self._persist(partition, block)
+        return block
+
+    def block_columns(self, block: DiskBlock):
+        """Column view of a block's *file* contents (no I/O charge).
+
+        Round-trips through the serialised form like every other read
+        on this disk, so the spill file stays the source of truth for
+        what the columnar merge consumes.
+        """
+        return tuples_to_columns(self._load(block))
 
     def read_block(self, block: DiskBlock) -> list[Tuple]:
         """Read a block back *from its file*, charging read I/O."""

@@ -20,6 +20,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.storage.disk import DiskBlock, SimulatedDisk
 from repro.storage.tuples import Tuple
@@ -70,6 +72,10 @@ def key_merge_iterator(
     heap: list[tuple[tuple[int, str, int], int, Tuple]] = []
     page_streams = [disk.page_reader(run.block) for run in runs]
     buffers: list[list[Tuple]] = [[] for _ in runs]
+    # Per-page sort keys, computed once at refill rather than once per
+    # heap push (every tuple is pushed exactly once, but the method
+    # call and tuple construction dominate the push itself).
+    sort_keys: list[list[tuple[int, str, int]]] = [[] for _ in runs]
     positions = [0] * len(runs)
 
     def refill(i: int) -> bool:
@@ -78,15 +84,18 @@ def key_merge_iterator(
         if page is None:
             return False
         buffers[i] = page
+        sort_keys[i] = [t.sort_key() for t in page]
         positions[i] = 0
         return True
 
     def push_next(i: int) -> None:
-        if positions[i] >= len(buffers[i]) and not refill(i):
-            return
-        t = buffers[i][positions[i]]
-        positions[i] += 1
-        heapq.heappush(heap, (t.sort_key(), i, t))
+        pos = positions[i]
+        if pos >= len(buffers[i]):
+            if not refill(i):
+                return
+            pos = 0
+        positions[i] = pos + 1
+        heapq.heappush(heap, (sort_keys[i][pos], i, buffers[i][pos]))
 
     for i in range(len(runs)):
         push_next(i)
@@ -102,6 +111,110 @@ def merge_sorted_runs(
 ) -> list[tuple[Tuple, int]]:
     """Eagerly materialise :func:`key_merge_iterator` (test convenience)."""
     return list(key_merge_iterator(runs, disk))
+
+
+@dataclass(slots=True)
+class MergedRunColumns:
+    """One side's k-way merge, pre-computed as origin-tagged columns.
+
+    The columnar counterpart of :func:`key_merge_iterator`: the same
+    elements in the same key order, plus the *I/O charge schedule* the
+    heap path would have produced, so a consumer can replay page-read
+    charges element by element without touching the heap machinery.
+
+    Attributes:
+        keys: int64 join keys in merged order.
+        tids: int64 per-source tuple ids in merged order.
+        origins: int64 origin block-number tag per element (the
+            duplicate-avoidance tag of Figure 5, Step 3b).
+        read_flags: bool per element — True where consuming this
+            element pulls its run's *next* page in (one page-read
+            charge), exactly when the heap path's ``push_next`` would
+            refill after yielding it.
+        payloads: payload reference list in merged order, or ``None``
+            when every payload is ``None``.
+        source: Shared source label of the side.
+        n_init_reads: Page-0 reads charged when the merged stream
+            starts (one per run — the heap path's initial fills).
+    """
+
+    keys: np.ndarray
+    tids: np.ndarray
+    origins: np.ndarray
+    read_flags: np.ndarray
+    payloads: list | None
+    source: str
+    n_init_reads: int
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def vectorized_run_merge(
+    runs: Sequence[SortedRun], disk: SimulatedDisk
+) -> MergedRunColumns:
+    """Merge sorted runs into contiguous columns in one vectorized pass.
+
+    ``np.lexsort`` over the concatenated key/tid columns replaces the
+    per-pop heap: within one side every tuple's ``(key, tid)`` pair is
+    unique (tids are per-source unique and a tuple lives in exactly one
+    run), so the lexicographic order is a strict total order identical
+    to the heap's ``(key, source, tid)`` order — the run-index
+    tiebreak never fires.  No I/O is charged here: the returned
+    ``read_flags`` schedule lets the consumer charge page reads
+    incrementally, element by element, exactly as the paged heap merge
+    would have.
+    """
+    page_size = disk.costs.page_size
+    if not runs:
+        empty = np.empty(0, dtype=np.int64)
+        return MergedRunColumns(
+            keys=empty,
+            tids=empty,
+            origins=empty,
+            read_flags=np.empty(0, dtype=bool),
+            payloads=None,
+            source="",
+            n_init_reads=0,
+        )
+    keys_parts: list[np.ndarray] = []
+    tids_parts: list[np.ndarray] = []
+    orig_parts: list[np.ndarray] = []
+    flag_parts: list[np.ndarray] = []
+    pay_parts: list[tuple[list | None, int]] = []
+    any_payload = False
+    source = ""
+    for run in runs:
+        cols = disk.block_columns(run.block)
+        n = len(cols.keys)
+        keys_parts.append(cols.keys)
+        tids_parts.append(cols.tids)
+        orig_parts.append(np.full(n, run.origin, dtype=np.int64))
+        # Consuming the last element of a non-final page refills the
+        # run's next page (the heap's push_next-after-yield).
+        ahead = np.arange(1, n + 1)
+        flag_parts.append((ahead % page_size == 0) & (ahead < n))
+        pay_parts.append((cols.payloads, n))
+        any_payload = any_payload or cols.payloads is not None
+        source = source or cols.source
+    keys = np.concatenate(keys_parts)
+    tids = np.concatenate(tids_parts)
+    order = np.lexsort((tids, keys))
+    payloads: list | None = None
+    if any_payload:
+        flat: list = []
+        for pays, n in pay_parts:
+            flat.extend(pays if pays is not None else [None] * n)
+        payloads = [flat[i] for i in order.tolist()]
+    return MergedRunColumns(
+        keys=keys[order],
+        tids=tids[order],
+        origins=np.concatenate(orig_parts)[order],
+        read_flags=np.concatenate(flag_parts)[order],
+        payloads=payloads,
+        source=source,
+        n_init_reads=len(runs),
+    )
 
 
 class PagedRunWriter:

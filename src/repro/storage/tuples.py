@@ -127,6 +127,72 @@ class RelationColumns:
     payloads: list | None
     source: str
 
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def tuples_to_columns(
+    ts: Sequence[Tuple], source: str | None = None
+) -> RelationColumns:
+    """Build the columnar image of a single-source tuple sequence.
+
+    The shared conversion behind :meth:`Relation.columns` and the
+    lazy-dual :class:`~repro.storage.disk.DiskBlock`: contiguous
+    ``int64`` key/tid arrays plus a payload list only when at least one
+    payload is non-``None``.
+    """
+    n = len(ts)
+    payloads: list | None = None
+    if any(t.payload is not None for t in ts):
+        payloads = [t.payload for t in ts]
+    return RelationColumns(
+        keys=np.fromiter((t.key for t in ts), dtype=np.int64, count=n),
+        tids=np.fromiter((t.tid for t in ts), dtype=np.int64, count=n),
+        payloads=payloads,
+        source=ts[0].source if ts else (source or SOURCE_A),
+    )
+
+
+def columns_to_tuples(cols: RelationColumns) -> list[Tuple]:
+    """Box a columnar image back into ``Tuple`` objects, in order.
+
+    ``.tolist()`` yields native ints, so the boxed tuples are
+    value-identical to ones built eagerly from the same data.
+    """
+    keys = cols.keys.tolist()
+    tids = cols.tids.tolist()
+    source = cols.source
+    if cols.payloads is None:
+        return [
+            Tuple(key=k, tid=i, source=source) for k, i in zip(keys, tids)
+        ]
+    return [
+        Tuple(key=k, tid=i, source=source, payload=p)
+        for k, i, p in zip(keys, tids, cols.payloads)
+    ]
+
+
+def sort_columns_by_key(cols: RelationColumns) -> RelationColumns:
+    """Key-sort a single-source columnar image (key, then tid).
+
+    Equivalent to ``list.sort(key=Tuple.sort_key)`` on the boxed
+    tuples: within one source the ``source`` component of the sort key
+    is constant and tids are unique, so ``(key, tid)`` is the same
+    strict total order and stability is irrelevant.
+    """
+    order = np.lexsort((cols.tids, cols.keys))
+    payloads = cols.payloads
+    return RelationColumns(
+        keys=cols.keys[order],
+        tids=cols.tids[order],
+        payloads=(
+            [payloads[i] for i in order.tolist()]
+            if payloads is not None
+            else None
+        ),
+        source=cols.source,
+    )
+
 
 class Relation:
     """A named, ordered collection of tuples from one source.
@@ -195,21 +261,7 @@ class Relation:
         if self._tuples is None:
             cols = self._columns
             assert cols is not None
-            source = cols.source
-            # .tolist() yields native ints — identical values to the
-            # eager ``Tuple(key=int(k), ...)`` boxing this replaces.
-            keys = cols.keys.tolist()
-            tids = cols.tids.tolist()
-            if cols.payloads is None:
-                self._tuples = [
-                    Tuple(key=k, tid=i, source=source)
-                    for k, i in zip(keys, tids)
-                ]
-            else:
-                self._tuples = [
-                    Tuple(key=k, tid=i, source=source, payload=p)
-                    for k, i, p in zip(keys, tids, cols.payloads)
-                ]
+            self._tuples = columns_to_tuples(cols)
         return self._tuples
 
     def columns(self) -> RelationColumns:
@@ -217,16 +269,7 @@ class Relation:
         if self._columns is None:
             ts = self._tuples
             assert ts is not None
-            n = len(ts)
-            payloads: list | None = None
-            if any(t.payload is not None for t in ts):
-                payloads = [t.payload for t in ts]
-            self._columns = RelationColumns(
-                keys=np.fromiter((t.key for t in ts), dtype=np.int64, count=n),
-                tids=np.fromiter((t.tid for t in ts), dtype=np.int64, count=n),
-                payloads=payloads,
-                source=ts[0].source if ts else self.schema.name,
-            )
+            self._columns = tuples_to_columns(ts, source=self.schema.name)
         return self._columns
 
     def __len__(self) -> int:

@@ -51,9 +51,13 @@ from repro.workloads.generator import make_relation_pair
 #: budget (a budget would abort the run instead of flushing); ripple
 #: additionally needs the relation sizes for its estimator.
 OPERATORS = {
-    "hmj": lambda memory, scale: HashMergeJoin(HMJConfig(memory_capacity=memory)),
+    "hmj": lambda memory, scale, merge_path="columnar": HashMergeJoin(
+        HMJConfig(memory_capacity=memory, merge_path=merge_path)
+    ),
     "xjoin": lambda memory, scale: XJoin(memory_capacity=memory),
-    "pmj": lambda memory, scale: ProgressiveMergeJoin(memory_capacity=memory),
+    "pmj": lambda memory, scale, merge_path="columnar": ProgressiveMergeJoin(
+        memory_capacity=memory, merge_path=merge_path
+    ),
     "dphj": lambda memory, scale: DoublePipelinedHashJoin(memory_capacity=memory),
     "ripple": lambda memory, scale: RippleJoin(
         n_a=scale.spec.n_a, n_b=scale.spec.n_b
@@ -64,14 +68,20 @@ OPERATORS = {
     # it runs on the skew workloads (the ``--skew-theta`` axis), paired
     # with baseline "hmj" so the matrix certifies adaptivity on *and*
     # off against the same oracle.
-    "hmj-skew": lambda memory, scale: HashMergeJoin(
+    "hmj-skew": lambda memory, scale, merge_path="columnar": HashMergeJoin(
         HMJConfig(
             memory_capacity=memory,
             policy=FlushColdestPolicy(),
             hot_split_factor=4,
+            merge_path=merge_path,
         )
     ),
 }
+
+#: Operators with a ``merge_path`` knob — the merge-path conformance
+#: axis only applies to these (the sort-merge family; the hash family
+#: has no merging phase).
+MERGE_PATH_OPERATORS = ("hmj", "pmj", "hmj-skew")
 
 #: The operators the matrix runs by default (everything except the
 #: skew-axis variant, which only makes sense on skew workloads).
@@ -179,6 +189,9 @@ class CellOutcome:
     wall_s: float
     violations: list[str] = field(default_factory=list)
     tenants: int = 1
+    # Which merging-phase implementation the cell ran on ("scalar" or
+    # "columnar"); operators without the knob always report "columnar".
+    merge_path: str = "columnar"
 
     @property
     def ok(self) -> bool:
@@ -192,6 +205,7 @@ def run_cell(
     operator: str,
     delivery: str,
     resize: bool,
+    merge_path: str = "columnar",
 ) -> CellOutcome:
     """Execute one (workload, operator, delivery, resize) cell."""
     batch_delivery, columnar_delivery = DELIVERY_PATHS[delivery]
@@ -208,12 +222,16 @@ def run_cell(
         last = max(source_a.pending_times()[0][-1], source_b.pending_times()[0][-1])
         low = max(4, memory // 4)
         broker = ResourceBroker([(0.3 * last, low), (0.7 * last, memory)])
+    if operator in MERGE_PATH_OPERATORS:
+        op = OPERATORS[operator](memory, scale, merge_path)
+    else:
+        op = OPERATORS[operator](memory, scale)
     checks = InvariantChecks(mode="collect")
     start = time.perf_counter()
     result = run_join(
         source_a,
         source_b,
-        OPERATORS[operator](memory, scale),
+        op,
         blocking_threshold=case.get("blocking_threshold", 1.0),
         stop_after=stop_after,
         broker=broker,
@@ -248,6 +266,7 @@ def run_cell(
         io=io,
         wall_s=wall,
         violations=violations,
+        merge_path=merge_path if operator in MERGE_PATH_OPERATORS else "columnar",
     )
 
 
@@ -385,6 +404,7 @@ def run_matrix(
     progress=None,
     tenants: int = 1,
     skew_thetas: tuple[float, ...] = (),
+    merge_paths: tuple[str, ...] = ("scalar", "columnar"),
 ) -> list[CellOutcome]:
     """Run the conformance matrix; returns every cell outcome.
 
@@ -396,7 +416,25 @@ def run_matrix(
     session always interleaves tenants per event.  ``skew_thetas``
     appends one Zipf workload per exponent; skew workloads always run
     the fixed :data:`SKEW_OPERATORS` pair regardless of ``operators``.
+
+    ``merge_paths`` is the merging-phase axis for the sort-merge
+    family (:data:`MERGE_PATH_OPERATORS`).  With both paths selected
+    (the default), every delivery cell runs on the columnar path and
+    one extra cell per (workload, operator, resize) re-runs on the
+    scalar oracle path — its ``(count, clock, io)`` triple must equal
+    the corresponding columnar cell's exactly, and any divergence is
+    reported as a violation on the scalar cell.  A single-element
+    tuple pins every cell to that path and skips the cross-check.
     """
+    for name in merge_paths:
+        if name not in ("scalar", "columnar"):
+            raise ValueError(
+                f"unknown merge path {name!r} (have scalar, columnar)"
+            )
+    if not merge_paths:
+        raise ValueError("merge_paths must not be empty")
+    primary_path = "columnar" if "columnar" in merge_paths else "scalar"
+    cross_check = len(set(merge_paths)) == 2
     cases = workload_cases(scale)
     cases.update(skew_workload_cases(scale, tuple(skew_thetas)))
     selected_ops = list(DEFAULT_OPERATORS) if operators is None else operators
@@ -424,10 +462,43 @@ def run_matrix(
                     if progress is not None:
                         progress(outcome)
                     continue
+                baseline: CellOutcome | None = None
                 for delivery in DELIVERY_PATHS:
                     outcome = run_cell(
-                        scale, workload, case, operator, delivery, resize
+                        scale,
+                        workload,
+                        case,
+                        operator,
+                        delivery,
+                        resize,
+                        merge_path=primary_path,
                     )
+                    if delivery == "columnar":
+                        baseline = outcome
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+                if cross_check and operator in MERGE_PATH_OPERATORS:
+                    # The merge-path axis: the scalar oracle pass on
+                    # the default delivery, pinned triple-identical to
+                    # the columnar cell above.
+                    outcome = run_cell(
+                        scale,
+                        workload,
+                        case,
+                        operator,
+                        "columnar",
+                        resize,
+                        merge_path="scalar",
+                    )
+                    assert baseline is not None
+                    ours = (outcome.count, outcome.clock, outcome.io)
+                    theirs = (baseline.count, baseline.clock, baseline.io)
+                    if ours != theirs:
+                        outcome.violations.append(
+                            f"merge-path divergence: scalar triple {ours} "
+                            f"!= columnar triple {theirs}"
+                        )
                     outcomes.append(outcome)
                     if progress is not None:
                         progress(outcome)
@@ -502,6 +573,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--merge-path",
+        choices=["both", "scalar", "columnar"],
+        default="both",
+        help=(
+            "merging-phase axis for the sort-merge family: 'both' (the "
+            "default) runs every cell on the columnar path plus one "
+            "scalar oracle cell per (workload, operator, resize) with "
+            "an exact triple cross-check; 'scalar'/'columnar' pin "
+            "every cell to that path"
+        ),
+    )
+    parser.add_argument(
         "--tenants",
         type=int,
         default=1,
@@ -542,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
         flags = " resize" if outcome.resize else ""
         if outcome.tenants > 1:
             flags += f" x{outcome.tenants}"
+        if outcome.merge_path == "scalar":
+            flags += " scalar-merge"
         print(
             f"{outcome.workload} {outcome.operator:>6} "
             f"{outcome.delivery:>9}{flags}: {status:<9} "
@@ -549,6 +634,11 @@ def main(argv: list[str] | None = None) -> int:
             f"io={outcome.io} [{outcome.wall_s:.2f}s]"
         )
 
+    merge_paths = (
+        ("scalar", "columnar")
+        if args.merge_path == "both"
+        else (args.merge_path,)
+    )
     outcomes = run_matrix(
         scale,
         quick=args.quick,
@@ -557,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=progress,
         tenants=args.tenants,
         skew_thetas=skew_thetas,
+        merge_paths=merge_paths,
     )
     report = build_report(
         scale,

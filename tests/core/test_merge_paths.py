@@ -1,0 +1,167 @@
+"""Scalar/columnar merge-path equivalence and suspension properties.
+
+The columnar merge pass must be observationally indistinguishable from
+the scalar per-tuple generator: identical result order, identical
+per-result (time, io, phase) triples, identical final clock and I/O
+totals — and all of that must hold when the pass is suspended at every
+single budget boundary, because the engine can interrupt a merge
+between any two units of work.
+"""
+
+import random
+
+import pytest
+
+from repro.core.merging import MergeScheduler
+from repro.metrics.recorder import MetricsRecorder
+from repro.sim.budget import WorkBudget
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Tuple, make_result
+
+PAGE = 4
+N_GROUPS = 3
+FAN_IN = 2
+
+
+def sorted_tuples(rng, n, source, key_range, tid_start, with_payload=False):
+    ts = [
+        Tuple(
+            key=rng.randrange(key_range),
+            tid=tid_start + i,
+            source=source,
+            payload=(f"p{tid_start + i}" if with_payload else None),
+        )
+        for i in range(n)
+    ]
+    ts.sort(key=Tuple.sort_key)
+    return ts
+
+
+def build(merge_path):
+    """A scheduler over a shared deterministic flush history."""
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel(page_size=PAGE))
+    recorder = MetricsRecorder(clock, disk, keep_results=True)
+    scheduler = MergeScheduler(
+        disk=disk,
+        clock=clock,
+        costs=disk.costs,
+        partition_prefix="test",
+        fan_in=FAN_IN,
+        n_groups=N_GROUPS,
+        merge_path=merge_path,
+        recorder=recorder,
+    )
+    rng = random.Random(42)
+    tid = 0
+    for group in range(N_GROUPS):
+        for flush in range(4):
+            # Uneven sides, duplicate keys, the occasional empty side,
+            # payloads on one flush — every shape a real run produces.
+            n_a = rng.randrange(0, 11) if flush != 1 else 0
+            n_b = rng.randrange(1, 11)
+            ts_a = sorted_tuples(
+                rng, n_a, SOURCE_A, 12, tid, with_payload=(flush == 2)
+            )
+            ts_b = sorted_tuples(
+                rng, n_b, SOURCE_B, 12, tid + 100, with_payload=(flush == 2)
+            )
+            tid += 200
+            if not ts_a and not ts_b:
+                ts_b = sorted_tuples(rng, 1, SOURCE_B, 12, tid)
+                tid += 1
+            scheduler.register_flush(group, ts_a, ts_b)
+    scheduler.mark_input_ended()
+    return scheduler, clock, disk, recorder
+
+
+def emit_via(recorder, clock, costs):
+    """A scalar emit callback with the operator's charge+record shape."""
+
+    def emit(a, b):
+        clock.advance(costs.result_time(1))
+        recorder.record(make_result(a, b), "merging")
+
+    return emit
+
+
+def drain(scheduler, clock, disk, recorder, step=None):
+    """Run all merge work; with ``step``, suspend at every boundary."""
+    emit = emit_via(recorder, clock, scheduler._costs)
+    if step is None:
+        scheduler.work(WorkBudget.unbounded(clock), emit)
+    else:
+        while scheduler.has_result_work():
+            budget = WorkBudget(clock=clock, deadline=clock.now + step)
+            scheduler.work(budget, emit)
+    return (
+        [e.time for e in recorder.events],
+        [e.io for e in recorder.events],
+        [e.phase for e in recorder.events],
+        [r.identity() for r in recorder.results],
+        [(r.left.payload, r.right.payload) for r in recorder.results],
+        clock.now,
+        disk.io_count,
+        disk.pages_read,
+        disk.pages_written,
+    )
+
+
+@pytest.fixture(scope="module")
+def scalar_uninterrupted():
+    return drain(*build("scalar"))
+
+
+def test_cross_path_triples_identical(scalar_uninterrupted):
+    assert drain(*build("columnar")) == scalar_uninterrupted
+
+
+@pytest.mark.parametrize("merge_path", ["scalar", "columnar"])
+def test_suspension_at_every_boundary_is_invisible(
+    merge_path, scalar_uninterrupted
+):
+    # A deadline one tenth of a compare cost ahead expires at the very
+    # next charging unit, so the pass suspends at (essentially) every
+    # budget boundary it has — the interrupted run must be
+    # byte-identical to the uninterrupted scalar reference.
+    costs = CostModel(page_size=PAGE)
+    step = costs.cpu_compare_cost / 10.0
+    assert drain(*build(merge_path), step=step) == scalar_uninterrupted
+
+
+@pytest.mark.parametrize("merge_path", ["scalar", "columnar"])
+def test_coarse_suspension_is_invisible(merge_path, scalar_uninterrupted):
+    # Page-scale budget slices: suspensions land mid-streak, mid-cross
+    # product, and mid-drain rather than at every unit.
+    costs = CostModel(page_size=PAGE)
+    step = costs.io_time(1) * 2.5
+    assert drain(*build(merge_path), step=step) == scalar_uninterrupted
+
+
+def test_columnar_requires_recorder():
+    clock = VirtualClock()
+    disk = SimulatedDisk(clock, CostModel())
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        MergeScheduler(
+            disk=disk,
+            clock=clock,
+            costs=disk.costs,
+            partition_prefix="x",
+            fan_in=2,
+            n_groups=1,
+            merge_path="columnar",
+        )
+    with pytest.raises(ConfigurationError):
+        MergeScheduler(
+            disk=disk,
+            clock=clock,
+            costs=disk.costs,
+            partition_prefix="x",
+            fan_in=2,
+            n_groups=1,
+            merge_path="heap",
+        )

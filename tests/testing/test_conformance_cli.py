@@ -30,22 +30,52 @@ def test_run_matrix_quick_subset_is_clean():
     outcomes = run_matrix(
         scale, quick=True, operators=["hmj", "shj"], workloads=["fig11"]
     )
-    # 2 operators x 1 workload x 3 delivery paths, no resize cells.
-    assert len(outcomes) == 6
+    # 2 operators x 1 workload x 3 delivery paths, no resize cells,
+    # plus one scalar merge-path cell for hmj (shj has no merge phase).
+    assert len(outcomes) == 7
     assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
     assert all(not o.resize for o in outcomes)
     deliveries = {(o.operator, o.delivery) for o in outcomes}
     assert ("hmj", "columnar") in deliveries
     assert ("hmj", "batched") in deliveries
     assert ("hmj", "per-event") in deliveries
+    scalar_cells = [o for o in outcomes if o.merge_path == "scalar"]
+    assert [o.operator for o in scalar_cells] == ["hmj"]
 
 
 def test_run_matrix_full_mode_adds_resize_cells():
     scale = BenchScale(n_per_source=100, seed=7)
     outcomes = run_matrix(scale, quick=False, operators=["hmj"], workloads=["fig11"])
-    assert len(outcomes) == 6  # {plain, resize} x 3 delivery paths
-    assert sum(o.resize for o in outcomes) == 3
+    # {plain, resize} x (3 delivery paths + 1 scalar merge-path cell).
+    assert len(outcomes) == 8
+    assert sum(o.resize for o in outcomes) == 4
     assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
+
+
+def test_run_matrix_merge_path_axis_can_be_pinned():
+    scale = BenchScale(n_per_source=100, seed=7)
+    columnar_only = run_matrix(
+        scale,
+        quick=True,
+        operators=["pmj"],
+        workloads=["fig11"],
+        merge_paths=("columnar",),
+    )
+    assert len(columnar_only) == 3  # no scalar cross-check cell
+    assert {o.merge_path for o in columnar_only} == {"columnar"}
+    scalar_only = run_matrix(
+        scale,
+        quick=True,
+        operators=["pmj"],
+        workloads=["fig11"],
+        merge_paths=("scalar",),
+    )
+    assert {o.merge_path for o in scalar_only} == {"scalar"}
+    assert all(o.ok for o in columnar_only + scalar_only)
+    # Both pinned runs agree on the triple even without the cross-check.
+    assert {(o.count, o.clock, o.io) for o in columnar_only} == {
+        (o.count, o.clock, o.io) for o in scalar_only
+    }
 
 
 def test_run_matrix_rejects_unknown_names():
@@ -54,6 +84,8 @@ def test_run_matrix_rejects_unknown_names():
         run_matrix(scale, operators=["nope"])
     with pytest.raises(ValueError, match="unknown workload"):
         run_matrix(scale, workloads=["fig99"])
+    with pytest.raises(ValueError, match="unknown merge path"):
+        run_matrix(scale, merge_paths=("heap",))
 
 
 def test_build_report_schema():
@@ -210,11 +242,13 @@ def test_skew_axis_is_clean_with_adaptivity_on_and_off():
     outcomes = run_matrix(
         scale, quick=True, workloads=["skew-t1"], skew_thetas=(1.0,)
     )
-    # The fixed pair (baseline hmj, skew-adaptive hmj) x 3 deliveries.
+    # The fixed pair (baseline hmj, skew-adaptive hmj) x 3 deliveries,
+    # plus one scalar merge-path cell each.
     assert {o.operator for o in outcomes} == {"hmj", "hmj-skew"}
-    assert len(outcomes) == 6
+    assert len(outcomes) == 8
     assert all(o.ok for o in outcomes), [o.violations for o in outcomes]
-    # All three delivery paths of each operator agree on the triple.
+    # All delivery paths AND both merge paths of each operator agree
+    # on the triple.
     for op in ("hmj", "hmj-skew"):
         triples = {(o.count, o.clock, o.io) for o in outcomes if o.operator == op}
         assert len(triples) == 1
