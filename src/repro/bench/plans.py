@@ -1,0 +1,299 @@
+"""Join-ordering benchmark over n-way plan shapes (``BENCH_plans.json``).
+
+The paper's motivation for non-blocking joins is the fully pipelined
+query plan; this sweep measures what plan *shape* is worth on one:
+``n_way`` relations joined on a single attribute, run as a left-deep
+**chain**, a shared-hub **star** (the hub stream feeds every branch
+through per-consumer cursors), and a balanced **bushy** tree.  The
+tracked metric is the virtual time to the k-th root result
+(``stop_after=k``) — the early-result axis the whole library
+optimises — measured twice per shape:
+
+* **ordered** — every leaf arrives in event order;
+* **disordered** — every non-hub leaf is jittered out of order by a
+  seeded bounded-disorder model (slack ``SLACK``) and re-sequenced
+  behind a watermark reorder buffer with bound ``B = SLACK``, so the
+  k-th result can appear no earlier than the release schedule
+  ``e_i + B`` allows.
+
+Every shape also runs one full disordered pass next to its
+release-schedule twin; their ``(count, clock, io)`` triples must be
+byte-identical (the watermark contract), recorded and gated as
+``identity_<shape>``.
+
+``--replay`` feeds a recorded workload envelope back through the
+kernel: the named ``BENCH_figures.json`` cell's ``(count,
+final_clock)`` is reconstructed into an n-instant schedule
+(:func:`~repro.net.traces.arrival_from_bench`) that replaces the
+synthetic arrival process for every leaf.
+
+Usage::
+
+    python -m repro.bench.plans                     # full sweep
+    python -m repro.bench.plans --quick --out BENCH_plans.json
+    python -m repro.bench.plans --replay BENCH_figures.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.cache import source_digest
+from repro.bench.grid import write_bench_manifest
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.net.arrival import ArrivalProcess, BoundedDisorder, PoissonArrival
+from repro.net.traces import arrival_from_bench
+from repro.pipeline.executor import PipelineResult, run_plan
+from repro.pipeline.shapes import (
+    PLAN_SHAPES,
+    build_plan,
+    build_sources,
+    make_plan_relations,
+    ordered_twin,
+)
+
+#: Arrival rate (tuples/s per source) for every synthetic cell.
+RATE = 200.0
+
+#: Relations per plan.
+N_WAY = 4
+
+#: Result fraction defining "k-th result" (time-to-10%).
+K_FRACTION = 0.1
+
+#: Bounded-disorder slack — and watermark bound — in virtual seconds.
+SLACK = 0.02
+
+#: Blocking threshold: small enough that disordered release gaps open
+#: background windows mid-stream.
+BLOCKING_T = 0.1
+
+
+def _triple(result: PipelineResult) -> tuple[int, float, int]:
+    return (result.count, result.clock.now, result.total_io)
+
+
+class PlanBench:
+    """One sweep configuration: relations, arrivals, disorder, memory."""
+
+    def __init__(
+        self,
+        n_per_source: int,
+        seed: int,
+        arrival: ArrivalProcess | None = None,
+        k_fraction: float = K_FRACTION,
+    ) -> None:
+        self.n_per_source = n_per_source
+        self.seed = seed
+        self.k_fraction = k_fraction
+        self.relations = make_plan_relations(
+            N_WAY, n_per_source, 2 * n_per_source, seed=seed
+        )
+        self.arrival = arrival if arrival is not None else PoissonArrival(RATE)
+        self.disorder = BoundedDisorder(SLACK, seed=seed + 31)
+        # The paper's 10% budget over one source pair; every node in
+        # the tree gets the same grant.
+        self.memory = max(4, int(2 * n_per_source * 0.10))
+
+    def _factory(self):
+        return HashMergeJoin(HMJConfig(memory_capacity=self.memory))
+
+    def _sources(self, shape: str, jittered: bool) -> list:
+        return build_sources(
+            self.relations,
+            self.arrival,
+            seed=self.seed,
+            disorder=self.disorder if jittered else None,
+            shape=shape,
+        )
+
+    def _run(
+        self, shape: str, sources: list, stop_after: int | None = None
+    ) -> PipelineResult:
+        return run_plan(
+            build_plan(shape, sources, self._factory),
+            blocking_threshold=BLOCKING_T,
+            keep_results=False,
+            stop_after=stop_after,
+        )
+
+    def cell(self, shape: str) -> dict:
+        """Benchmark one shape: time-to-kth ordered vs disordered,
+        plus the byte-identity gate against the release-schedule twin.
+        """
+        full_ordered = self._run(shape, self._sources(shape, False))
+        total = full_ordered.count
+        k = max(1, round(total * self.k_fraction))
+        t_ordered = self._run(
+            shape, self._sources(shape, False), stop_after=k
+        ).clock.now
+        t_disordered = self._run(
+            shape, self._sources(shape, True), stop_after=k
+        ).clock.now
+        twin = _triple(
+            self._run(shape, ordered_twin(self._sources(shape, True)))
+        )
+        disordered = _triple(self._run(shape, self._sources(shape, True)))
+        return {
+            "shape": shape,
+            "n_way": N_WAY,
+            "memory_capacity": self.memory,
+            "total_results": total,
+            "k": k,
+            "time_to_kth": {
+                "ordered": round(t_ordered, 6),
+                "disordered": round(t_disordered, 6),
+            },
+            "disorder_penalty": round(t_disordered - t_ordered, 6),
+            "identity": {
+                "disordered_triple": list(disordered),
+                "release_twin_triple": list(twin),
+                "byte_identical": disordered == twin,
+            },
+        }
+
+
+def plans_manifest(
+    n_per_source: int,
+    seed: int,
+    k_fraction: float = K_FRACTION,
+    arrival: ArrivalProcess | None = None,
+    replay: dict | None = None,
+) -> dict:
+    """Benchmark every shape; the ``BENCH_plans.json`` payload."""
+    bench = PlanBench(
+        n_per_source, seed, arrival=arrival, k_fraction=k_fraction
+    )
+    cells = [bench.cell(shape) for shape in PLAN_SHAPES]
+    by_shape = {cell["shape"]: cell for cell in cells}
+    chain_t = by_shape["chain"]["time_to_kth"]["ordered"]
+    bushy_t = by_shape["bushy"]["time_to_kth"]["ordered"]
+    gates = {
+        f"identity_{cell['shape']}": {
+            "required": True,
+            "observed": cell["identity"]["byte_identical"],
+            "passed": cell["identity"]["byte_identical"],
+        }
+        for cell in cells
+    }
+    return {
+        "schema": 1,
+        "benchmark": "plan-shapes",
+        "source_digest": source_digest(),
+        "workload": {
+            "arrival": "replay" if replay else "poisson",
+            "rate": None if replay else RATE,
+            "replay": replay,
+            "n_way": N_WAY,
+            "n_per_source": n_per_source,
+            "key_range": 2 * n_per_source,
+            "k_fraction": k_fraction,
+            "seed": seed,
+            "disorder": {"slack": SLACK, "bound": SLACK},
+        },
+        "cells": cells,
+        "comparison": {
+            "chain_vs_bushy_time_to_kth": {
+                "chain": chain_t,
+                "bushy": bushy_t,
+                "ratio": round(chain_t / bushy_t, 4) if bushy_t else None,
+            }
+        },
+        "gates": gates,
+        "gates_passed": all(g["passed"] for g in gates.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Join-ordering sweep: chain vs star vs bushy plans, ordered "
+            "vs bounded-disorder arrivals, time to the k-th result."
+        )
+    )
+    parser.add_argument(
+        "--n-per-source",
+        type=int,
+        default=2000,
+        help="tuples per relation (default 2000)",
+    )
+    parser.add_argument(
+        "--k-fraction",
+        type=float,
+        default=K_FRACTION,
+        help="result fraction defining the k-th result (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--replay",
+        metavar="MANIFEST",
+        default=None,
+        help=(
+            "replay a recorded BENCH_figures.json workload envelope as "
+            "every leaf's arrival schedule instead of synthetic Poisson"
+        ),
+    )
+    parser.add_argument(
+        "--replay-figure",
+        default="fig11",
+        help="figure key inside the replay manifest (default fig11)",
+    )
+    parser.add_argument(
+        "--replay-cell",
+        default="hmj",
+        help="cell key inside the replay figure (default hmj)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small scale, same cells and gates",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_plans.json", help="manifest output path"
+    )
+    args = parser.parse_args(argv)
+    n = args.n_per_source
+    if args.quick:
+        n = min(n, 500)
+    arrival = None
+    replay = None
+    if args.replay:
+        arrival = arrival_from_bench(
+            args.replay, args.replay_figure, args.replay_cell, n
+        )
+        replay = {
+            "manifest": str(args.replay),
+            "figure": args.replay_figure,
+            "cell": args.replay_cell,
+        }
+
+    manifest = plans_manifest(
+        n,
+        args.seed,
+        k_fraction=args.k_fraction,
+        arrival=arrival,
+        replay=replay,
+    )
+    path = write_bench_manifest(args.out, manifest)
+    for cell in manifest["cells"]:
+        identity = "ok" if cell["identity"]["byte_identical"] else "DIVERGED"
+        print(
+            f"plans bench [{cell['shape']}]: "
+            f"k={cell['k']}/{cell['total_results']} "
+            f"ordered {cell['time_to_kth']['ordered']:.3f}s, "
+            f"disordered {cell['time_to_kth']['disordered']:.3f}s "
+            f"(watermark identity: {identity})"
+        )
+    ratio = manifest["comparison"]["chain_vs_bushy_time_to_kth"]["ratio"]
+    print(f"chain/bushy time-to-kth ratio: {ratio}")
+    print(f"wrote {path}")
+    if not manifest["gates_passed"]:
+        print("ERROR: watermark identity gates failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,20 +8,40 @@ arrives within a threshold ``T``).  This package provides exactly those
 arrival models plus Poisson and trace-driven variants, and the
 :class:`~repro.net.source.NetworkSource` that timestamps a relation's
 tuples accordingly.
+
+Beyond in-order streams, the package models realistic delivery:
+:class:`~repro.net.arrival.BoundedDisorder` jitters an event schedule
+into out-of-order physical arrivals, a
+:class:`~repro.net.source.DisorderedSource` taps them in physical
+order, and a :class:`~repro.net.source.ReorderBuffer` restores event
+order behind punctuation-style watermark timers.  Shared sources hand
+out per-consumer :class:`~repro.net.source.SourceCursor` positions so
+one stream can feed several plan leaves.
 """
 
 from repro.net.arrival import (
     ArrivalProcess,
+    BoundedDisorder,
     BurstyArrival,
     ConstantRate,
     ParetoArrival,
     PoissonArrival,
+    ScheduleArrival,
     TraceArrival,
 )
-from repro.net.source import NetworkSource
+from repro.net.source import (
+    DisorderedSource,
+    NetworkSource,
+    ReorderBuffer,
+    SourceCursor,
+)
 from repro.net.traces import (
     TraceStatistics,
+    arrival_from_bench,
+    capture_schedule,
+    gaps_from_schedule,
     inject_outages,
+    load_schedule,
     load_trace,
     save_trace,
     suggest_blocking_threshold,
@@ -30,14 +50,23 @@ from repro.net.traces import (
 
 __all__ = [
     "ArrivalProcess",
+    "BoundedDisorder",
     "BurstyArrival",
     "ConstantRate",
+    "DisorderedSource",
     "NetworkSource",
     "ParetoArrival",
     "PoissonArrival",
+    "ReorderBuffer",
+    "ScheduleArrival",
+    "SourceCursor",
     "TraceArrival",
     "TraceStatistics",
+    "arrival_from_bench",
+    "capture_schedule",
+    "gaps_from_schedule",
     "inject_outages",
+    "load_schedule",
     "load_trace",
     "save_trace",
     "suggest_blocking_threshold",

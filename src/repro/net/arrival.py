@@ -176,3 +176,97 @@ class TraceArrival(ArrivalProcess):
 
     def __repr__(self) -> str:
         return f"TraceArrival(n={self._gaps.size})"
+
+
+class ScheduleArrival(ArrivalProcess):
+    """Replay explicit *absolute* arrival instants, bit-exactly.
+
+    :class:`TraceArrival` round-trips gaps, but reconstructing absolute
+    instants from gaps re-accumulates floating-point error: ``cumsum``
+    of exact differences need not reproduce the original instants bit
+    for bit.  When a replay must be byte-identical to the run that
+    produced the schedule — trace round-trip tests, the in-order twin
+    of a disordered source — the absolute instants themselves are the
+    trace.  The instants must be non-negative and non-decreasing.
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        arr = np.asarray(list(times), dtype=float)
+        if arr.size:
+            if float(arr.min()) < 0:
+                raise ConfigurationError("schedule instants must be non-negative")
+            if np.any(np.diff(arr) < 0):
+                raise ConfigurationError("schedule instants must be non-decreasing")
+        self._times = arr
+
+    def gaps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n > self._times.size:
+            raise ConfigurationError(
+                f"schedule holds {self._times.size} instants but {n} were requested"
+            )
+        return np.diff(np.concatenate([[0.0], self._times[:n]]))
+
+    def arrival_times(
+        self, n: int, rng: np.random.Generator, start: float = 0.0
+    ) -> np.ndarray:
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if n > self._times.size:
+            raise ConfigurationError(
+                f"schedule holds {self._times.size} instants but {n} were requested"
+            )
+        if start != 0.0:
+            raise ConfigurationError(
+                "ScheduleArrival replays absolute instants; start must be 0.0"
+            )
+        return self._times[:n].copy()
+
+    def __repr__(self) -> str:
+        return f"ScheduleArrival(n={self._times.size})"
+
+
+class BoundedDisorder:
+    """A seeded bounded-disorder model for out-of-order arrivals.
+
+    Each tuple's *event time* (the instant the in-order schedule
+    assigns it) is jittered by a seeded uniform draw in ``[-slack,
+    +slack]`` to produce its *physical arrival time* — the instant the
+    tuple actually reaches the network tap, possibly out of event
+    order.  ``bound`` is the watermark bound ``B >= slack``: a reorder
+    buffer that releases tuple ``i`` at punctuation deadline ``e_i +
+    B`` is guaranteed to hold the tuple by then (``p_i <= e_i + slack
+    <= e_i + B``), so downstream operators observe event order with a
+    fixed latency of ``B``.
+    """
+
+    def __init__(self, slack: float, seed: int = 0, bound: float | None = None) -> None:
+        if slack <= 0:
+            raise ConfigurationError(f"slack must be > 0, got {slack!r}")
+        self.slack = float(slack)
+        self.bound = self.slack if bound is None else float(bound)
+        if self.bound < self.slack:
+            raise ConfigurationError(
+                f"watermark bound {self.bound!r} must be >= slack {self.slack!r}"
+            )
+        self.seed = int(seed)
+
+    def jitter(self, n: int) -> np.ndarray:
+        """The ``n`` seeded jitter draws, in event order."""
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(-self.slack, self.slack, size=n)
+
+    def perturb(self, event_times: np.ndarray) -> np.ndarray:
+        """Physical arrival instants for the given event schedule.
+
+        Jittered instants are clipped at zero (nothing arrives before
+        the simulation starts); clipping never violates the bound,
+        which only caps *lateness* (``p_i - e_i <= slack``).
+        """
+        arr = np.asarray(event_times, dtype=float)
+        return np.maximum(arr + self.jitter(arr.size), 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedDisorder(slack={self.slack}, seed={self.seed}, "
+            f"bound={self.bound})"
+        )

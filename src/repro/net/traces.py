@@ -6,14 +6,23 @@ replayed (via :class:`~repro.net.arrival.TraceArrival`), and mutated.
 This module provides:
 
 * :func:`save_trace` / :func:`load_trace` — JSON persistence with a
-  small metadata envelope;
+  small metadata envelope; traces may additionally carry the exact
+  absolute arrival instants (:func:`capture_schedule` /
+  :func:`load_schedule`), which replay bit-exactly through
+  :class:`~repro.net.arrival.ScheduleArrival` where gap accumulation
+  would reintroduce floating-point drift;
 * :func:`inject_outages` — overlay *correlated* network outages on one
   or more traces, modelling a shared bottleneck link that silences
   both sources simultaneously (the strongest trigger of the paper's
   both-sources-blocked condition);
 * :func:`trace_statistics` — the burstiness numbers (rate, coefficient
   of variation, silence census) used when calibrating the Figure 14
-  workload.
+  workload;
+* :func:`arrival_from_bench` — trace-driven replay of a recorded
+  benchmark manifest (``BENCH_figures.json``): reconstruct an arrival
+  schedule matching a cell's recorded workload envelope (result count
+  over final clock) and feed it back through ``add_stream`` via a
+  normal :class:`~repro.net.source.NetworkSource`.
 """
 
 from __future__ import annotations
@@ -26,17 +35,26 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.net.arrival import ScheduleArrival
 
 _FORMAT = "repro-arrival-trace"
-_VERSION = 1
+_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_trace(
     path: str | Path,
     gaps: Sequence[float],
     description: str = "",
+    times: Sequence[float] | None = None,
 ) -> None:
-    """Persist interarrival gaps (seconds) as a small JSON document."""
+    """Persist interarrival gaps (seconds) as a small JSON document.
+
+    ``times`` optionally records the exact absolute arrival instants
+    alongside the gaps.  JSON round-trips Python floats exactly (repr
+    shortest form), so a schedule loaded back via :func:`load_schedule`
+    replays bit-identically — which gap accumulation cannot promise.
+    """
     arr = np.asarray(list(gaps), dtype=float)
     if arr.size and float(arr.min()) < 0:
         raise ConfigurationError("trace gaps must be non-negative")
@@ -47,25 +65,123 @@ def save_trace(
         "n": int(arr.size),
         "gaps": [float(g) for g in arr],
     }
+    if times is not None:
+        instants = np.asarray(list(times), dtype=float)
+        if instants.size != arr.size:
+            raise ConfigurationError(
+                f"trace has {arr.size} gaps but {instants.size} instants"
+            )
+        if instants.size and np.any(np.diff(instants) < 0):
+            raise ConfigurationError("trace instants must be non-decreasing")
+        document["times"] = [float(t) for t in instants]
     Path(path).write_text(json.dumps(document))
 
 
-def load_trace(path: str | Path) -> list[float]:
-    """Load a trace saved by :func:`save_trace`."""
+def _read_trace_document(path: str | Path) -> dict:
     try:
         document = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigurationError(f"cannot read trace {path!s}: {exc}") from exc
     if document.get("format") != _FORMAT:
         raise ConfigurationError(f"{path!s} is not a repro arrival trace")
-    if document.get("version") != _VERSION:
+    if document.get("version") not in _READABLE_VERSIONS:
         raise ConfigurationError(
             f"unsupported trace version {document.get('version')!r}"
         )
-    gaps = document.get("gaps", [])
-    if len(gaps) != document.get("n"):
+    if len(document.get("gaps", [])) != document.get("n"):
         raise ConfigurationError(f"trace {path!s} is corrupt: length mismatch")
-    return [float(g) for g in gaps]
+    return document
+
+
+def load_trace(path: str | Path) -> list[float]:
+    """Load the interarrival gaps of a trace saved by :func:`save_trace`."""
+    return [float(g) for g in _read_trace_document(path)["gaps"]]
+
+
+def load_schedule(path: str | Path) -> ScheduleArrival:
+    """Load a trace's absolute instants as a bit-exact replay process.
+
+    Requires the trace to have been saved with ``times=`` (e.g. via
+    :func:`capture_schedule`); gap-only traces raise, since replaying
+    them as absolute instants would silently reintroduce accumulation
+    drift.
+    """
+    document = _read_trace_document(path)
+    times = document.get("times")
+    if times is None:
+        raise ConfigurationError(
+            f"trace {path!s} holds no absolute instants; "
+            "save it with times=capture_schedule(source) for exact replay"
+        )
+    if len(times) != document["n"]:
+        raise ConfigurationError(f"trace {path!s} is corrupt: length mismatch")
+    return ScheduleArrival([float(t) for t in times])
+
+
+def capture_schedule(source) -> list[float]:
+    """A source's materialised arrival instants, as exact Python floats.
+
+    Works for any object exposing ``pending_times()`` (a
+    :class:`~repro.net.source.NetworkSource`, a cursor, or a
+    disordered source, whose observed schedule is its release
+    deadlines).  Pass the result as ``times=`` to :func:`save_trace`.
+    """
+    times, _ = source.pending_times()
+    return list(times)
+
+
+def gaps_from_schedule(times: Sequence[float]) -> list[float]:
+    """Interarrival gaps of an absolute schedule (first gap from zero)."""
+    arr = np.asarray(list(times), dtype=float)
+    if arr.size and np.any(np.diff(arr) < 0):
+        raise ConfigurationError("schedule instants must be non-decreasing")
+    return [float(g) for g in np.diff(np.concatenate([[0.0], arr]))]
+
+
+def arrival_from_bench(
+    path: str | Path,
+    figure: str,
+    cell: str,
+    n: int,
+) -> ScheduleArrival:
+    """Replay a recorded benchmark cell's workload timing envelope.
+
+    Reads a schema-v1 ``BENCH_figures.json`` manifest, looks up the
+    named figure's cell (an operator entry with recorded ``count`` and
+    ``final_clock``), and reconstructs an ``n``-tuple arrival schedule
+    spanning the recorded clock at the cell's effective delivery rate:
+    ``n`` evenly spaced instants ending at ``final_clock``.  The result
+    plugs into a :class:`~repro.net.source.NetworkSource` and reaches
+    the kernel through the ordinary ``add_stream`` wiring, so recorded
+    workload timings drive fresh runs (the plans bench's ``--replay``
+    mode).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    try:
+        manifest = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read manifest {path!s}: {exc}") from exc
+    figures = manifest.get("figures")
+    if not isinstance(figures, dict) or figure not in figures:
+        known = sorted(figures) if isinstance(figures, dict) else []
+        raise ConfigurationError(
+            f"manifest {path!s} has no figure {figure!r} (known: {known})"
+        )
+    cells = figures[figure].get("cells", {})
+    if cell not in cells:
+        raise ConfigurationError(
+            f"figure {figure!r} has no cell {cell!r} (known: {sorted(cells)})"
+        )
+    final_clock = float(cells[cell].get("final_clock", 0.0))
+    if final_clock <= 0:
+        raise ConfigurationError(
+            f"cell {figure}/{cell} records no positive final_clock"
+        )
+    # n instants evenly spanning (0, final_clock]: the recorded run's
+    # constant-rate envelope.
+    instants = final_clock * (np.arange(1, n + 1) / n)
+    return ScheduleArrival(instants)
 
 
 def inject_outages(

@@ -31,19 +31,37 @@ from repro.pipeline.plan import (
     select,
     transform,
 )
+from repro.pipeline.shapes import (
+    PLAN_SHAPES,
+    build_plan,
+    build_sources,
+    bushy_plan,
+    chain_plan,
+    make_plan_relations,
+    ordered_twin,
+    star_plan,
+)
 
 __all__ = [
     "FilterNode",
     "JoinNode",
     "MapNode",
+    "PLAN_SHAPES",
     "PipelineResult",
     "PlanExecutor",
     "PlanNode",
     "SourceLeaf",
+    "build_plan",
+    "build_sources",
+    "bushy_plan",
+    "chain_plan",
     "join",
     "leaf",
+    "make_plan_relations",
+    "ordered_twin",
     "run_plan",
     "select",
+    "star_plan",
     "stream_plan",
     "transform",
 ]

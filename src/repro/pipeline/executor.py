@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.joins.base import JoinRuntime, StreamingJoinOperator
 from repro.metrics.recorder import MetricsRecorder
+from repro.net.source import DisorderedSource, ReorderBuffer
 from repro.pipeline.plan import (
     FilterNode,
     JoinNode,
@@ -179,9 +180,22 @@ class PlanExecutor:
         # All leaves share one batch group: a merged run of leaf
         # arrivals is replayed per tuple (results must cascade upward
         # immediately), but the kernel's heap round-trips are amortised.
+        # Disordered leaves are not kernel streams at all — their
+        # tuples arrive through a reorder buffer's punctuation timers
+        # in event order at e_i + B.
         group = self.scheduler.add_batch_group(self._deliver_batch)
         self._leaf_deliverers: list = []
+        self._buffers: list[ReorderBuffer] = []
         for leaf, node, side, chain in self._leaves:
+            if isinstance(leaf.source, DisorderedSource):
+                buffer = ReorderBuffer(
+                    leaf.source,
+                    self._release_into(node, side, chain),
+                    label=leaf.label,
+                )
+                buffer.install(self.scheduler)
+                self._buffers.append(buffer)
+                continue
             deliver = self._deliver_from(leaf, node, side, chain)
             index = self.scheduler.add_stream(
                 leaf.source.peek_time,
@@ -306,6 +320,21 @@ class PlanExecutor:
                 self._deliver(node, wrapped)
 
         return deliver
+
+    def _release_into(self, node: JoinNode, side: str, chain):
+        """Reorder-buffer release callback: tuple in, cascade upward."""
+
+        def release(raw: Tuple) -> None:
+            wrapped = self._apply_chain(chain, self._wrap_leaf_tuple(raw, side), side)
+            if wrapped is not None:
+                self._deliver(node, wrapped)
+
+        return release
+
+    @property
+    def reorder_buffers(self) -> list[ReorderBuffer]:
+        """The installed reorder buffers (empty for in-order plans)."""
+        return self._buffers
 
     def _deliver_batch(self, order: list[int], times: list[float]) -> None:
         """Replay one merged arrival run through the per-leaf deliverers.

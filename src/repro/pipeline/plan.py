@@ -11,6 +11,15 @@ Intermediate results need a join key for the *next* join up the tree:
 reuses the result's own key (a chain join on one attribute); star or
 snowflake shapes pass an explicit function, typically reading the
 payload of one side.
+
+A leaf may wrap three kinds of stream: a plain
+:class:`~repro.net.source.NetworkSource`, a per-consumer
+:class:`~repro.net.source.SourceCursor` (several leaves sharing one
+source — the plan stays a tree while the *data* is shared), or a
+:class:`~repro.net.source.DisorderedSource` (out-of-order arrivals
+re-ordered behind a watermark reorder buffer by the executor).  Two
+leaves wrapping the *same* stream object would double-consume it, so
+:func:`validate_plan` rejects that; share via ``source.cursor()``.
 """
 
 from __future__ import annotations
@@ -20,10 +29,11 @@ from typing import Callable, Union
 
 from repro.errors import ConfigurationError
 from repro.joins.base import StreamingJoinOperator
-from repro.net.source import NetworkSource
+from repro.net.source import DisorderedSource, NetworkSource, SourceCursor
 from repro.storage.tuples import JoinResult, Tuple
 
 PlanNode = Union["SourceLeaf", "JoinNode", "FilterNode", "MapNode"]
+LeafSource = Union[NetworkSource, SourceCursor, DisorderedSource]
 KeyFn = Callable[[JoinResult], int]
 OperatorFactory = Callable[[], StreamingJoinOperator]
 PredicateFn = Callable[["Tuple"], bool]
@@ -32,9 +42,9 @@ MapFn = Callable[["Tuple"], "Tuple"]
 
 @dataclass(slots=True)
 class SourceLeaf:
-    """A network source at the bottom of the plan."""
+    """A network source (or cursor, or disordered source) at the bottom."""
 
-    source: NetworkSource
+    source: LeafSource
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -110,8 +120,8 @@ class _Counter:
     value: int = 0
 
 
-def leaf(source: NetworkSource, label: str = "") -> SourceLeaf:
-    """Wrap a network source as a plan leaf."""
+def leaf(source: LeafSource, label: str = "") -> SourceLeaf:
+    """Wrap a network source (or cursor, or disordered source) as a leaf."""
     return SourceLeaf(source=source, label=label)
 
 
@@ -161,14 +171,16 @@ def validate_plan(root: PlanNode) -> list[JoinNode]:
 
     Rejects: a bare leaf as a plan (nothing to execute), any node object
     appearing twice (the "tree" would be a DAG and the operators'
-    single-bind lifecycle breaks), and unlabeled duplicates are given
-    positional labels.
+    single-bind lifecycle breaks), two leaves consuming the same stream
+    object (share a source via per-consumer cursors instead), and
+    unlabeled duplicates are given positional labels.
     """
     if not isinstance(root, JoinNode):
         raise ConfigurationError(
             "the plan root must be a join (wrap filters/maps below a join)"
         )
     seen: set[int] = set()
+    seen_sources: set[int] = set()
     joins: list[JoinNode] = []
     counter = _Counter()
 
@@ -188,6 +200,13 @@ def validate_plan(root: PlanNode) -> list[JoinNode]:
         elif isinstance(node, (FilterNode, MapNode)):
             visit(node.child)
         elif isinstance(node, SourceLeaf):
+            if id(node.source) in seen_sources:
+                raise ConfigurationError(
+                    f"leaf {node.label!r} consumes a stream another leaf "
+                    "already consumes; share a source through per-consumer "
+                    "cursors (NetworkSource.cursor()) instead"
+                )
+            seen_sources.add(id(node.source))
             if node.source.exhausted and len(node.source) > 0:
                 raise ConfigurationError(
                     f"leaf {node.label!r} wraps an already-consumed source"

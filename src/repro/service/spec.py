@@ -28,12 +28,13 @@ from repro.joins.symmetric_hash import SymmetricHashJoin
 from repro.joins.xjoin import XJoin
 from repro.net.arrival import (
     ArrivalProcess,
+    BoundedDisorder,
     BurstyArrival,
     ConstantRate,
     ParetoArrival,
     PoissonArrival,
 )
-from repro.net.source import NetworkSource
+from repro.net.source import DisorderedSource, NetworkSource
 from repro.sim.engine import JoinSimulation
 from repro.sim.query import Query
 from repro.workloads.generator import WorkloadSpec, make_relation_pair
@@ -42,6 +43,9 @@ from repro.workloads.generator import WorkloadSpec, make_relation_pair
 ALGORITHMS = ("hmj", "xjoin", "pmj", "dphj", "shj")
 #: Supported arrival models, by spec name.
 ARRIVALS = ("constant", "poisson", "pareto", "bursty")
+#: Supported plan shapes: "join" is the classic two-source engine;
+#: the rest are n-way plan trees (see repro.pipeline.shapes).
+SHAPES = ("join", "chain", "star", "bushy")
 #: HMJ flushing policies, by spec name.
 POLICIES = {
     "adaptive": AdaptiveFlushingPolicy,
@@ -136,6 +140,17 @@ class QuerySpec:
         keep_results: Retain result tuples (oracle checks need them;
             the server defaults to metrics only).
         journal: Record the query's structural-event timeline.
+        plan_shape: One of :data:`SHAPES` — ``"join"`` runs the
+            two-source engine; ``"chain"``, ``"star"``, ``"bushy"``
+            run an ``n_way``-relation plan of that shape (a star
+            shares its hub source through per-consumer cursors).
+        n_way: Relations in a plan-shaped query (ignored for "join").
+        disorder_slack: When set, arrivals are jittered out of order
+            by up to this many seconds (seeded by ``disorder_seed``)
+            and re-ordered behind watermark reorder buffers with bound
+            ``disorder_bound`` (defaults to the slack).  Observable
+            numbers match the in-order run over the release schedule
+            byte-for-byte.
     """
 
     query_id: str = ""
@@ -162,6 +177,11 @@ class QuerySpec:
     deadline: float | None = None
     keep_results: bool = False
     journal: bool = False
+    plan_shape: str = "join"
+    n_way: int = 3
+    disorder_slack: float | None = None
+    disorder_bound: float | None = None
+    disorder_seed: int = 99
 
     def workload(self) -> WorkloadSpec:
         """The workload half of the spec."""
@@ -181,6 +201,16 @@ class QuerySpec:
             return int(self.memory)
         return self.workload().memory_capacity(self.memory_fraction)
 
+    def disorder(self) -> BoundedDisorder | None:
+        """The spec's bounded-disorder model, or ``None`` when in order."""
+        if self.disorder_slack is None:
+            return None
+        return BoundedDisorder(
+            self.disorder_slack,
+            seed=self.disorder_seed,
+            bound=self.disorder_bound,
+        )
+
     def build(self, checks=None) -> Query:
         """Materialise the spec into a runnable :class:`Query`."""
         if self.algorithm not in ALGORITHMS:
@@ -188,19 +218,38 @@ class QuerySpec:
                 f"unknown algorithm {self.algorithm!r}; "
                 f"choose from {ALGORITHMS}"
             )
+        if self.plan_shape not in SHAPES:
+            raise ConfigurationError(
+                f"unknown plan shape {self.plan_shape!r}; choose from {SHAPES}"
+            )
+        if self.plan_shape != "join":
+            return self._build_plan_query(checks)
         spec = self.workload()
         rel_a, rel_b = make_relation_pair(spec)
         rate = self.rate if self.rate is not None else self.n / 2.0
-        src_a = NetworkSource(
-            rel_a,
-            make_arrival(self.arrival, rate * self.rate_skew, self.n),
-            seed=self.source_seed_a,
-        )
-        src_b = NetworkSource(
-            rel_b,
-            make_arrival(self.arrival, rate, self.n),
-            seed=self.source_seed_b,
-        )
+        arrival_a = make_arrival(self.arrival, rate * self.rate_skew, self.n)
+        arrival_b = make_arrival(self.arrival, rate, self.n)
+        disorder = self.disorder()
+        if disorder is None:
+            src_a: NetworkSource | DisorderedSource = NetworkSource(
+                rel_a, arrival_a, seed=self.source_seed_a
+            )
+            src_b: NetworkSource | DisorderedSource = NetworkSource(
+                rel_b, arrival_b, seed=self.source_seed_b
+            )
+        else:
+            dis_a = BoundedDisorder(
+                disorder.slack, seed=disorder.seed, bound=disorder.bound
+            )
+            dis_b = BoundedDisorder(
+                disorder.slack, seed=disorder.seed + 1, bound=disorder.bound
+            )
+            src_a = DisorderedSource(
+                rel_a, arrival_a, dis_a, seed=self.source_seed_a
+            )
+            src_b = DisorderedSource(
+                rel_b, arrival_b, dis_b, seed=self.source_seed_b
+            )
         operator = make_operator(
             self.algorithm,
             self.memory_budget(),
@@ -221,6 +270,60 @@ class QuerySpec:
         )
         return Query(
             sim,
+            query_id=self.query_id or "q0",
+            weight=self.weight,
+            deadline=self.deadline,
+        )
+
+    def _build_plan_query(self, checks=None) -> Query:
+        """Materialise an n-way plan-shaped spec into a :class:`Query`."""
+        from repro.pipeline.executor import PlanExecutor
+        from repro.pipeline.shapes import (
+            build_plan,
+            build_sources,
+            make_plan_relations,
+        )
+
+        if self.n_way < 2 or (self.plan_shape == "star" and self.n_way < 3):
+            raise ConfigurationError(
+                f"plan shape {self.plan_shape!r} needs more relations "
+                f"than n_way={self.n_way}"
+            )
+        key_range = self.key_range if self.key_range is not None else 2 * self.n
+        relations = make_plan_relations(
+            self.n_way, self.n, key_range, seed=self.seed
+        )
+        rate = self.rate if self.rate is not None else self.n / 2.0
+        arrival = make_arrival(self.arrival, rate, self.n)
+        sources = build_sources(
+            relations,
+            arrival,
+            seed=self.source_seed_a,
+            disorder=self.disorder(),
+            shape=self.plan_shape,
+        )
+        memory = self.memory_budget()
+
+        def factory() -> StreamingJoinOperator:
+            return make_operator(
+                self.algorithm,
+                memory,
+                n_buckets=self.n_buckets,
+                flush_fraction=self.flush_fraction,
+                fan_in=self.fan_in,
+                policy=self.policy,
+            )
+
+        executor = PlanExecutor(
+            build_plan(self.plan_shape, sources, factory),
+            blocking_threshold=self.blocking_threshold,
+            keep_results=self.keep_results,
+            stop_after=self.stop_after,
+            journal=self.journal,
+            checks=checks,
+        )
+        return Query(
+            executor,
             query_id=self.query_id or "q0",
             weight=self.weight,
             deadline=self.deadline,

@@ -29,7 +29,7 @@ from repro.core.columnar import ColumnBatch
 from repro.errors import ConfigurationError
 from repro.joins.base import JoinRuntime, StreamingJoinOperator
 from repro.metrics.recorder import MetricsRecorder
-from repro.net.source import NetworkSource
+from repro.net.source import DisorderedSource, NetworkSource, ReorderBuffer
 from repro.sim.broker import ResourceBroker
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
@@ -77,8 +77,8 @@ class JoinSimulation:
 
     def __init__(
         self,
-        source_a: NetworkSource,
-        source_b: NetworkSource,
+        source_a: "NetworkSource | DisorderedSource",
+        source_b: "NetworkSource | DisorderedSource",
         operator: StreamingJoinOperator,
         costs: CostModel | None = None,
         blocking_threshold: float = 1.0,
@@ -140,20 +140,14 @@ class JoinSimulation:
             if self._columnar and operator.supports_column_batches
             else None,
         )
-        self._stream_a = self.scheduler.add_stream(
-            source_a.peek_time,
-            self._deliver_from(source_a),
-            times=source_a.pending_times,
-            times_array=source_a.pending_times_array,
-            group=group,
-        )
-        self._stream_b = self.scheduler.add_stream(
-            source_b.peek_time,
-            self._deliver_from(source_b),
-            times=source_b.pending_times,
-            times_array=source_b.pending_times_array,
-            group=group,
-        )
+        # A disordered source is not a kernel stream: its tuples reach
+        # the operator through a reorder buffer's punctuation timers
+        # (event order, instants e_i + B).  Its stream index is the
+        # sentinel -1 so batch dispatch never attributes a run
+        # position to it.
+        self._buffers: list[ReorderBuffer] = []
+        self._stream_a = self._register_source(source_a, group)
+        self._stream_b = self._register_source(source_b, group)
         self.scheduler.batching = bool(batch_delivery)
         self.scheduler.add_worker(operator.has_background_work, operator.on_blocked)
         if broker is not None:
@@ -174,6 +168,32 @@ class JoinSimulation:
             self._checks.watch_kernel(
                 self.scheduler, self.clock, [(operator.name, operator)]
             )
+
+    def _register_source(self, src, group: int) -> int:
+        """Wire one source into the kernel; returns its stream index.
+
+        In-order sources register as batched streams.  Disordered
+        sources install a :class:`ReorderBuffer` instead and return the
+        sentinel index -1 (their releases are keep-alive timer events,
+        never group-run positions).
+        """
+        if isinstance(src, DisorderedSource):
+            buffer = ReorderBuffer(src, self._operator.on_tuple)
+            buffer.install(self.scheduler)
+            self._buffers.append(buffer)
+            return -1
+        return self.scheduler.add_stream(
+            src.peek_time,
+            self._deliver_from(src),
+            times=src.pending_times,
+            times_array=src.pending_times_array,
+            group=group,
+        )
+
+    @property
+    def reorder_buffers(self) -> list[ReorderBuffer]:
+        """The installed reorder buffers (empty for in-order runs)."""
+        return self._buffers
 
     def _deliver_from(self, src: NetworkSource):
         def deliver() -> None:
@@ -415,8 +435,8 @@ class ResultStream:
 
 
 def run_join(
-    source_a: NetworkSource,
-    source_b: NetworkSource,
+    source_a: "NetworkSource | DisorderedSource",
+    source_b: "NetworkSource | DisorderedSource",
     operator: StreamingJoinOperator,
     costs: CostModel | None = None,
     blocking_threshold: float = 1.0,
@@ -495,8 +515,8 @@ def run_join(
 
 
 def stream_join(
-    source_a: NetworkSource,
-    source_b: NetworkSource,
+    source_a: "NetworkSource | DisorderedSource",
+    source_b: "NetworkSource | DisorderedSource",
     operator: StreamingJoinOperator,
     costs: CostModel | None = None,
     blocking_threshold: float = 1.0,

@@ -170,6 +170,10 @@ class EventScheduler:
     _live_streams: int = 0
     _timer_seq: int = 0
     _dropped_timers: int = 0
+    # Sequence numbers of pending keep-alive timers: while any remain,
+    # the loop keeps dispatching even with zero live streams (reorder
+    # buffers deliver arrivals from timers, not registered streams).
+    _keepalive_seqs: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.blocking_threshold <= 0:
@@ -266,17 +270,27 @@ class EventScheduler:
         self._workers.append(worker)
         return worker.index
 
-    def call_at(self, time: float, callback: TimerFn) -> None:
+    def call_at(
+        self, time: float, callback: TimerFn, *, keep_alive: bool = False
+    ) -> None:
         """Schedule ``callback`` at absolute virtual ``time``.
 
         A timer due at the same instant as an arrival fires first.  A
         timer in the past fires at the next dispatch without moving the
         clock backwards.  Timers still pending once every stream is
-        exhausted are dropped (see :attr:`dropped_timers`).
+        exhausted are dropped (see :attr:`dropped_timers`) — unless
+        scheduled with ``keep_alive=True``, which marks the timer as a
+        *delivery participant*: the loop keeps dispatching while any
+        keep-alive timer is pending, even with zero live streams.
+        Reorder buffers (:class:`repro.net.source.ReorderBuffer`) use
+        these for their punctuation releases, which stand in for the
+        stream arrivals the kernel would otherwise be waiting on.
         """
         if time < 0:
             raise ConfigurationError(f"timer time must be >= 0, got {time!r}")
         heapq.heappush(self._heap, (float(time), _KIND_TIMER, self._timer_seq, callback))
+        if keep_alive:
+            self._keepalive_seqs.add(self._timer_seq)
         self._timer_seq += 1
 
     # -- introspection ------------------------------------------------------
@@ -296,15 +310,18 @@ class EventScheduler:
         """Virtual time of the next dispatchable event, or ``None``.
 
         ``None`` means the streaming phase is over: no live stream
-        remains (pending timers alone cannot be dispatched — the next
-        :meth:`step` drops them).  The time reported is where the next
+        remains (ordinary pending timers alone cannot be dispatched —
+        the next :meth:`step` drops them; pending *keep-alive* timers
+        keep the phase open).  The time reported is where the next
         event *sits on the heap*; the clock may already be beyond it
         (a processing-bound run), in which case dispatch happens at
         ``clock.now``.  Multi-query sessions use
         ``max(clock.now, next_event_time)`` to interleave several
         schedulers in global virtual-time order.
         """
-        if self._live_streams == 0 or not self._heap:
+        if not self._heap or (
+            self._live_streams == 0 and not self._keepalive_seqs
+        ):
             return None
         return self._heap[0][0]
 
@@ -325,6 +342,7 @@ class EventScheduler:
             if self.journal is not None:
                 self.journal.record("engine", "dropped-timers", count=dropped)
         self._heap.clear()
+        self._keepalive_seqs.clear()
         self._live_streams = 0
         for stream in self._streams:
             stream.live = False
@@ -350,7 +368,7 @@ class EventScheduler:
         """
         if self.stopped:
             return False
-        if self._live_streams == 0:
+        if self._live_streams == 0 and not self._keepalive_seqs:
             # Only timers can remain: exhausted streams are never
             # re-pushed, so a heap with no live stream holds no arrivals.
             if self._heap:
@@ -376,6 +394,7 @@ class EventScheduler:
         heapq.heappop(self._heap)
         self.clock.advance_to(time)
         if kind == _KIND_TIMER:
+            self._keepalive_seqs.discard(index)
             payload()
             if self.probe is not None:
                 self.probe()

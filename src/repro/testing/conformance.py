@@ -15,6 +15,16 @@ baseline HMJ and the skew-adaptive configuration (heat-ranked flushing
 plus hot-group sub-splits) both run against the oracle — adaptivity on
 and off must conform under genuine skew.
 
+A ``--plan-shape`` axis adds n-way plan cells (chain, star, bushy —
+see :mod:`repro.pipeline.shapes`) crossed with the plan executor's
+delivery paths.  Each plan cell runs three times: an in-order run
+diffed against a key-wise counting oracle, a bounded-disorder run
+whose leaves arrive out of order behind watermark reorder buffers,
+and the disordered run's release-schedule twin — the disordered
+triple must equal the twin's byte for byte (the star hub is shared
+through per-consumer cursors, so the axis also certifies shared
+sources).
+
 The CLI prints one line per cell, writes a JSON violation report, and
 exits nonzero if any cell violated an invariant or diverged from the
 oracle.
@@ -26,6 +36,7 @@ import argparse
 import json
 import sys
 import time
+from collections import Counter
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.bench.figures import BLOCKING_T, _bursty
@@ -38,8 +49,17 @@ from repro.joins.pmj import ProgressiveMergeJoin
 from repro.joins.ripple import RippleJoin
 from repro.joins.symmetric_hash import SymmetricHashJoin
 from repro.joins.xjoin import XJoin
-from repro.net.arrival import ConstantRate
+from repro.net.arrival import BoundedDisorder, ConstantRate, PoissonArrival
 from repro.net.source import NetworkSource
+from repro.pipeline.executor import run_plan
+from repro.pipeline.plan import JoinNode, PlanNode, SourceLeaf
+from repro.pipeline.shapes import (
+    PLAN_SHAPES,
+    build_plan,
+    build_sources,
+    make_plan_relations,
+    ordered_twin,
+)
 from repro.sim.broker import ResourceBroker
 from repro.sim.engine import run_join
 from repro.testing.checks import InvariantChecks
@@ -106,6 +126,23 @@ DELIVERY_PATHS: dict[str, tuple[bool, bool]] = {
     "batched": (True, False),
     "per-event": (False, False),
 }
+
+#: The plan executor's delivery axis: label -> batch_delivery switch
+#: (plans have no columnar tap; batched vs per-event covers both
+#: kernel dispatch paths).
+PLAN_DELIVERY_PATHS: dict[str, bool] = {"batched": True, "per-event": False}
+
+#: Relations per plan cell (4 exercises every shape: a 3-rung chain, a
+#: hub with three shared cursors, a two-level bushy tree).
+PLAN_N_WAY = 4
+
+#: Bounded-disorder slack/watermark bound for the plan cells' jittered
+#: runs, in virtual seconds.
+PLAN_SLACK = 0.02
+
+#: Blocking threshold for plan cells — small enough that disordered
+#: release gaps open background windows.
+PLAN_BLOCKING_T = 0.1
 
 
 def workload_cases(scale: BenchScale) -> dict[str, dict]:
@@ -270,6 +307,127 @@ def run_cell(
     )
 
 
+def plan_key_counter(node: PlanNode) -> Counter:
+    """Key-wise result counts of an equi-join plan, by pure counting.
+
+    A leaf contributes its relation's key histogram; a join node
+    multiplies its children's counts key by key (every left tuple with
+    key ``k`` pairs with every right tuple with key ``k``, and the
+    result keeps the key).  The total at the root is the exact result
+    count of the plan — independent of operators, timing, and shape
+    internals, so it oracles every shape the builders produce.
+    """
+    if isinstance(node, SourceLeaf):
+        return Counter(t.key for t in node.source.relation.tuples)
+    if not isinstance(node, JoinNode):
+        raise ValueError(
+            f"plan oracle only counts leaf/join trees, got {type(node).__name__}"
+        )
+    left = plan_key_counter(node.left)
+    right = plan_key_counter(node.right)
+    return Counter(
+        {k: left[k] * right[k] for k in left.keys() & right.keys()}
+    )
+
+
+def run_plan_cell(
+    scale: BenchScale,
+    shape: str,
+    delivery: str,
+    slack: float = PLAN_SLACK,
+) -> CellOutcome:
+    """Execute one (plan shape, delivery) cell: three runs, one verdict.
+
+    1. An **in-order** run with collecting invariant checks, diffed
+       against :func:`plan_key_counter`'s exact count.
+    2. The disordered run's **release-schedule twin**: every leaf's
+       in-order stream over ``e_i + B`` (the star hub stays shared).
+    3. The **disordered** run: leaves jittered out of order by up to
+       ``slack`` seconds, re-sequenced behind watermark reorder
+       buffers.  Its ``(count, clock, io)`` triple must equal the
+       twin's byte for byte, its count must match the oracle, and its
+       invariant checks must stay clean.
+
+    The reported triple is the disordered run's.
+    """
+    batch_delivery = PLAN_DELIVERY_PATHS[delivery]
+    relations = make_plan_relations(
+        PLAN_N_WAY,
+        scale.n_per_source,
+        2 * scale.n_per_source,
+        seed=scale.seed,
+    )
+    memory = scale.spec.memory_capacity()
+    arrival = PoissonArrival(scale.fast_rate)
+    disorder = BoundedDisorder(slack, seed=scale.seed + 31)
+
+    def factory():
+        return OPERATORS["hmj"](memory, scale)
+
+    def sources(jittered: bool) -> list:
+        # Fresh streams per run (single consumption); identical seeds
+        # make every build's schedule bit-equal.
+        return build_sources(
+            relations,
+            arrival,
+            seed=scale.seed,
+            disorder=disorder if jittered else None,
+            shape=shape,
+        )
+
+    def execute(source_list: list, checks=None):
+        return run_plan(
+            build_plan(shape, source_list, factory),
+            blocking_threshold=PLAN_BLOCKING_T,
+            keep_results=False,
+            batch_delivery=batch_delivery,
+            checks=checks,
+        )
+
+    start = time.perf_counter()
+    violations: list[str] = []
+    expected = sum(plan_key_counter(build_plan(shape, sources(False), factory)).values())
+
+    ordered_checks = InvariantChecks(mode="collect")
+    ordered = execute(sources(False), checks=ordered_checks)
+    violations += [f"in-order: {v.render()}" for v in ordered_checks.violations]
+    if ordered.count != expected:
+        violations.append(
+            f"in-order plan count {ordered.count} != key-wise oracle {expected}"
+        )
+
+    twin = execute(ordered_twin(sources(True)))
+    disordered_checks = InvariantChecks(mode="collect")
+    disordered = execute(sources(True), checks=disordered_checks)
+    violations += [
+        f"disordered: {v.render()}" for v in disordered_checks.violations
+    ]
+    if disordered.count != expected:
+        violations.append(
+            f"disordered plan count {disordered.count} "
+            f"!= key-wise oracle {expected}"
+        )
+    ours = (disordered.count, disordered.clock.now, disordered.total_io)
+    theirs = (twin.count, twin.clock.now, twin.total_io)
+    if ours != theirs:
+        violations.append(
+            f"watermark divergence: disordered triple {ours} "
+            f"!= release-schedule twin triple {theirs}"
+        )
+    wall = time.perf_counter() - start
+    return CellOutcome(
+        workload=f"plan-{shape}",
+        operator="hmj",
+        delivery=delivery,
+        resize=False,
+        count=ours[0],
+        clock=ours[1],
+        io=ours[2],
+        wall_s=wall,
+        violations=violations,
+    )
+
+
 def run_cell_tenants(
     scale: BenchScale,
     workload: str,
@@ -405,6 +563,7 @@ def run_matrix(
     tenants: int = 1,
     skew_thetas: tuple[float, ...] = (),
     merge_paths: tuple[str, ...] = ("scalar", "columnar"),
+    plan_shapes: tuple[str, ...] = (),
 ) -> list[CellOutcome]:
     """Run the conformance matrix; returns every cell outcome.
 
@@ -425,7 +584,20 @@ def run_matrix(
     the corresponding columnar cell's exactly, and any divergence is
     reported as a violation on the scalar cell.  A single-element
     tuple pins every cell to that path and skips the cross-check.
+
+    ``plan_shapes`` is the n-way plan axis: each named shape runs one
+    :func:`run_plan_cell` per plan delivery path (in-order oracle,
+    release-schedule twin, and watermarked disordered run — see the
+    cell runner).  The axis is independent of the ``workloads``
+    selection, off by default here, and on (all three shapes) by
+    default on the CLI.  Plan cells are skipped in tenant mode (plans
+    and the shared session are separate subsystems).
     """
+    for name in plan_shapes:
+        if name not in PLAN_SHAPES:
+            raise ValueError(
+                f"unknown plan shape {name!r} (have {', '.join(PLAN_SHAPES)})"
+            )
     for name in merge_paths:
         if name not in ("scalar", "columnar"):
             raise ValueError(
@@ -502,6 +674,13 @@ def run_matrix(
                     outcomes.append(outcome)
                     if progress is not None:
                         progress(outcome)
+    if tenants == 1:
+        for shape in plan_shapes:
+            for delivery in PLAN_DELIVERY_PATHS:
+                outcome = run_plan_cell(scale, shape, delivery)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
     return outcomes
 
 
@@ -511,6 +690,7 @@ def build_report(
     outcomes: list[CellOutcome],
     tenants: int = 1,
     skew_thetas: tuple[float, ...] = (),
+    plan_shapes: tuple[str, ...] = (),
 ) -> dict:
     """The JSON violation report (schema v1) the CI job uploads."""
     return {
@@ -519,6 +699,7 @@ def build_report(
         "mode": "quick" if quick else "full",
         "tenants": tenants,
         "skew_thetas": list(skew_thetas),
+        "plan_shapes": list(plan_shapes),
         "n_per_source": scale.n_per_source,
         "seed": scale.seed,
         "cells_total": len(outcomes),
@@ -585,6 +766,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--plan-shape",
+        metavar="SHAPES",
+        default=None,
+        help=(
+            "comma-separated n-way plan shapes (chain,star,bushy) run "
+            "through the plan executor's delivery paths, each with an "
+            "in-order oracle run, a bounded-disorder run behind "
+            "watermark reorder buffers, and a byte-exact triple "
+            "cross-check against the release-schedule twin "
+            "(default: all three; 'none' disables the axis)"
+        ),
+    )
+    parser.add_argument(
         "--tenants",
         type=int,
         default=1,
@@ -618,6 +812,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"--skew-theta must be comma-separated floats, "
                 f"got {args.skew_theta!r}"
             )
+    if args.plan_shape is None:
+        plan_shapes: tuple[str, ...] = PLAN_SHAPES
+    elif args.plan_shape.strip().lower() in ("", "none"):
+        plan_shapes = ()
+    else:
+        plan_shapes = tuple(
+            s.strip() for s in args.plan_shape.split(",") if s.strip()
+        )
+        for name in plan_shapes:
+            if name not in PLAN_SHAPES:
+                parser.error(
+                    f"--plan-shape must name shapes from "
+                    f"{','.join(PLAN_SHAPES)}, got {name!r}"
+                )
     scale = BenchScale(n_per_source=args.scale, seed=args.seed)
 
     def progress(outcome: CellOutcome) -> None:
@@ -648,6 +856,7 @@ def main(argv: list[str] | None = None) -> int:
         tenants=args.tenants,
         skew_thetas=skew_thetas,
         merge_paths=merge_paths,
+        plan_shapes=plan_shapes,
     )
     report = build_report(
         scale,
@@ -655,6 +864,7 @@ def main(argv: list[str] | None = None) -> int:
         outcomes,
         tenants=args.tenants,
         skew_thetas=skew_thetas,
+        plan_shapes=plan_shapes,
     )
     with open(args.report, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -9,6 +9,9 @@ two relations only, never of arrival order or timing — so:
 
 * **arrival-order permutation** (within bounded windows of one
   stream's delivery order),
+* **bounded-disorder perturbation** (a time-windowed shuffle moving no
+  tuple more than ``slack`` seconds — the metamorphic mirror of the
+  :class:`~repro.net.arrival.BoundedDisorder` arrival model),
 * **key relabeling** (any bijection over the key space),
 * **rank-preserving key relabeling** (a *monotone* bijection — the
   skew-preserving variant: every key keeps its frequency rank, so a
@@ -113,6 +116,51 @@ def permute_within_windows(
             schema=workload.rel_b.schema,
             tuples=_permute(list(workload.rel_b.tuples), window, rng),
         ),
+    )
+
+
+def disorder_within_slack(
+    workload: MetamorphicWorkload, slack: float, seed: int
+) -> MetamorphicWorkload:
+    """Seeded bounded-disorder perturbation of each stream's delivery order.
+
+    The time axis is cut into consecutive ``slack``-wide windows and
+    which tuple occupies each arrival instant is shuffled *within its
+    window* — so no tuple moves more than ``slack`` seconds from its
+    original instant, exactly the displacement a
+    :class:`~repro.net.arrival.BoundedDisorder` model with that slack
+    allows (and a watermark bound ``B >= slack`` re-orders away).
+    Arrival instants themselves stay fixed; the result multiset must be
+    identical.
+    """
+    if slack <= 0:
+        raise ValueError(f"slack must be > 0, got {slack}")
+    rng = random.Random(seed)
+
+    def windowed(rel: Relation, gaps: tuple[float, ...]) -> Relation:
+        times: list[float] = []
+        at = 0.0
+        for gap in gaps:
+            at += gap
+            times.append(at)
+        tuples = list(rel.tuples)
+        out: list[Tuple] = []
+        start = 0
+        while start < len(tuples):
+            window_end = times[start] + slack
+            end = start
+            while end < len(tuples) and times[end] <= window_end:
+                end += 1
+            block = tuples[start:end]
+            rng.shuffle(block)
+            out.extend(block)
+            start = end
+        return Relation(schema=rel.schema, tuples=out)
+
+    return replace(
+        workload,
+        rel_a=windowed(workload.rel_a, workload.gaps_a),
+        rel_b=windowed(workload.rel_b, workload.gaps_b),
     )
 
 
@@ -261,6 +309,7 @@ def run_workload(
 
 __all__ = [
     "MetamorphicWorkload",
+    "disorder_within_slack",
     "make_workload",
     "mirror_multiset",
     "permute_within_windows",

@@ -1,0 +1,125 @@
+"""Smoke tests for the plan-shape benchmark.
+
+Small scale throughout — these pin the manifest schema, the per-shape
+cell wiring, the watermark identity gates, and the trace-replay path,
+not the headline chain-vs-bushy numbers (the full-scale run lives in
+``BENCH_plans.json`` / CI).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.grid import write_bench_manifest
+from repro.bench.plans import N_WAY, PlanBench, main, plans_manifest
+from repro.pipeline.shapes import PLAN_SHAPES
+
+
+def test_manifest_schema_and_cells():
+    manifest = plans_manifest(150, seed=7)
+    assert manifest["schema"] == 1
+    assert manifest["benchmark"] == "plan-shapes"
+    assert len(manifest["source_digest"]) == 64
+    assert [c["shape"] for c in manifest["cells"]] == list(PLAN_SHAPES)
+    for cell in manifest["cells"]:
+        assert cell["n_way"] == N_WAY
+        assert cell["k"] == max(1, round(cell["total_results"] * 0.1))
+        assert cell["time_to_kth"]["ordered"] > 0
+        assert cell["time_to_kth"]["disordered"] > 0
+        assert cell["identity"]["byte_identical"]
+    assert set(manifest["gates"]) == {
+        f"identity_{shape}" for shape in PLAN_SHAPES
+    }
+    assert manifest["gates_passed"]
+    comparison = manifest["comparison"]["chain_vs_bushy_time_to_kth"]
+    assert comparison["ratio"] == round(
+        comparison["chain"] / comparison["bushy"], 4
+    )
+
+
+def test_cell_is_deterministic_across_bench_instances():
+    first = PlanBench(120, seed=5).cell("bushy")
+    second = PlanBench(120, seed=5).cell("bushy")
+    assert first == second
+
+
+def test_main_quick_mode_writes_manifest(tmp_path, capsys):
+    out = tmp_path / "BENCH_plans.json"
+    code = main(
+        ["--quick", "--n-per-source", "150", "--out", str(out)]
+    )
+    assert code == 0
+    manifest = json.loads(out.read_text())
+    assert manifest["workload"]["n_per_source"] == 150
+    assert manifest["workload"]["arrival"] == "poisson"
+    assert manifest["workload"]["replay"] is None
+    captured = capsys.readouterr().out
+    assert "plans bench [chain]" in captured
+    assert "watermark identity: ok" in captured
+    assert "chain/bushy time-to-kth ratio" in captured
+    assert "wrote" in captured
+
+
+def test_quick_mode_caps_scale(tmp_path):
+    out = tmp_path / "BENCH_plans.json"
+    assert main(["--quick", "--n-per-source", "900", "--out", str(out)]) == 0
+    manifest = json.loads(out.read_text())
+    assert manifest["workload"]["n_per_source"] == 500
+
+
+def test_replay_mode_drives_leaves_from_recorded_envelope(tmp_path, capsys):
+    recorded = tmp_path / "BENCH_figures.json"
+    write_bench_manifest(
+        str(recorded),
+        {
+            "figures": {
+                "fig11": {
+                    "cells": {
+                        "hmj": {"count": 189, "final_clock": 3.0, "io": 398}
+                    }
+                }
+            }
+        },
+    )
+    out = tmp_path / "BENCH_plans.json"
+    code = main(
+        [
+            "--n-per-source", "120",
+            "--replay", str(recorded),
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    manifest = json.loads(out.read_text())
+    assert manifest["workload"]["arrival"] == "replay"
+    assert manifest["workload"]["rate"] is None
+    assert manifest["workload"]["replay"] == {
+        "manifest": str(recorded),
+        "figure": "fig11",
+        "cell": "hmj",
+    }
+    # The replayed envelope stretches each leaf over the recorded
+    # final clock, so the full run can't finish before it.
+    for cell in manifest["cells"]:
+        assert cell["identity"]["byte_identical"]
+
+
+def test_replay_rejects_unknown_cell(tmp_path):
+    recorded = tmp_path / "BENCH_figures.json"
+    write_bench_manifest(
+        str(recorded),
+        {"figures": {"fig11": {"cells": {"hmj": {"final_clock": 3.0}}}}},
+    )
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(
+            [
+                "--n-per-source", "60",
+                "--replay", str(recorded),
+                "--replay-cell", "nope",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )

@@ -1,0 +1,172 @@
+"""Integration tests for n-way plan shapes, shared sources, and
+watermarked disorder through the plan executor.
+
+The key-wise counting oracle (leaf histograms multiplied up the tree)
+is exact for every equi-join plan the shape builders produce, so each
+shape's count is checked against it; the disordered runs are checked
+byte-identically against their release-schedule twins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.errors import ConfigurationError
+from repro.net.arrival import BoundedDisorder, PoissonArrival
+from repro.net.source import DisorderedSource, NetworkSource
+from repro.pipeline import (
+    PLAN_SHAPES,
+    build_plan,
+    build_sources,
+    bushy_plan,
+    chain_plan,
+    join,
+    leaf,
+    make_plan_relations,
+    ordered_twin,
+    run_plan,
+    star_plan,
+)
+from repro.pipeline.plan import validate_plan
+from repro.testing.conformance import plan_key_counter
+
+
+def factory():
+    return HashMergeJoin(HMJConfig(memory_capacity=60))
+
+
+def make_setup(n_way=4, n=150, seed=7):
+    relations = make_plan_relations(n_way, n, 2 * n, seed=seed)
+    arrival = PoissonArrival(80.0)
+    return relations, arrival
+
+
+def sources_for(relations, arrival, shape, disorder=None, seed=7):
+    return build_sources(
+        relations, arrival, seed=seed, disorder=disorder, shape=shape
+    )
+
+
+def triple(result):
+    return (result.count, result.clock.now, result.total_io)
+
+
+@pytest.mark.parametrize("shape", PLAN_SHAPES)
+def test_every_shape_matches_keywise_oracle(shape):
+    relations, arrival = make_setup()
+    plan = build_plan(shape, sources_for(relations, arrival, shape), factory)
+    expected = sum(plan_key_counter(plan).values())
+    result = run_plan(plan, blocking_threshold=0.1, keep_results=False)
+    assert result.count == expected
+    assert result.completed
+
+
+@pytest.mark.parametrize("shape", PLAN_SHAPES)
+def test_disordered_run_matches_release_twin_byte_identically(shape):
+    relations, arrival = make_setup()
+    disorder = BoundedDisorder(0.03, seed=13, bound=0.08)
+
+    def run(twin: bool):
+        sources = sources_for(relations, arrival, shape, disorder=disorder)
+        if twin:
+            sources = ordered_twin(sources)
+        return run_plan(
+            build_plan(shape, sources, factory),
+            blocking_threshold=0.1,
+            keep_results=False,
+        )
+
+    assert triple(run(twin=False)) == triple(run(twin=True))
+
+
+def test_star_hub_is_shared_through_cursors():
+    relations, arrival = make_setup(n_way=3)
+    sources = sources_for(relations, arrival, "star")
+    hub = sources[0]
+    plan = star_plan(sources, factory)
+    validate_plan(plan)
+    result = run_plan(plan, blocking_threshold=0.1, keep_results=False)
+    expected = sum(plan_key_counter(plan).values())
+    assert result.count == expected
+    # The hub itself was never consumed — only its cursors were.
+    assert hub.delivered == 0
+
+
+def test_star_rejects_unshareable_hub():
+    relations, arrival = make_setup(n_way=3)
+    disorder = BoundedDisorder(0.03, seed=13)
+    hub = DisorderedSource(relations[0], arrival, disorder, seed=7)
+    spokes = [
+        NetworkSource(rel, arrival, seed=8 + i)
+        for i, rel in enumerate(relations[1:])
+    ]
+    with pytest.raises(ConfigurationError, match="cursor"):
+        star_plan([hub, *spokes], factory)
+
+
+def test_validate_plan_rejects_same_stream_in_two_leaves():
+    relations, arrival = make_setup(n_way=2)
+    src = NetworkSource(relations[0], arrival, seed=7)
+    plan = join(leaf(src), leaf(src), factory)
+    with pytest.raises(ConfigurationError, match="cursor"):
+        validate_plan(plan)
+    # The sanctioned way: one cursor per consumer.
+    shared = join(leaf(src.cursor()), leaf(src.cursor()), factory)
+    validate_plan(shared)
+
+
+def test_shape_builders_validate_source_counts():
+    relations, arrival = make_setup(n_way=2)
+    sources = sources_for(relations, arrival, "chain")
+    with pytest.raises(ConfigurationError):
+        chain_plan(sources[:1], factory)
+    with pytest.raises(ConfigurationError):
+        star_plan(sources, factory)  # needs hub + 2 spokes
+    with pytest.raises(ConfigurationError):
+        bushy_plan(sources[:1], factory)
+    with pytest.raises(ConfigurationError):
+        build_plan("ring", sources, factory)
+
+
+def test_disordered_plan_early_stop():
+    relations, arrival = make_setup()
+    disorder = BoundedDisorder(0.03, seed=13)
+    sources = sources_for(relations, arrival, "chain", disorder=disorder)
+    full = run_plan(
+        build_plan("chain", sources_for(relations, arrival, "chain"), factory),
+        blocking_threshold=0.1,
+        keep_results=False,
+    )
+    k = max(1, full.count // 3)
+    stopped = run_plan(
+        build_plan("chain", sources, factory),
+        blocking_threshold=0.1,
+        keep_results=False,
+        stop_after=k,
+    )
+    assert not stopped.completed
+    assert stopped.count >= k
+    assert stopped.clock.now < full.clock.now
+
+
+def test_plan_relations_alternate_sides_and_seeds():
+    relations = make_plan_relations(4, 50, 100, seed=3)
+    assert [rel.schema.name for rel in relations] == ["R0", "R1", "R2", "R3"]
+    keys = [tuple(t.key for t in rel.tuples) for rel in relations]
+    assert len(set(keys)) == 4  # per-relation seeds differ
+    again = make_plan_relations(4, 50, 100, seed=3)
+    assert [tuple(t.key for t in rel.tuples) for rel in again] == keys
+
+
+def test_plan_key_counter_rejects_non_join_nodes():
+    from repro.pipeline import select
+
+    relations, arrival = make_setup(n_way=2)
+    sources = sources_for(relations, arrival, "chain")
+    plan = select(
+        join(leaf(sources[0]), leaf(sources[1]), factory), lambda t: True
+    )
+    with pytest.raises(ValueError):
+        plan_key_counter(plan)

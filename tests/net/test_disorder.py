@@ -1,0 +1,196 @@
+"""Unit tests for bounded disorder: the model, the source, the buffer.
+
+:class:`ScheduleArrival` replays absolute instants bit-exactly,
+:class:`BoundedDisorder` jitters an event schedule within a slack,
+:class:`DisorderedSource` exposes the jittered physical tap plus its
+release schedule, and :class:`ReorderBuffer` restores event order
+behind keep-alive punctuation timers.  The engine-level byte-identity
+contract lives in ``tests/properties/test_disorder_properties.py`` and the
+pinned scenarios; these tests pin the pieces in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.arrival import BoundedDisorder, PoissonArrival, ScheduleArrival
+from repro.net.source import DisorderedSource, NetworkSource, ReorderBuffer
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+from repro.storage.tuples import SOURCE_A, Relation
+
+RNG = np.random.default_rng(0)
+
+
+# -- ScheduleArrival ---------------------------------------------------------
+
+
+def test_schedule_arrival_replays_exact_instants():
+    times = [0.0, 0.1 + 0.2, 0.5, 0.5, 1.0 / 3.0 + 1.0]
+    schedule = ScheduleArrival(times)
+    assert list(schedule.arrival_times(len(times), RNG)) == times
+    assert list(schedule.arrival_times(2, RNG)) == times[:2]
+
+
+def test_schedule_arrival_gaps_are_diffs():
+    schedule = ScheduleArrival([0.5, 1.5, 1.5, 4.0])
+    assert list(schedule.gaps(4, RNG)) == pytest.approx([0.5, 1.0, 0.0, 2.5])
+
+
+def test_schedule_arrival_validation():
+    with pytest.raises(ConfigurationError):
+        ScheduleArrival([-0.1, 0.2])
+    with pytest.raises(ConfigurationError):
+        ScheduleArrival([0.3, 0.2])
+    schedule = ScheduleArrival([0.1, 0.2])
+    with pytest.raises(ConfigurationError):
+        schedule.arrival_times(3, RNG)
+    with pytest.raises(ConfigurationError):
+        schedule.arrival_times(2, RNG, start=1.0)
+
+
+# -- BoundedDisorder ---------------------------------------------------------
+
+
+def test_disorder_jitter_is_seeded_and_within_slack():
+    disorder = BoundedDisorder(0.25, seed=3)
+    jitter = disorder.jitter(500)
+    assert (np.abs(jitter) <= 0.25).all()
+    assert list(jitter) == list(BoundedDisorder(0.25, seed=3).jitter(500))
+    assert list(jitter) != list(BoundedDisorder(0.25, seed=4).jitter(500))
+
+
+def test_disorder_perturb_clips_at_zero():
+    disorder = BoundedDisorder(0.5, seed=1)
+    physical = disorder.perturb(np.array([0.0, 0.01, 10.0]))
+    assert (physical >= 0.0).all()
+
+
+def test_disorder_bound_defaults_to_slack_and_validates():
+    assert BoundedDisorder(0.1).bound == 0.1
+    assert BoundedDisorder(0.1, bound=0.3).bound == 0.3
+    with pytest.raises(ConfigurationError):
+        BoundedDisorder(0.0)
+    with pytest.raises(ConfigurationError):
+        BoundedDisorder(0.2, bound=0.1)
+
+
+# -- DisorderedSource --------------------------------------------------------
+
+
+def _disordered(n=40, slack=0.05, bound=None, seed=5):
+    rel = Relation.from_keys(list(range(n)), source=SOURCE_A)
+    return DisorderedSource(
+        rel,
+        PoissonArrival(100.0),
+        BoundedDisorder(slack, seed=9, bound=bound),
+        seed=seed,
+    )
+
+
+def test_disordered_source_physical_tap_is_time_sorted():
+    src = _disordered()
+    previous = -1.0
+    seen = []
+    while not src.exhausted:
+        instant, event_index, t = src.pop_physical()
+        assert instant >= previous
+        previous = instant
+        seen.append(event_index)
+    # Every event index delivered exactly once (a permutation).
+    assert sorted(seen) == list(range(len(seen)))
+
+
+def test_disordered_source_release_schedule_is_event_plus_bound():
+    src = _disordered(slack=0.05, bound=0.2)
+    events = src.event_times()
+    for event, release in zip(events, src.release_times()):
+        assert release == event + 0.2
+    assert src.pending_times()[0] == src.release_times()
+
+
+def test_disordered_source_twin_shares_relation_and_release_schedule():
+    src = _disordered()
+    twin = src.ordered_source()
+    assert isinstance(twin, NetworkSource)
+    assert twin.relation is src.relation
+    assert twin.pending_times()[0] == src.release_times()
+
+
+def test_disordered_source_same_seeds_rebuild_identical_schedules():
+    a, b = _disordered(), _disordered()
+    assert list(a.event_times()) == list(b.event_times())
+    assert list(a.physical_times()) == list(b.physical_times())
+
+
+# -- ReorderBuffer -----------------------------------------------------------
+
+
+def _run_buffer(src, stop_when=None):
+    clock = VirtualClock()
+    sched = EventScheduler(clock=clock, blocking_threshold=1.0, stop_when=stop_when)
+    delivered = []
+    buffer = ReorderBuffer(src, lambda t: delivered.append((clock.now, t)))
+    buffer.install(sched)
+    sched.run()
+    return buffer, delivered
+
+
+def test_reorder_buffer_restores_event_order_at_release_instants():
+    src = _disordered(n=60, slack=0.04)
+    releases = list(src.release_times())
+    expected = [t for t in src.relation.tuples]
+    buffer, delivered = _run_buffer(src)
+    assert buffer.drained
+    assert buffer.released == 60
+    assert [t for _, t in delivered] == expected
+    assert [at for at, _ in delivered] == releases
+    assert buffer.watermark == releases[-1]
+
+
+def test_reorder_buffer_buffers_early_arrivals():
+    # High slack relative to the mean gap forces real buffering.
+    src = _disordered(n=80, slack=0.2)
+    buffer, delivered = _run_buffer(src)
+    assert buffer.peak_buffered > 0
+    assert len(delivered) == 80
+
+
+def test_reorder_buffer_honours_stop_predicate_mid_release():
+    src = _disordered(n=50, slack=0.3)
+    count = [0]
+
+    def deliver(t):
+        count[0] += 1
+
+    clock = VirtualClock()
+    sched = EventScheduler(
+        clock=clock, blocking_threshold=1.0, stop_when=lambda: count[0] >= 7
+    )
+    buffer = ReorderBuffer(src, deliver)
+    buffer.install(sched)
+    sched.run()
+    assert sched.stopped
+    assert not buffer.drained
+    # The stop predicate is checked between consecutive deliveries,
+    # so at most one extra tuple past the threshold gets through.
+    assert count[0] <= 8
+
+
+def test_reorder_buffer_rejects_double_install():
+    src = _disordered(n=5)
+    buffer = ReorderBuffer(src, lambda t: None)
+    sched = EventScheduler(clock=VirtualClock(), blocking_threshold=1.0)
+    buffer.install(sched)
+    with pytest.raises(ConfigurationError):
+        buffer.install(sched)
+
+
+def test_reorder_buffer_empty_source_completes():
+    rel = Relation.from_keys([], source=SOURCE_A)
+    src = DisorderedSource(rel, PoissonArrival(100.0), BoundedDisorder(0.1))
+    buffer, delivered = _run_buffer(src)
+    assert buffer.drained
+    assert delivered == []

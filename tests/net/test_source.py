@@ -102,3 +102,57 @@ def test_repr_shows_progress():
     src = make_source(n=2)
     src.pop()
     assert "delivered=1" in repr(src)
+
+
+# -- per-consumer cursors ----------------------------------------------------
+
+
+def test_cursor_reads_are_independent_of_hub_and_each_other():
+    hub = make_source(n=4)
+    c1 = hub.cursor()
+    c2 = hub.cursor()
+    t1, a = c1.pop()
+    t2, b = c2.pop()
+    # Same schedule, same tuples, independent positions.
+    assert (t1, a) == (t2, b)
+    assert c1.delivered == 1 and c2.delivered == 1
+    # The hub's own read position never moves.
+    assert hub.delivered == 0
+    assert hub.peek_time() == pytest.approx(0.5)
+
+
+def test_cursor_mirrors_hub_schedule_and_relation():
+    hub = make_source(n=5)
+    cursor = hub.cursor()
+    assert cursor.relation is hub.relation
+    assert len(cursor) == len(hub)
+    assert cursor.pending_times()[0] == hub.pending_times()[0]
+    assert list(cursor.pending_times_array()[0]) == list(
+        hub.pending_times_array()[0]
+    )
+
+
+def test_cursor_label_defaults_to_starred_hub_name():
+    hub = make_source()
+    assert hub.cursor().name == "src*"
+    assert hub.cursor(label="branch-2").name == "branch-2"
+
+
+def test_cursor_exhaustion_is_per_cursor():
+    hub = make_source(n=2)
+    c1, c2 = hub.cursor(), hub.cursor()
+    c1.pop()
+    c1.pop()
+    assert c1.exhausted
+    assert not c2.exhausted
+    with pytest.raises(SimulationError):
+        c1.pop()
+
+
+def test_cursor_batch_pop_matches_per_event_pops():
+    hub = make_source(n=4)
+    per_event = hub.cursor()
+    batched = hub.cursor()
+    singles = [per_event.pop() for _ in range(4)]
+    times, tuples = batched.pop_batch(4)
+    assert list(zip(times, tuples)) == singles

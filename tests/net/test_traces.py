@@ -8,7 +8,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.net.arrival import ParetoArrival, PoissonArrival, TraceArrival
 from repro.net.traces import (
+    arrival_from_bench,
+    capture_schedule,
+    gaps_from_schedule,
     inject_outages,
+    load_schedule,
     load_trace,
     save_trace,
     trace_statistics,
@@ -56,6 +60,100 @@ def test_load_rejects_corrupt_length(tmp_path):
     )
     with pytest.raises(ConfigurationError):
         load_trace(path)
+
+
+def _run_triple(result):
+    return (result.recorder.count, result.clock.now, result.disk.io_count)
+
+
+def test_schedule_roundtrip_replays_byte_identically(tmp_path):
+    """capture -> save -> load -> replay reproduces the exact triple.
+
+    The schedule is persisted as absolute instants (gap cumsum does
+    not round-trip floats), so the replayed run must be byte-identical
+    to the generated one: same count, same final clock, same I/O.
+    """
+    from repro.core.config import HMJConfig
+    from repro.core.hmj import HashMergeJoin
+    from repro.net.source import NetworkSource
+    from repro.sim.engine import run_join
+    from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, result_multiset
+
+    rel_a = Relation.from_keys([1, 2, 3, 3, 5, 8, 13, 2, 9] * 6, source=SOURCE_A)
+    rel_b = Relation.from_keys([2, 3, 5, 7, 11, 13, 2, 2, 4] * 6, source=SOURCE_B)
+
+    def operator():
+        return HashMergeJoin(HMJConfig(memory_capacity=8))
+
+    src_a = NetworkSource(rel_a, PoissonArrival(120.0), seed=11)
+    src_b = NetworkSource(rel_b, ParetoArrival(80.0, shape=1.3), seed=22)
+    times_a = capture_schedule(src_a)
+    times_b = capture_schedule(src_b)
+    original = run_join(src_a, src_b, operator(), blocking_threshold=0.05)
+
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    save_trace(path_a, gaps_from_schedule(times_a), times=times_a)
+    save_trace(path_b, gaps_from_schedule(times_b), times=times_b)
+
+    replayed = run_join(
+        NetworkSource(rel_a, load_schedule(path_a)),
+        NetworkSource(rel_b, load_schedule(path_b)),
+        operator(),
+        blocking_threshold=0.05,
+    )
+    assert _run_triple(replayed) == _run_triple(original)
+    assert result_multiset(replayed.results) == result_multiset(original.results)
+
+
+def test_save_trace_times_roundtrip_exact(tmp_path):
+    times = [0.0, 0.1 + 0.2, 1.0 / 3.0, 0.9999999999999999]
+    times = sorted(times)
+    path = tmp_path / "t.json"
+    save_trace(path, gaps_from_schedule(times), times=times)
+    schedule = load_schedule(path)
+    rng = np.random.default_rng(0)
+    assert list(schedule.arrival_times(len(times), rng)) == times
+
+
+def test_load_schedule_rejects_gap_only_trace(tmp_path):
+    path = tmp_path / "gaps.json"
+    save_trace(path, [0.1, 0.2])
+    assert load_trace(path) == [0.1, 0.2]  # still readable as gaps
+    with pytest.raises(ConfigurationError):
+        load_schedule(path)
+
+
+def test_save_trace_rejects_mismatched_times(tmp_path):
+    with pytest.raises(ConfigurationError):
+        save_trace(tmp_path / "t.json", [0.1, 0.2], times=[0.1])
+    with pytest.raises(ConfigurationError):
+        save_trace(tmp_path / "t.json", [0.1, 0.2], times=[0.3, 0.1])
+
+
+def test_arrival_from_bench_replays_workload_envelope(tmp_path):
+    """A BENCH_figures cell replays as n instants ending at its clock."""
+    manifest = {
+        "schema": 1,
+        "figures": {
+            "fig11": {
+                "cells": {
+                    "hmj": {"count": 189, "final_clock": 4.0, "io": 398},
+                }
+            }
+        },
+    }
+    path = tmp_path / "BENCH_figures.json"
+    path.write_text(json.dumps(manifest))
+    schedule = arrival_from_bench(path, "fig11", "hmj", 8)
+    times = schedule.arrival_times(8, np.random.default_rng(0))
+    assert len(times) == 8
+    assert times[-1] == pytest.approx(4.0)
+    assert (np.diff(times) > 0).all()
+    with pytest.raises(ConfigurationError):
+        arrival_from_bench(path, "fig99", "hmj", 8)
+    with pytest.raises(ConfigurationError):
+        arrival_from_bench(path, "fig11", "nope", 8)
 
 
 def test_inject_outages_delays_arrivals_inside_window():

@@ -1,0 +1,186 @@
+"""Bounded-disorder properties: watermark reordering is invisible.
+
+The reorder buffer's contract is exact: a disordered run — arrivals
+jittered out of order by up to ``slack`` seconds, re-sequenced behind
+a watermark with bound ``B >= slack`` — must produce the *same*
+``(count, clock, io)`` determinism triple as the in-order oracle run
+over the release schedule ``e_i + B``, byte for byte, for every
+operator.  These properties generate random workloads, slacks, and
+jitter seeds and assert that equality across all six operators.
+
+The metamorphic mirror (:func:`disorder_within_slack`) is checked
+too: a time-windowed shuffle displaces no tuple more than ``slack``
+and never changes the result multiset.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import HMJConfig
+from repro.core.hmj import HashMergeJoin
+from repro.joins.dphj import DoublePipelinedHashJoin
+from repro.joins.pmj import ProgressiveMergeJoin
+from repro.joins.ripple import RippleJoin
+from repro.joins.symmetric_hash import SymmetricHashJoin
+from repro.joins.xjoin import XJoin
+from repro.net.arrival import BoundedDisorder, PoissonArrival
+from repro.net.source import DisorderedSource
+from repro.sim.engine import run_join
+from repro.storage.tuples import SOURCE_A, SOURCE_B, Relation, result_multiset
+from repro.testing.metamorphic import (
+    disorder_within_slack,
+    make_workload,
+    run_workload,
+)
+from repro.testing.oracle import oracle_multiset
+
+#: All six streaming operators, by factory.  Memory is deliberately
+#: tiny so flushing/merging background phases engage even on the
+#: smallest generated workloads.
+OPERATORS = {
+    "hmj": lambda n_a, n_b: HashMergeJoin(HMJConfig(memory_capacity=8)),
+    "xjoin": lambda n_a, n_b: XJoin(memory_capacity=8),
+    "pmj": lambda n_a, n_b: ProgressiveMergeJoin(memory_capacity=8),
+    "dphj": lambda n_a, n_b: DoublePipelinedHashJoin(memory_capacity=8),
+    "ripple": lambda n_a, n_b: RippleJoin(n_a=n_a, n_b=n_b),
+    "shj": lambda n_a, n_b: SymmetricHashJoin(),
+}
+
+KEYS = st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=16)
+SLACKS = st.floats(min_value=0.005, max_value=0.2, allow_nan=False)
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+
+def _triple(result) -> tuple[int, float, int]:
+    return (result.recorder.count, result.clock.now, result.disk.io_count)
+
+
+def _sources(keys_a, keys_b, slack, bound, jitter_seed):
+    """A disordered source pair and its in-order oracle twin pair."""
+    rel_a = Relation.from_keys(keys_a, source=SOURCE_A)
+    rel_b = Relation.from_keys(keys_b, source=SOURCE_B)
+    dis_a = DisorderedSource(
+        rel_a,
+        PoissonArrival(200.0),
+        BoundedDisorder(slack, seed=jitter_seed, bound=bound),
+        seed=11,
+    )
+    dis_b = DisorderedSource(
+        rel_b,
+        PoissonArrival(200.0),
+        BoundedDisorder(slack, seed=jitter_seed + 1, bound=bound),
+        seed=22,
+    )
+    return (dis_a, dis_b), (dis_a.ordered_source(), dis_b.ordered_source())
+
+
+@pytest.mark.parametrize("operator", sorted(OPERATORS))
+@given(keys_a=KEYS, keys_b=KEYS, slack=SLACKS, jitter_seed=SEEDS)
+def test_watermarked_triple_equals_in_order_oracle(
+    operator, keys_a, keys_b, slack, jitter_seed
+):
+    """Disordered + reorder buffer == in-order run, byte for byte."""
+    factory = OPERATORS[operator]
+    disordered, ordered = _sources(keys_a, keys_b, slack, slack, jitter_seed)
+    oracle = run_join(
+        ordered[0],
+        ordered[1],
+        factory(len(keys_a), len(keys_b)),
+        blocking_threshold=0.05,
+    )
+    watermarked = run_join(
+        disordered[0],
+        disordered[1],
+        factory(len(keys_a), len(keys_b)),
+        blocking_threshold=0.05,
+    )
+    assert _triple(watermarked) == _triple(oracle)
+    assert result_multiset(watermarked.results) == result_multiset(oracle.results)
+
+
+@given(
+    keys_a=KEYS,
+    keys_b=KEYS,
+    slack=SLACKS,
+    extra=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    jitter_seed=SEEDS,
+)
+def test_wider_watermark_bound_still_byte_identical(
+    keys_a, keys_b, slack, extra, jitter_seed
+):
+    """A bound B > slack shifts the release schedule but stays exact."""
+    disordered, ordered = _sources(
+        keys_a, keys_b, slack, slack + extra, jitter_seed
+    )
+    oracle = run_join(
+        ordered[0], ordered[1], HashMergeJoin(HMJConfig(memory_capacity=8))
+    )
+    watermarked = run_join(
+        disordered[0], disordered[1], HashMergeJoin(HMJConfig(memory_capacity=8))
+    )
+    assert _triple(watermarked) == _triple(oracle)
+
+
+@given(keys_a=KEYS, keys_b=KEYS, slack=SLACKS, jitter_seed=SEEDS)
+def test_physical_displacement_within_bound(keys_a, keys_b, slack, jitter_seed):
+    """No tuple's physical arrival strays more than slack from its event."""
+    (dis_a, dis_b), _ = _sources(keys_a, keys_b, slack, slack, jitter_seed)
+    for src in (dis_a, dis_b):
+        events = src.event_times()
+        physical_by_event = [0.0] * len(src)
+        for position, instant in enumerate(src.physical_times()):
+            physical_by_event[src._physical_order[position]] = instant
+        for event, physical in zip(events, physical_by_event):
+            assert abs(physical - event) <= slack + 1e-12
+        releases = src.release_times()
+        for event, release in zip(events, releases):
+            assert release == pytest.approx(event + slack)
+        # Release schedule is nondecreasing: downstream sees order.
+        assert all(a <= b for a, b in zip(releases, releases[1:]))
+
+
+@given(
+    keys_a=KEYS,
+    keys_b=KEYS,
+    slack=st.floats(min_value=0.001, max_value=0.05, allow_nan=False),
+    seed=SEEDS,
+)
+def test_disorder_transform_preserves_multiset(keys_a, keys_b, slack, seed):
+    """The metamorphic windowed shuffle never changes the join output."""
+    workload = make_workload(keys_a, keys_b, seed=3)
+    expected = oracle_multiset(workload.rel_a, workload.rel_b)
+    shuffled = disorder_within_slack(workload, slack=slack, seed=seed)
+    # Timing envelope untouched; content permuted, not altered.
+    assert shuffled.gaps_a == workload.gaps_a
+    assert shuffled.gaps_b == workload.gaps_b
+    assert sorted(t.identity() for t in shuffled.rel_a.tuples) == sorted(
+        t.identity() for t in workload.rel_a.tuples
+    )
+    assert (
+        run_workload(shuffled, lambda: HashMergeJoin(HMJConfig(memory_capacity=8)))
+        == expected
+    )
+
+
+def test_disorder_transform_displacement_is_bounded():
+    """Each shuffled tuple stays within slack of its original instant."""
+    workload = make_workload(list(range(20)), list(range(20)), seed=5)
+    slack = 0.003
+    shuffled = disorder_within_slack(workload, slack=slack, seed=17)
+    times = []
+    at = 0.0
+    for gap in workload.gaps_a:
+        at += gap
+        times.append(at)
+    original = {t.identity(): times[i] for i, t in enumerate(workload.rel_a.tuples)}
+    for i, t in enumerate(shuffled.rel_a.tuples):
+        assert abs(times[i] - original[t.identity()]) <= slack + 1e-12
+
+
+def test_disorder_transform_rejects_bad_slack():
+    workload = make_workload([1, 2], [2, 3], seed=0)
+    with pytest.raises(ValueError):
+        disorder_within_slack(workload, slack=0.0, seed=1)

@@ -63,3 +63,57 @@ def test_built_query_carries_weight_and_deadline():
     query = QuerySpec(n=80, weight=4.0, deadline=9.0).build()
     assert query.weight == 4.0
     assert query.deadline == 9.0
+
+
+def test_plan_shape_specs_build_and_run():
+    for shape in ("chain", "star", "bushy"):
+        spec = QuerySpec(n=60, plan_shape=shape, n_way=3, query_id=shape)
+        query = spec.build()
+        assert isinstance(query, Query)
+        result = query.run()
+        assert result.recorder.count >= 0
+        assert query.triple()[1] > 0.0
+
+
+def test_plan_shape_spec_round_trips_through_json():
+    spec = QuerySpec(
+        n=60,
+        plan_shape="bushy",
+        n_way=4,
+        disorder_slack=0.05,
+        disorder_bound=0.1,
+        disorder_seed=3,
+    )
+    again = QuerySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert again == spec
+    disorder = again.disorder()
+    assert disorder is not None
+    assert (disorder.slack, disorder.bound, disorder.seed) == (0.05, 0.1, 3)
+    assert QuerySpec(n=60).disorder() is None
+
+
+def test_plan_shape_validation():
+    with pytest.raises(ConfigurationError):
+        QuerySpec(plan_shape="ring").build()
+    with pytest.raises(ConfigurationError):
+        QuerySpec(plan_shape="star", n_way=2).build()
+    with pytest.raises(ConfigurationError):
+        QuerySpec(plan_shape="chain", n_way=1).build()
+
+
+def test_disordered_join_spec_matches_density_not_schedule():
+    """A disordered two-source spec runs through reorder buffers and
+    produces the same result count as its in-order twin (timing shifts
+    by the watermark bound; the multiset cannot)."""
+    ordered = QuerySpec(n=80, arrival="poisson", query_id="o").build().run()
+    disordered = (
+        QuerySpec(
+            n=80,
+            arrival="poisson",
+            disorder_slack=0.02,
+            query_id="d",
+        )
+        .build()
+        .run()
+    )
+    assert disordered.recorder.count == ordered.recorder.count

@@ -205,6 +205,64 @@ def scenario_session() -> dict[str, Triple]:
     return {"session-hmj": hmj.triple(), "session-xjoin": xjoin.triple()}
 
 
+def scenario_plans() -> dict[str, Triple]:
+    """N-way plan pins: a bushy tree and a shared-hub star.
+
+    Each shape is pinned three ways: the plain in-order run, the
+    bounded-disorder run (leaves jittered out of order, re-sequenced
+    behind watermark reorder buffers), and the disordered run's
+    release-schedule twin (every leaf in order over ``e_i + B``).  The
+    watermark contract makes the last two *equal by construction* —
+    pinning both makes a divergence point at the reorder buffer
+    instead of failing an equivalence property far away.  The star's
+    hub feeds three joins through per-consumer cursors, so its pins
+    also cover the shared-source path.
+    """
+    from repro.net.arrival import BoundedDisorder, PoissonArrival
+    from repro.pipeline.executor import run_plan
+    from repro.pipeline.shapes import (
+        build_plan,
+        build_sources,
+        make_plan_relations,
+        ordered_twin,
+    )
+
+    n = SCALE.n_per_source
+    relations = make_plan_relations(4, n, 2 * n, seed=SCALE.seed)
+    memory = SCALE.spec.memory_capacity()
+    arrival = PoissonArrival(SCALE.fast_rate)
+    disorder = BoundedDisorder(0.02, seed=31)
+
+    def factory():
+        return _hmj(memory)
+
+    def triple(shape: str, jittered: bool, twin: bool = False) -> Triple:
+        sources = build_sources(
+            relations,
+            arrival,
+            seed=SCALE.seed,
+            disorder=disorder if jittered else None,
+            shape=shape,
+        )
+        if twin:
+            sources = ordered_twin(sources)
+        result = run_plan(
+            build_plan(shape, sources, factory),
+            blocking_threshold=0.1,
+            keep_results=False,
+        )
+        return (result.count, result.clock.now, result.total_io)
+
+    return {
+        "bushy-ordered": triple("bushy", False),
+        "bushy-disordered": triple("bushy", True),
+        "bushy-release-twin": triple("bushy", True, twin=True),
+        "star-ordered": triple("star", False),
+        "star-disordered": triple("star", True),
+        "star-release-twin": triple("star", True, twin=True),
+    }
+
+
 SCENARIOS = {
     "fig09": scenario_fig09,
     "fig10": scenario_fig10,
@@ -215,6 +273,7 @@ SCENARIOS = {
     "delivery": scenario_delivery,
     "broker": scenario_broker,
     "session": scenario_session,
+    "plans": scenario_plans,
 }
 
 #: (count, final clock, io_count) per run, captured from the seed's
@@ -261,6 +320,18 @@ EXPECTED: dict[str, dict[str, Triple]] = {
     "session": {
         "session-hmj": (189, 3.994769170021071, 398),
         "session-xjoin": (189, 8.3631269999999, 835),
+    },
+    # N-way plan pins (bushy tree, shared-hub star), captured at the
+    # watermark-reordering introduction.  Each shape's "disordered"
+    # and "release-twin" entries must stay equal to each other — that
+    # byte-identity is the reorder buffer's contract.
+    "plans": {
+        "bushy-ordered": (59, 9.283806003765052, 926),
+        "bushy-disordered": (59, 9.303806003765054, 926),
+        "bushy-release-twin": (59, 9.303806003765054, 926),
+        "star-ordered": (179, 14.234748474725015, 1420),
+        "star-disordered": (179, 13.68330344043885, 1364),
+        "star-release-twin": (179, 13.68330344043885, 1364),
     },
 }
 

@@ -411,3 +411,71 @@ def test_unbounded_budget_carries_stop_predicate():
     assert not budget.expired()
     stopped[0] = True
     assert budget.expired()
+
+
+# -- keep-alive timers -------------------------------------------------------
+
+
+def test_keepalive_timer_fires_after_streams_drain():
+    """A keep-alive timer is a delivery participant: it holds the run
+    open past stream exhaustion instead of being dropped."""
+    sched, clock = make_scheduler()
+    queue = [0.1]
+    fired: list[float] = []
+    sched.add_stream(lambda: queue[0] if queue else None, lambda: queue.pop(0))
+    sched.call_at(5.0, lambda: fired.append(clock.now), keep_alive=True)
+    assert sched.run()
+    assert fired == [5.0]
+    assert clock.now == 5.0
+    assert sched.dropped_timers == 0
+
+
+def test_keepalive_timer_can_rearm_itself():
+    sched, clock = make_scheduler()
+    fired: list[float] = []
+
+    def tick():
+        fired.append(clock.now)
+        if len(fired) < 3:
+            sched.call_at(clock.now + 1.0, tick, keep_alive=True)
+
+    sched.call_at(1.0, tick, keep_alive=True)
+    assert sched.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_plain_timers_still_dropped_alongside_keepalive():
+    """Only the keep-alive timer holds the run open; ordinary timers
+    past the drain point are dropped exactly as before."""
+    sched, clock = make_scheduler()
+    queue = [0.1]
+    fired: list[float] = []
+    sched.add_stream(lambda: queue[0] if queue else None, lambda: queue.pop(0))
+    sched.call_at(2.0, lambda: fired.append(clock.now), keep_alive=True)
+    sched.call_at(9.0, lambda: pytest.fail("plain timer must drop"))
+    assert sched.run()
+    assert fired == [2.0]
+    assert sched.dropped_timers == 1
+
+
+def test_next_event_time_sees_keepalive_timer():
+    sched, _ = make_scheduler()
+    assert sched.next_event_time is None
+    sched.call_at(4.0, lambda: None, keep_alive=True)
+    assert sched.next_event_time == 4.0
+
+
+def test_plain_timer_alone_does_not_hold_run_open():
+    sched, _ = make_scheduler()
+    sched.call_at(4.0, lambda: pytest.fail("must not fire"))
+    assert sched.next_event_time is None
+    assert sched.run()
+    assert sched.dropped_timers == 1
+
+
+def test_discard_pending_clears_keepalive_timers():
+    sched, _ = make_scheduler()
+    sched.call_at(4.0, lambda: pytest.fail("discarded timer fired"), keep_alive=True)
+    sched.discard_pending()
+    assert sched.next_event_time is None
+    assert sched.run()

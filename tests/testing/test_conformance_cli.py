@@ -107,6 +107,7 @@ def test_main_writes_report_and_exits_zero(tmp_path, capsys):
     code = main([
         "--quick", "--scale", "100",
         "--operators", "shj", "--workloads", "fig11",
+        "--plan-shape", "none",
         "--report", str(report_path),
     ])
     assert code == 0
@@ -137,6 +138,7 @@ def test_main_exits_nonzero_on_violation(tmp_path, capsys, monkeypatch):
     code = main([
         "--quick", "--scale", "100",
         "--operators", "shj", "--workloads", "fig11",
+        "--plan-shape", "none",
         "--report", str(report_path),
     ])
     assert code == 1
@@ -282,7 +284,7 @@ def test_main_accepts_skew_theta_flag(tmp_path, capsys):
     code = main([
         "--quick", "--scale", "100",
         "--operators", "shj", "--workloads", "skew-t1",
-        "--skew-theta", "1.0",
+        "--skew-theta", "1.0", "--plan-shape", "none",
         "--report", str(report_path),
     ])
     assert code == 0
@@ -297,9 +299,114 @@ def test_main_skew_theta_none_disables_axis(tmp_path):
     code = main([
         "--quick", "--scale", "100",
         "--operators", "shj", "--workloads", "fig11",
-        "--skew-theta", "none",
+        "--skew-theta", "none", "--plan-shape", "none",
         "--report", str(report_path),
     ])
     assert code == 0
     report = json.loads(report_path.read_text())
     assert report["skew_thetas"] == []
+
+
+# -- the plan-shape axis ------------------------------------------------------
+
+
+def test_plan_shape_axis_is_clean_and_crossed_with_delivery():
+    from repro.testing.conformance import PLAN_DELIVERY_PATHS
+
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale,
+        quick=True,
+        operators=["shj"],
+        workloads=["fig11"],
+        plan_shapes=("chain", "bushy"),
+    )
+    plan_cells = [o for o in outcomes if o.workload.startswith("plan-")]
+    assert {(o.workload, o.delivery) for o in plan_cells} == {
+        (f"plan-{shape}", delivery)
+        for shape in ("chain", "bushy")
+        for delivery in PLAN_DELIVERY_PATHS
+    }
+    assert all(o.ok for o in plan_cells), [o.violations for o in plan_cells]
+    # Both delivery paths of a shape agree on the triple.
+    for shape in ("chain", "bushy"):
+        triples = {
+            (o.count, o.clock, o.io)
+            for o in plan_cells
+            if o.workload == f"plan-{shape}"
+        }
+        assert len(triples) == 1
+
+
+def test_plan_shape_axis_off_by_default_in_library():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale, quick=True, operators=["shj"], workloads=["fig11"]
+    )
+    assert not any(o.workload.startswith("plan-") for o in outcomes)
+
+
+def test_plan_shape_axis_skipped_in_tenant_mode():
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcomes = run_matrix(
+        scale,
+        quick=True,
+        operators=["hmj"],
+        workloads=["fig11"],
+        tenants=2,
+        plan_shapes=("chain",),
+    )
+    assert not any(o.workload.startswith("plan-") for o in outcomes)
+
+
+def test_run_matrix_rejects_unknown_plan_shape():
+    scale = BenchScale(n_per_source=100, seed=7)
+    with pytest.raises(ValueError, match="unknown plan shape"):
+        run_matrix(scale, plan_shapes=("ring",))
+
+
+def test_plan_cell_reports_watermark_divergence(monkeypatch):
+    # Sabotage the disordered run's operator memory so its triple
+    # diverges from the twin: the cell must flag it, not hide it.
+    from repro.testing import conformance as conf
+
+    real = conf.OPERATORS["hmj"]
+    calls = {"n": 0}
+
+    def flaky(memory, scale, merge_path="columnar"):
+        calls["n"] += 1
+        # Builds go: oracle-count factories are never invoked (pure
+        # counting); runs are in-order, twin, then disordered — three
+        # plans x 3 join nodes.  Shrink the last plan's operators.
+        if calls["n"] > 6:
+            return real(max(4, memory // 3), scale, merge_path)
+        return real(memory, scale, merge_path)
+
+    monkeypatch.setitem(conf.OPERATORS, "hmj", flaky)
+    scale = BenchScale(n_per_source=100, seed=7)
+    outcome = conf.run_plan_cell(scale, "chain", "batched")
+    assert not outcome.ok
+    assert any("watermark divergence" in v for v in outcome.violations)
+
+
+def test_main_accepts_plan_shape_flag(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main([
+        "--quick", "--scale", "100",
+        "--operators", "shj", "--workloads", "fig11",
+        "--skew-theta", "none", "--plan-shape", "star",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["plan_shapes"] == ["star"]
+    plan_cells = [
+        c for c in report["cells"] if c["workload"].startswith("plan-")
+    ]
+    assert {c["workload"] for c in plan_cells} == {"plan-star"}
+    assert "plan-star" in capsys.readouterr().out
+
+
+def test_main_rejects_unknown_plan_shape(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--plan-shape", "ring", "--report", str(tmp_path / "r.json")])
